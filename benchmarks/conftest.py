@@ -1,0 +1,47 @@
+"""Benchmark fixtures: paper-scale services, shared across figure benches.
+
+Every bench runs at the paper's Section V scale (n = 2048, m = 200,
+k = 500) unless stated otherwise, regenerates one figure, writes its CSV
+and text rendering under ``results/``, and asserts the paper's qualitative
+shape.  ``pytest benchmarks/ --benchmark-only`` therefore both measures the
+harness and reproduces the evaluation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import ServiceBundle, build_services
+from repro.experiments.config import PAPER_CONFIG, ExperimentConfig
+
+#: Where figure outputs land (CSV + rendered text).
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> ExperimentConfig:
+    """The paper's exact Section V parameters."""
+    return PAPER_CONFIG
+
+
+@pytest.fixture(scope="session")
+def paper_bundle(paper_config) -> ServiceBundle:
+    """All four services at paper scale, fully loaded (built once)."""
+    return build_services(paper_config)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight experiment exactly once under the benchmark timer.
+
+    Figure sweeps are minutes-scale; pedantic single-round mode measures
+    them without pytest-benchmark's default multi-round calibration.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

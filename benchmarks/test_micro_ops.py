@@ -1,0 +1,129 @@
+"""Micro-benchmarks of the primitive operations every figure rests on.
+
+These use pytest-benchmark's normal multi-round timing (the operations are
+microseconds-scale): Chord lookup, Cycloid lookup, routed registration per
+approach, range walks, and overlay construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.resource import AttributeConstraint, Query
+from repro.overlay.chord import ChordRing
+from repro.overlay.cycloid import CycloidId, CycloidOverlay
+from repro.utils.seeding import SeedFactory
+from repro.workloads.generator import QueryKind
+
+
+@pytest.fixture(scope="module")
+def micro_bundle():
+    """A private paper-scale bundle: the registration/query micro-benches
+    mutate directories, so they must not touch the shared session bundle
+    other benches measure."""
+    from repro.experiments.common import build_services
+    from repro.experiments.config import PAPER_CONFIG
+
+    return build_services(PAPER_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def chord_2048():
+    ring = ChordRing(11)
+    ring.build_full()
+    return ring
+
+
+@pytest.fixture(scope="module")
+def cycloid_2048():
+    overlay = CycloidOverlay(8)
+    overlay.build_full()
+    return overlay
+
+
+class TestLookupLatency:
+    def test_chord_lookup(self, benchmark, chord_2048):
+        rng = SeedFactory(0).python("chord-micro")
+        pairs = [
+            (chord_2048.node(rng.randrange(2048)), rng.randrange(2048))
+            for _ in range(512)
+        ]
+        cycle = itertools.cycle(pairs)
+
+        def op():
+            start, key = next(cycle)
+            return chord_2048.lookup(start, key).hops
+
+        result = benchmark(op)
+        assert result >= 0
+
+    def test_cycloid_lookup(self, benchmark, cycloid_2048):
+        rng = SeedFactory(0).python("cycloid-micro")
+        ids = cycloid_2048.node_ids
+        pairs = [
+            (
+                cycloid_2048.node(rng.choice(ids)),
+                CycloidId(rng.randrange(8), rng.randrange(256)),
+            )
+            for _ in range(512)
+        ]
+        cycle = itertools.cycle(pairs)
+
+        def op():
+            start, target = next(cycle)
+            return cycloid_2048.lookup(start, target).hops
+
+        result = benchmark(op)
+        assert result >= 0
+
+
+class TestRegistrationThroughput:
+    @pytest.mark.parametrize("approach", ["LORM", "Mercury", "SWORD", "MAAN"])
+    def test_routed_register(self, benchmark, micro_bundle, approach):
+        service = micro_bundle.by_name(approach)
+        infos = itertools.cycle(
+            micro_bundle.workload.infos_for_attribute("cpu-mhz")
+        )
+        benchmark(lambda: service.register(next(infos), routed=True))
+
+
+class TestQueryLatency:
+    @pytest.mark.parametrize("approach", ["LORM", "Mercury", "SWORD", "MAAN"])
+    def test_point_query(self, benchmark, micro_bundle, approach):
+        service = micro_bundle.by_name(approach)
+        queries = itertools.cycle(
+            list(
+                micro_bundle.workload.query_stream(
+                    64, 1, QueryKind.POINT, label=f"micro-{approach}"
+                )
+            )
+        )
+        benchmark(lambda: service.multi_query(next(queries)).total_hops)
+
+    @pytest.mark.parametrize("approach", ["LORM", "SWORD"])
+    def test_range_query_cheap_approaches(self, benchmark, micro_bundle, approach):
+        service = micro_bundle.by_name(approach)
+        spec = micro_bundle.workload.schema.spec("cpu-mhz")
+        dist = spec.distribution
+        q = Query(AttributeConstraint.between("cpu-mhz", dist.ppf(0.25), dist.ppf(0.5)))
+        benchmark(lambda: service.query(q).visited_nodes)
+
+
+class TestConstruction:
+    def test_build_chord_2048(self, benchmark):
+        def build():
+            ring = ChordRing(11)
+            ring.build_full()
+            return ring.num_nodes
+
+        assert benchmark.pedantic(build, rounds=3, iterations=1) == 2048
+
+    def test_build_cycloid_2048(self, benchmark):
+        def build():
+            overlay = CycloidOverlay(8)
+            overlay.build_full()
+            return overlay.num_nodes
+
+        assert benchmark.pedantic(build, rounds=3, iterations=1) == 2048

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Churn resilience demo (the paper's Section V-C, live).
+
+Drives a LORM grid through an event-driven Poisson churn storm — nodes
+joining and departing while queries keep arriving — and shows that:
+
+* every query keeps resolving (the paper: "no failures in all test cases");
+* answers remain exactly correct, because departing directory nodes hand
+  their resource information to the new responsible node;
+* hop counts barely move compared to the static network.
+
+Run:  python examples/churn_resilience.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LormService
+from repro.sim.churn import ChurnProcess
+from repro.sim.engine import Simulator
+from repro.workloads.attributes import AttributeSchema
+from repro.workloads.generator import GridWorkload, QueryKind
+
+CHURN_RATE = 0.5  # joins/s and departures/s (paper's most aggressive R)
+QUERY_RATE = 10.0  # requests per second
+DURATION = 120.0  # simulated seconds
+
+
+def main() -> None:
+    schema = AttributeSchema.synthetic(12)
+    service = LormService.build_full(5, schema, seed=3)
+    workload = GridWorkload(schema, infos_per_attribute=80, seed=4)
+    for info in workload.resource_infos():
+        service.register(info, routed=False)
+    print(f"LORM grid: {service.num_nodes()} nodes, "
+          f"{service.total_info_pieces()} resource infos, "
+          f"churn R={CHURN_RATE}/s, queries {QUERY_RATE}/s, "
+          f"{DURATION:.0f}s simulated")
+
+    # Static baseline for comparison.
+    static_queries = list(workload.query_stream(200, 2, QueryKind.RANGE, label="static"))
+    static_hops = float(np.mean(
+        [service.multi_query(q).total_hops for q in static_queries]
+    ))
+
+    sim = Simulator()
+    churn = ChurnProcess(rate=CHURN_RATE, rng=np.random.default_rng(5))
+    events = churn.install(
+        sim, DURATION, on_join=service.churn_join, on_leave=service.churn_leave
+    )
+    for t in np.arange(30.0, DURATION, 30.0):
+        sim.schedule_at(float(t), service.stabilize, name="stabilize")
+
+    hops: list[int] = []
+    wrong = 0
+    checked = 0
+    queries = iter(workload.query_stream(
+        int(DURATION * QUERY_RATE), 2, QueryKind.RANGE, label="churn"
+    ))
+
+    def fire_query() -> None:
+        nonlocal wrong, checked
+        query = next(queries)
+        outcome = service.multi_query(query)
+        hops.append(outcome.total_hops)
+        checked += 1
+        if outcome.providers != workload.matching_providers_bruteforce(query):
+            wrong += 1
+
+    t = 1.0 / QUERY_RATE
+    while t < DURATION:
+        sim.schedule_at(t, fire_query, name="query")
+        t += 1.0 / QUERY_RATE
+
+    sim.run()
+
+    population_now = service.num_nodes()
+    print(f"\nchurn events fired: {events} "
+          f"(population now {population_now})")
+    print(f"queries resolved: {checked}, wrong answers: {wrong}")
+    print(f"avg hops under churn: {float(np.mean(hops)):.2f} "
+          f"(static baseline: {static_hops:.2f})")
+    drift = abs(float(np.mean(hops)) - static_hops) / static_hops
+    print(f"=> dynamism changed lookup cost by {100 * drift:.1f}% — "
+          f"consistent with the paper's Figure 6 observation")
+    assert wrong == 0, "churn must never produce a wrong answer"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Semantic resource discovery — the paper's future work, running.
+
+The paper closes with: "We plan to further explore and elaborate upon the
+LORM design to discover resources based on semantic information."  This
+example exercises that elaboration (``repro.core.semantic``): requesters
+phrase queries in their own vocabulary — synonyms ("clock-speed"),
+different units ("free-memory-gb"), broader concepts ("storage") — and the
+resolver rewrites them onto the canonical schema before discovery through
+an unmodified LORM service.
+
+Run:  python examples/semantic_discovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LormService
+from repro.core.resource import AttributeConstraint, MultiAttributeQuery, ResourceInfo
+from repro.core.semantic import Ontology, SemanticResolver
+from repro.workloads.attributes import AttributeSchema, AttributeSpec
+
+SCHEMA = AttributeSchema(
+    (
+        AttributeSpec("cpu-mhz", 800.0, 4200.0, pareto_shape=1.1),
+        AttributeSpec("free-memory-mb", 512.0, 65536.0, pareto_shape=1.0),
+        AttributeSpec("disk-gb", 20.0, 4000.0, pareto_shape=1.0),
+        AttributeSpec("tape-gb", 100.0, 50000.0, pareto_shape=1.0),
+        AttributeSpec("network-mbps", 10.0, 10000.0),
+    )
+)
+
+
+def build_ontology() -> Ontology:
+    """The deployment's semantic vocabulary."""
+    return (
+        Ontology()
+        # Renames users actually type.
+        .add_synonym("clock-speed", "cpu-mhz")
+        .add_synonym("bandwidth", "network-mbps")
+        # Unit bridges.
+        .add_conversion("cpu-ghz", "cpu-mhz", scale=1000.0)
+        .add_conversion("free-memory-gb", "free-memory-mb", scale=1024.0)
+        # A broader concept covering several concrete attributes.
+        .add_broader("storage-gb", ("disk-gb", "tape-gb"))
+    )
+
+
+def main() -> None:
+    service = LormService.build_full(5, SCHEMA, seed=21)
+    resolver = SemanticResolver(service, build_ontology())
+
+    rng = np.random.default_rng(12)
+    for i in range(80):
+        machine = f"grid-{i:03d}"
+        for spec in SCHEMA:
+            service.register(
+                ResourceInfo(spec.name, float(spec.distribution.sample(rng)), machine)
+            )
+    print(f"{service.total_info_pieces()} infos registered on "
+          f"{service.num_nodes()} LORM nodes\n")
+
+    requests = [
+        (
+            "a 2 GHz machine (asked in GHz)",
+            MultiAttributeQuery((AttributeConstraint.at_least("cpu-ghz", 2.0),)),
+        ),
+        (
+            "4 GB of memory (asked in GB, synonym-free)",
+            MultiAttributeQuery((AttributeConstraint.at_least("free-memory-gb", 4.0),)),
+        ),
+        (
+            "any storage >= 500 GB (broader term: disk OR tape)",
+            MultiAttributeQuery((AttributeConstraint.at_least("storage-gb", 500.0),)),
+        ),
+        (
+            "fast CPU AND big storage (join across semantic terms)",
+            MultiAttributeQuery(
+                (
+                    AttributeConstraint.at_least("clock-speed", 2000.0),
+                    AttributeConstraint.at_least("storage-gb", 500.0),
+                )
+            ),
+        ),
+    ]
+
+    for description, request in requests:
+        result = resolver.multi_query(request)
+        print(f"query: {description}")
+        print(f"  -> {result.num_matches} machines "
+              f"({result.total_hops} hops, {result.total_visited} visits)")
+        for provider in sorted(result.providers)[:3]:
+            print(f"     {provider}")
+        print()
+
+    # Demonstrate that the canonical service itself knows nothing about
+    # the semantic vocabulary:
+    try:
+        service.multi_query(
+            MultiAttributeQuery((AttributeConstraint.at_least("cpu-ghz", 2.0),))
+        )
+    except KeyError as err:
+        print(f"without the resolver, the raw service rejects it: {err}")
+
+
+if __name__ == "__main__":
+    main()

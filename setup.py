@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs (which build an editable wheel) fail.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` fall
+back to the legacy ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

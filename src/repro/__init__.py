@@ -1,0 +1,73 @@
+"""repro — reproduction of Shen & Xu (ICPP 2009).
+
+"Performance Analysis of DHT Algorithms for Range-Query and Multi-Attribute
+Resource Discovery in Grids".
+
+The package provides:
+
+* :mod:`repro.overlay` — Chord and Cycloid DHT overlay substrates with hop
+  accounting, churn handling and self-organization.
+* :mod:`repro.core` — the LORM resource-discovery approach (the paper's
+  primary contribution) built on Cycloid.
+* :mod:`repro.baselines` — Mercury (multi-DHT), SWORD (single-DHT
+  centralized) and MAAN (single-DHT decentralized) comparators on Chord.
+* :mod:`repro.hashing` — consistent hashing ``H`` and locality-preserving
+  hashing (LPH) ``ℋ``.
+* :mod:`repro.sim` — discrete-event engine, Poisson churn, metrics.
+* :mod:`repro.workloads` — Bounded-Pareto grid resource/query generators.
+* :mod:`repro.analysis` — closed forms of Theorems 4.1–4.10.
+* :mod:`repro.experiments` — regenerates every figure of the paper
+  (Figures 3a–d, 4a–b, 5a–b, 6a–b).
+
+Quickstart::
+
+    from repro import LormService, GridWorkload, ExperimentConfig
+
+    cfg = ExperimentConfig(dimension=8, num_attributes=20, infos_per_attribute=50)
+    service = LormService.build(cfg.dimension, seed=1)
+    workload = GridWorkload.from_config(cfg, seed=2)
+    for info in workload.resource_infos():
+        service.register(info)
+    result = service.multi_query(workload.sample_multi_query(num_attributes=3))
+    print(result.matches, result.visited_nodes)
+"""
+
+from repro.baselines.base import DiscoveryService
+from repro.baselines.maan import MaanService
+from repro.baselines.mercury import MercuryService
+from repro.baselines.sword import SwordService
+from repro.core.lorm import LormService
+from repro.core.resource import (
+    AttributeConstraint,
+    MultiAttributeQuery,
+    Query,
+    ResourceInfo,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.hashing.consistent import ConsistentHash
+from repro.hashing.locality import CdfLocalityHash, LinearLocalityHash
+from repro.overlay.chord import ChordRing
+from repro.overlay.cycloid import CycloidOverlay
+from repro.workloads.generator import GridWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeConstraint",
+    "CdfLocalityHash",
+    "ChordRing",
+    "ConsistentHash",
+    "CycloidOverlay",
+    "DiscoveryService",
+    "ExperimentConfig",
+    "GridWorkload",
+    "LinearLocalityHash",
+    "LormService",
+    "MaanService",
+    "MercuryService",
+    "MultiAttributeQuery",
+    "Query",
+    "ResourceInfo",
+    "SwordService",
+    "__version__",
+]

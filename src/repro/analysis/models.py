@@ -1,0 +1,79 @@
+"""Derivation of the paper's "Analysis-X" curves.
+
+Section V never re-simulates the analytical predictions; it takes the
+*measured* curve of a reference system and scales it by the theorem's
+factor — e.g. "Analysis>LORM" in Figure 3(a) is Mercury's measured outlink
+curve divided by m, and "Analysis-LORM" in Figure 4 is MAAN's measured hop
+curve divided by log(n)/d.  :func:`derive_curve` reproduces exactly that
+construction so the harness emits analysis series the same way the paper
+does.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+__all__ = ["AnalysisCurve", "curve_from_points", "derive_curve"]
+
+
+@dataclass(frozen=True)
+class AnalysisCurve:
+    """A named (x, y) series, measured or analysis-derived."""
+
+    name: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+    derived_from: str | None = None
+    factor: float | None = None
+
+    def __post_init__(self) -> None:
+        require(len(self.x) == len(self.y), f"{self.name}: x/y length mismatch")
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        """The series as (x, y) row pairs for CSV emission."""
+        return list(zip(self.x, self.y))
+
+
+def derive_curve(
+    name: str,
+    reference: AnalysisCurve,
+    *,
+    divide_by: float | None = None,
+    multiply_by: float | None = None,
+) -> AnalysisCurve:
+    """Scale a measured reference series by a theorem's factor.
+
+    Exactly one of ``divide_by`` / ``multiply_by`` must be given.
+
+    Examples
+    --------
+    >>> mercury = AnalysisCurve("Mercury", (1.0, 2.0), (200.0, 400.0))
+    >>> derive_curve("Analysis>LORM", mercury, divide_by=200.0).y
+    (1.0, 2.0)
+    """
+    require(
+        (divide_by is None) != (multiply_by is None),
+        "give exactly one of divide_by / multiply_by",
+    )
+    if divide_by is not None:
+        require(divide_by != 0, "cannot divide by zero")
+        factor = 1.0 / divide_by
+    else:
+        assert multiply_by is not None
+        factor = multiply_by
+    return AnalysisCurve(
+        name=name,
+        x=reference.x,
+        y=tuple(v * factor for v in reference.y),
+        derived_from=reference.name,
+        factor=factor,
+    )
+
+
+def curve_from_points(name: str, points: Sequence[tuple[float, float]]) -> AnalysisCurve:
+    """Build a curve from (x, y) pairs."""
+    xs, ys = zip(*points) if points else ((), ())
+    return AnalysisCurve(name=name, x=tuple(xs), y=tuple(ys))

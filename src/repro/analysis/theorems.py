@@ -1,0 +1,149 @@
+"""Theorems 4.1–4.10: the paper's closed-form performance analysis.
+
+Every function mirrors one theorem (or the hop-count primitives its proofs
+rest on) with the paper's own symbols:
+
+``n`` — number of grid nodes; ``m`` — number of resource attributes;
+``k`` — resource-information pieces per attribute; ``d`` — Cycloid
+dimension; ``log n`` is base-2 throughout, as in Chord's analysis.
+
+The test-suite checks these formulas against simulation; the experiment
+harness uses them to draw the "Analysis-…" curves of Figures 3–6.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import require_positive
+
+__all__ = [
+    "chord_expected_lookup_hops",
+    "cycloid_expected_lookup_hops",
+    "thm41_structure_overhead_ratio",
+    "thm42_total_info_ratio_maan",
+    "thm43_directory_reduction_vs_maan",
+    "thm44_directory_reduction_vs_sword",
+    "thm45_balance_ratio_mercury_vs_lorm",
+    "thm47_contacted_reduction_vs_maan",
+    "thm48_contacted_reduction_mercury_sword_vs_maan",
+    "thm49_visited_nodes_avg",
+    "thm410_visited_nodes_worst",
+    "nonrange_query_hops_avg",
+]
+
+
+# ---------------------------------------------------------------------------
+# Hop-count primitives (used by the proofs of Theorems 4.7–4.10)
+# ---------------------------------------------------------------------------
+def chord_expected_lookup_hops(n: int) -> float:
+    """Average hops of one Chord lookup: ``log2(n) / 2`` (Stoica et al.)."""
+    require_positive(n, "n")
+    return math.log2(n) / 2.0
+
+
+def cycloid_expected_lookup_hops(d: int) -> float:
+    """Average hops of one Cycloid lookup: ``d`` (Shen, Xu & Chen)."""
+    require_positive(d, "d")
+    return float(d)
+
+
+# ---------------------------------------------------------------------------
+# Maintenance overhead (Section IV-A)
+# ---------------------------------------------------------------------------
+def thm41_structure_overhead_ratio(n: int, m: int, d: int) -> float:
+    """Theorem 4.1 — LORM improves Mercury's structure maintenance by
+    ``m * log2(n) / d`` times (≥ m, since d ≤ log2 n)."""
+    require_positive(d, "d")
+    return m * math.log2(n) / d
+
+
+def thm42_total_info_ratio_maan() -> float:
+    """Theorem 4.2 — MAAN stores twice the total resource information of
+    LORM / SWORD / Mercury (it splits attribute and value)."""
+    return 2.0
+
+
+def thm43_directory_reduction_vs_maan(n: int, m: int, d: int) -> float:
+    """Theorem 4.3 — LORM reduces a MAAN directory node's piece count by
+    ``d * (1 + m/n)`` times (the paper's 8.78 for d=8, m=200, n=2048)."""
+    require_positive(n, "n")
+    return d * (1.0 + m / n)
+
+
+def thm44_directory_reduction_vs_sword(d: int) -> float:
+    """Theorem 4.4 — LORM reduces SWORD's directory size by ``d`` times."""
+    require_positive(d, "d")
+    return float(d)
+
+
+def thm45_balance_ratio_mercury_vs_lorm(n: int, m: int, d: int) -> float:
+    """Theorem 4.5 — Mercury is more balanced than LORM by ``n / (d m)``
+    times (the paper's 1.28 for n=2048, d=8, m=200)."""
+    require_positive(d * m, "d*m")
+    return n / (d * m)
+
+
+# ---------------------------------------------------------------------------
+# Resource-discovery efficiency (Section IV-B)
+# ---------------------------------------------------------------------------
+def thm47_contacted_reduction_vs_maan(n: int, d: int) -> float:
+    """Theorem 4.7 — for non-range queries LORM contacts ``log2(n)/d``
+    times fewer nodes than MAAN (the paper's 11/8)."""
+    require_positive(d, "d")
+    return math.log2(n) / d
+
+
+def thm48_contacted_reduction_mercury_sword_vs_maan() -> float:
+    """Theorem 4.8 — Mercury and SWORD halve MAAN's contacted nodes for
+    non-range queries (one lookup instead of two per attribute)."""
+    return 2.0
+
+
+def nonrange_query_hops_avg(approach: str, n: int, d: int, m_query: int) -> float:
+    """Expected total hops of an ``m_query``-attribute non-range query.
+
+    Derived from the proofs of Theorems 4.7/4.8: one Chord lookup per
+    attribute for Mercury/SWORD, two for MAAN, one Cycloid lookup for LORM.
+    """
+    per_attr = {
+        "LORM": cycloid_expected_lookup_hops(d),
+        "Mercury": chord_expected_lookup_hops(n),
+        "SWORD": chord_expected_lookup_hops(n),
+        "MAAN": 2.0 * chord_expected_lookup_hops(n),
+    }
+    return m_query * per_attr[approach]
+
+
+def thm49_visited_nodes_avg(approach: str, n: int, d: int, m_query: int) -> float:
+    """Theorem 4.9 (proof) — average-case visited nodes of an
+    ``m_query``-attribute *range* query:
+
+    ========  ==================
+    Mercury   ``m (1 + n/4)``
+    MAAN      ``m (2 + n/4)``
+    LORM      ``m (1 + d/4)``
+    SWORD     ``m``
+    ========  ==================
+    """
+    per_attr = {
+        "Mercury": 1.0 + n / 4.0,
+        "MAAN": 2.0 + n / 4.0,
+        "LORM": 1.0 + d / 4.0,
+        "SWORD": 1.0,
+    }
+    return m_query * per_attr[approach]
+
+
+def thm410_visited_nodes_worst(approach: str, n: int, d: int, m_query: int) -> float:
+    """Theorem 4.10 (proof) — worst-case contacted nodes of a range query:
+    ``m (log n + n)`` for Mercury, ``m (2 log n + n)`` for MAAN, ``m d``
+    for LORM (and ``m log n`` for SWORD's single lookups)."""
+    log_n = math.log2(n)
+    per_attr = {
+        "Mercury": log_n + n,
+        "MAAN": 2.0 * log_n + n,
+        "LORM": float(d),
+        "SWORD": log_n,
+    }
+    return m_query * per_attr[approach]

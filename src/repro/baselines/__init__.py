@@ -1,0 +1,27 @@
+"""The paper's comparator approaches, each on a Chord substrate.
+
+* :class:`~repro.baselines.mercury.MercuryService` — multi-DHT-based: one
+  value-indexed hub (Chord ring) per attribute (Bharambe et al., SIGCOMM
+  2004, as configured by the paper with Chord hubs).
+* :class:`~repro.baselines.sword.SwordService` — single-DHT-based
+  centralized: all information for an attribute pooled at the attribute
+  root (Oppenheimer et al., 2004, with Chord replacing Bamboo).
+* :class:`~repro.baselines.maan.MaanService` — single-DHT-based
+  decentralized: attribute and value registered separately, two lookups per
+  attribute (Cai et al., 2004).
+"""
+
+from repro.baselines.base import ChordBackedService, DiscoveryService
+from repro.baselines.maan import MaanService
+from repro.baselines.mercury import MercuryService
+from repro.baselines.mercury_pointers import PointerMercuryService
+from repro.baselines.sword import SwordService
+
+__all__ = [
+    "ChordBackedService",
+    "DiscoveryService",
+    "MaanService",
+    "MercuryService",
+    "PointerMercuryService",
+    "SwordService",
+]

@@ -1,0 +1,298 @@
+"""Uniform discovery-service interface over all four approaches.
+
+Every approach — LORM, Mercury, SWORD, MAAN — implements
+:class:`DiscoveryService`: register resource information, resolve
+single-attribute queries (point or range) with hop / visited-node
+accounting, resolve multi-attribute queries as parallel sub-queries joined
+on provider, and report the structural metrics of Figure 3 (per-node
+outlinks and directory sizes).  The experiment harness and the equivalence
+tests run identical workloads through this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.core.join import join_on_provider
+from repro.core.resource import (
+    MultiAttributeQuery,
+    MultiQueryResult,
+    Query,
+    QueryResult,
+    ResourceInfo,
+)
+from repro.hashing.consistent import ConsistentHash
+from repro.hashing.locality import LocalityPreservingHash
+from repro.hashing.spread import spread_attribute_ids
+from repro.overlay.chord import ChordNode, ChordRing
+from repro.sim.metrics import MetricsRegistry
+from repro.utils.seeding import SeedFactory
+from repro.workloads.attributes import AttributeSchema
+
+__all__ = ["DiscoveryService", "ChordBackedService"]
+
+
+class DiscoveryService(ABC):
+    """Abstract resource-discovery service (one per approach).
+
+    Subclasses bind an overlay substrate and implement the placement and
+    query strategies; accounting conventions are shared:
+
+    * ``hops`` — overlay routing messages (Figure 4's logical hops);
+    * ``visited_nodes`` — nodes that received the query and checked their
+      directory (Figure 5/6b's metric).
+    """
+
+    #: Human-readable approach name used in reports ("LORM", "Mercury"…).
+    name: ClassVar[str] = "abstract"
+
+    metrics: MetricsRegistry
+    schema: AttributeSchema
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def register(self, info: ResourceInfo, *, routed: bool = True) -> int:
+        """Insert one resource-information piece; returns routing hops.
+
+        ``routed=False`` places the item directly at its root (identical
+        placement, no routing cost) — used to load paper-scale workloads
+        quickly when only placement matters (Figure 3).
+        """
+
+    def register_all(self, infos: Iterable[ResourceInfo], *, routed: bool = True) -> int:
+        """Register many infos; returns total hops."""
+        return sum(self.register(info, routed=routed) for info in infos)
+
+    @abstractmethod
+    def deregister(self, info: ResourceInfo) -> int:
+        """Withdraw one previously registered info piece.
+
+        Returns the number of stored copies removed (0 if absent).  Used
+        by lease expiry: the paper's nodes "report available resources
+        periodically", so reports that stop being renewed age out.
+        """
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def query(self, q: Query, start: Any | None = None) -> QueryResult:
+        """Resolve one single-attribute query from entry node ``start``
+        (random when omitted)."""
+
+    def multi_query(
+        self, mq: MultiAttributeQuery, start: Any | None = None
+    ) -> MultiQueryResult:
+        """Resolve an m-attribute query: parallel sub-queries + join.
+
+        All sub-queries originate at the same requester entry node, are
+        conceptually resolved in parallel, and their results are joined on
+        provider address (Section III).
+        """
+        if start is None:
+            start = self.random_node()
+        sub_results = tuple(self.query(q, start) for q in mq.sub_queries())
+        providers = join_on_provider([r.matches for r in sub_results])
+        self.metrics.record("multi_query.total_hops", sum(r.hops for r in sub_results))
+        self.metrics.record(
+            "multi_query.total_visited", sum(r.visited_nodes for r in sub_results)
+        )
+        return MultiQueryResult(providers=providers, sub_results=sub_results)
+
+    # ------------------------------------------------------------------
+    # Structure metrics (Figure 3)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def random_node(self) -> Any:
+        """A uniformly random live node (query entry point)."""
+
+    @abstractmethod
+    def directory_sizes(self) -> list[int]:
+        """Per-node resource-information piece counts."""
+
+    @abstractmethod
+    def outlink_counts(self) -> list[int]:
+        """Per-node maintained-neighbour counts (Mercury multiplies by the
+        number of hubs, as each node participates in every hub)."""
+
+    @abstractmethod
+    def num_nodes(self) -> int:
+        """Current live population."""
+
+    def total_info_pieces(self) -> int:
+        """System-wide stored pieces (MAAN stores 2 per info, Theorem 4.2)."""
+        return sum(self.directory_sizes())
+
+    # ------------------------------------------------------------------
+    # Churn (Section V-C)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def churn_leave(self) -> bool:
+        """A random live node departs gracefully; False if impossible."""
+
+    @abstractmethod
+    def churn_join(self) -> bool:
+        """A previously departed node rejoins; False if none is vacant."""
+
+    @abstractmethod
+    def churn_fail(self) -> bool:
+        """A random live node *crashes* (no key hand-off); False if
+        impossible.  Whether data survives depends on the overlay's
+        replication factor."""
+
+    @abstractmethod
+    def stabilize(self) -> None:
+        """One periodic stabilization round over the whole overlay."""
+
+
+class ChordBackedService(DiscoveryService):
+    """Common machinery for the Chord-based approaches.
+
+    Owns the ring, the consistent hash ``H`` over attribute names, lazily
+    constructed per-attribute locality-preserving hashes ``ℋ``, the query
+    RNG and the churn bookkeeping.
+    """
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        schema: AttributeSchema,
+        *,
+        seed: int = 0,
+        lph_kind: str = "cdf",
+        attr_placement: str = "spread",
+    ) -> None:
+        self.ring = ring
+        self.schema = schema
+        self.lph_kind = lph_kind
+        #: When False, range queries skip gathering the matching infos and
+        #: only produce accounting (hops / visited nodes).  The paper-scale
+        #: range benchmarks measure visited-node counts over millions of
+        #: node visits; collecting matches there is pure overhead.
+        self.collect_matches = True
+        self.metrics = MetricsRegistry()
+        self._seeds = SeedFactory(seed).fork(f"service:{self.name}")
+        self._rng: np.random.Generator = self._seeds.numpy("queries")
+        self._churn_rng: np.random.Generator = self._seeds.numpy("churn")
+        self.attr_hash = ConsistentHash(bits=ring.bits)
+        #: "spread" gives every attribute a distinct root ID (the paper's
+        #: model — see repro.hashing.spread); "hash" is plain consistent
+        #: hashing with collisions.
+        self.attr_placement = attr_placement
+        self._attr_ids: dict[str, int] | None = None
+        self._value_hashes: dict[str, LocalityPreservingHash] = {}
+        self._departed: list[int] = []
+
+    @classmethod
+    def build_full(
+        cls,
+        bits: int,
+        schema: AttributeSchema,
+        *,
+        seed: int = 0,
+        replication: int = 1,
+        **kwargs: Any,
+    ) -> "ChordBackedService":
+        """A service over a fully populated ``2**bits``-node ring."""
+        ring = ChordRing(bits, replication=replication)
+        ring.build_full()
+        return cls(ring, schema, seed=seed, **kwargs)
+
+    @classmethod
+    def build(
+        cls,
+        bits: int,
+        num_nodes: int,
+        schema: AttributeSchema,
+        *,
+        seed: int = 0,
+        replication: int = 1,
+        **kwargs: Any,
+    ) -> "ChordBackedService":
+        """A service over ``num_nodes`` uniformly placed ring nodes."""
+        rng = SeedFactory(seed).numpy(f"{cls.name}-membership")
+        ring = ChordRing(bits, replication=replication)
+        ids = rng.choice(ring.space.size, size=min(num_nodes, ring.space.size), replace=False)
+        ring.build(int(i) for i in ids)
+        return cls(ring, schema, seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def attr_key(self, attribute: str) -> int:
+        """The ring ID of ``attribute``'s root (``H(a)``, spread or plain)."""
+        if self.attr_placement == "hash":
+            return self.attr_hash(attribute)
+        if self._attr_ids is None:
+            self._attr_ids = spread_attribute_ids(self.schema.names, self.attr_hash)
+        try:
+            return self._attr_ids[attribute]
+        except KeyError:
+            raise KeyError(
+                f"attribute {attribute!r} is not in the globally-known schema "
+                f"({len(self.schema)} attributes)"
+            ) from None
+
+    def value_hash(self, attribute: str) -> LocalityPreservingHash:
+        """The locality-preserving hash ℋ for ``attribute`` on this ring."""
+        vh = self._value_hashes.get(attribute)
+        if vh is None:
+            vh = self.schema.spec(attribute).value_hash(
+                size=self.ring.space.size, kind=self.lph_kind
+            )
+            self._value_hashes[attribute] = vh
+        return vh
+
+    def random_node(self) -> ChordNode:
+        ids = self.ring.node_ids
+        return self.ring.node(ids[int(self._rng.integers(len(ids)))])
+
+    def directory_sizes(self) -> list[int]:
+        return self.ring.directory_sizes()
+
+    def outlink_counts(self) -> list[int]:
+        return self.ring.outlink_counts()
+
+    def num_nodes(self) -> int:
+        return self.ring.num_nodes
+
+    def _resolve_start(self, start: ChordNode | None) -> ChordNode:
+        return start if start is not None else self.random_node()
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+    def churn_leave(self) -> bool:
+        if self.ring.num_nodes <= 2:
+            return False
+        ids = self.ring.node_ids
+        victim = int(ids[int(self._churn_rng.integers(len(ids)))])
+        self.ring.leave(victim)
+        self._departed.append(victim)
+        return True
+
+    def churn_join(self) -> bool:
+        if not self._departed:
+            return False
+        idx = int(self._churn_rng.integers(len(self._departed)))
+        node_id = self._departed.pop(idx)
+        self.ring.join(node_id)
+        return True
+
+    def churn_fail(self) -> bool:
+        if self.ring.num_nodes <= 2:
+            return False
+        ids = self.ring.node_ids
+        victim = int(ids[int(self._churn_rng.integers(len(ids)))])
+        self.ring.fail(victim)
+        self._departed.append(victim)
+        return True
+
+    def stabilize(self) -> None:
+        self.ring.stabilize_all()

@@ -1,0 +1,109 @@
+"""MAAN — the single-DHT-based *decentralized* comparator (Cai et al., 2004).
+
+MAAN registers each resource-information piece **twice** on one Chord ring:
+once under the consistent hash of its attribute name and once under the
+locality-preserving hash of its value.  Consequently (Theorem 4.2) its
+total stored information is twice everyone else's, and every query needs
+**two** lookups per attribute — attribute root and value root — doubling
+its non-range hop count (Theorems 4.7/4.8).  Range queries walk ring
+successors from ℋ(π1) to ℋ(π2); because values of *all* attributes are
+spread over the whole ring, the walk spans the entire system
+(Theorem 4.9's ``m(2 + n/4)`` visited nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+from repro.baselines.base import ChordBackedService
+from repro.core.resource import Query, QueryResult, ResourceInfo
+
+__all__ = ["MaanService"]
+
+_ATTR_NS = "maan:attr"
+_VALUE_NS = "maan:value"
+
+
+class MaanService(ChordBackedService):
+    """Single-DHT decentralized discovery with split attribute/value maps."""
+
+    name: ClassVar[str] = "MAAN"
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, info: ResourceInfo, *, routed: bool = True) -> int:
+        """Two insertions: attribute map and value map (two pieces stored)."""
+        attr_key = self.attr_key(info.attribute)
+        value_key = self.value_hash(info.attribute)(info.value)
+        if not routed:
+            self.ring.store(_ATTR_NS, attr_key, info)
+            self.ring.store(_VALUE_NS, value_key, info)
+            return 0
+        origin = self.random_node()
+        first = self.ring.routed_store(origin, _ATTR_NS, attr_key, info)
+        second = self.ring.routed_store(origin, _VALUE_NS, value_key, info)
+        hops = first.hops + second.hops
+        self.metrics.record("register.hops", hops)
+        return hops
+
+    def deregister(self, info: ResourceInfo) -> int:
+        """Withdraw both stored copies (attribute map and value map)."""
+        removed = self.ring.discard(_ATTR_NS, self.attr_key(info.attribute), info)
+        value_key = self.value_hash(info.attribute)(info.value)
+        removed += self.ring.discard(_VALUE_NS, value_key, info)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, q: Query, start: Any | None = None) -> QueryResult:
+        """Two lookups per attribute; range queries additionally walk the
+        value arc across the whole ring."""
+        start = self._resolve_start(start)
+        constraint = q.constraint
+        spec = self.schema.spec(q.attribute)
+        vh = self.value_hash(q.attribute)
+
+        # Lookup 1: the attribute root (checks its directory).
+        attr_key = self.attr_key(q.attribute)
+        attr_lookup = self.ring.lookup(start, attr_key)
+        self.ring.network.count_directory_check(1)
+
+        if not q.is_range:
+            # Lookup 2: the value root answers the point query.
+            value_key = vh(constraint.low)
+            value_lookup = self.ring.lookup(start, value_key)
+            matches = tuple(
+                info
+                for info in value_lookup.owner.items_at(_VALUE_NS, value_key)
+                if info.attribute == q.attribute and constraint.matches(info.value)
+            )
+            self.ring.network.count_directory_check(1)
+            hops = attr_lookup.hops + value_lookup.hops
+            self._record(hops, 2)
+            return QueryResult(matches=matches, hops=hops, visited_nodes=2)
+
+        # Lookup 2 + walk: value roots across the queried arc.
+        low, high = constraint.bounds_within(spec.lo, spec.hi)
+        k1, k2 = vh.hash_range(low, high)
+        value_lookup = self.ring.lookup(start, k1)
+        walk = self.ring.walk_arc(value_lookup.owner, k1, k2)
+        matches: tuple = ()
+        if self.collect_matches:
+            matches = tuple(
+                info
+                for node in walk
+                for info in node.items_in(_VALUE_NS)
+                if info.attribute == q.attribute and constraint.matches(info.value)
+            )
+        hops = attr_lookup.hops + value_lookup.hops + (len(walk) - 1)
+        visited = 1 + len(walk)  # attribute root + every walked value node
+        self.ring.network.count_hop(len(walk) - 1)
+        self.ring.network.count_directory_check(len(walk))
+        self._record(hops, visited)
+        return QueryResult(matches=matches, hops=hops, visited_nodes=visited)
+
+    def _record(self, hops: int, visited: int) -> None:
+        self.metrics.record("query.hops", hops)
+        self.metrics.record("query.visited", visited)

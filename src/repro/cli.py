@@ -1,0 +1,122 @@
+"""Command-line interface: regenerate any figure of the paper.
+
+Examples
+--------
+::
+
+    repro list
+    repro run fig4a --scale smoke
+    repro run fig3a fig3b --scale paper --out results/
+    repro all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.experiments.config import PAPER_CONFIG, SMOKE_CONFIG, ExperimentConfig
+from repro.experiments.runner import FIGURES, run_all_figures, run_figure
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {"paper": PAPER_CONFIG, "smoke": SMOKE_CONFIG}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Shen & Xu (ICPP 2009): DHT algorithms for "
+            "range-query and multi-attribute resource discovery in grids."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available figures")
+
+    run_p = sub.add_parser("run", help="run one or more figures")
+    run_p.add_argument("figures", nargs="+", choices=sorted(FIGURES), metavar="FIGURE")
+    _add_common(run_p)
+
+    all_p = sub.add_parser("all", help="run every figure")
+    _add_common(all_p)
+
+    report_p = sub.add_parser(
+        "report", help="assemble results/REPORT.md from existing artifacts"
+    )
+    report_p.add_argument(
+        "--out", default="results", help="results directory (default: results/)"
+    )
+    return parser
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="smoke",
+        help="paper = Section V parameters (n=2048, m=200, k=500); "
+        "smoke = same shape, laptop-fast (default)",
+    )
+    p.add_argument("--seed", type=int, default=None, help="override the master seed")
+    p.add_argument("--out", default=None, help="directory for CSV/text output")
+    p.add_argument(
+        "--lph",
+        choices=["cdf", "linear"],
+        default=None,
+        help="override the locality-preserving hash flavour",
+    )
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    config = _SCALES[args.scale]
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.lph is not None:
+        overrides["lph_kind"] = args.lph
+    return config.scaled(**overrides) if overrides else config
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for figure_id in sorted(FIGURES):
+            doc = (FIGURES[figure_id].__doc__ or "").strip().splitlines()[0]
+            print(f"{figure_id:7s} {doc}")
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.consolidate import write_report
+
+        path = write_report(args.out)
+        print(f"wrote {path}")
+        return 0
+
+    config = _config_from(args)
+    started = time.perf_counter()
+    if args.command == "all":
+        results = run_all_figures(config, save_dir=args.out)
+        for figure_id in sorted(results):
+            print(results[figure_id].render())  # type: ignore[attr-defined]
+            print()
+    else:
+        for figure_id in args.figures:
+            result = run_figure(figure_id, config, save_dir=args.out)
+            print(result.render())
+            print()
+    elapsed = time.perf_counter() - started
+    print(f"[{args.scale} scale, seed {config.seed}] done in {elapsed:.1f}s", file=sys.stderr)
+    if args.out:
+        print(f"results written to {args.out}/", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

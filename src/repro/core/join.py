@@ -1,0 +1,52 @@
+"""The requester-side database-like join (Section III).
+
+After the parallel per-attribute sub-queries return, "the requester node
+then concatenates the results in a database-like 'join' operation based on
+ip_addr" — i.e. the answer to an m-attribute request is the set of
+providers appearing in *every* sub-query's result.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.resource import ResourceInfo
+
+__all__ = ["join_on_provider"]
+
+
+def join_on_provider(
+    per_attribute_matches: Sequence[Iterable[ResourceInfo]],
+) -> frozenset[str]:
+    """Providers present in every per-attribute result set.
+
+    Parameters
+    ----------
+    per_attribute_matches:
+        One iterable of :class:`ResourceInfo` per queried attribute.
+
+    Returns
+    -------
+    frozenset[str]
+        The provider addresses satisfying all attributes; empty when any
+        sub-query returned nothing.
+
+    Examples
+    --------
+    >>> a = [ResourceInfo("cpu", 2000, "n1"), ResourceInfo("cpu", 1500, "n2")]
+    >>> b = [ResourceInfo("mem", 4096, "n2")]
+    >>> sorted(join_on_provider([a, b]))
+    ['n2']
+    """
+    if not per_attribute_matches:
+        return frozenset()
+    provider_sets = [
+        frozenset(info.provider for info in matches)
+        for matches in per_attribute_matches
+    ]
+    result = provider_sets[0]
+    for providers in provider_sets[1:]:
+        result &= providers
+        if not result:
+            break
+    return frozenset(result)

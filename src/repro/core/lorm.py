@@ -1,0 +1,248 @@
+"""LORM — Low-Overhead Range-query Multi-attribute resource discovery.
+
+The paper's contribution (Section III): a single hierarchical Cycloid DHT
+in which
+
+* the **cubical index** of a resource ID is the consistent hash of the
+  attribute name — so each *cluster* is responsible for one attribute;
+* the **cyclic index** is the locality-preserving hash of the attribute
+  value — so within a cluster, nodes partition the value range in order.
+
+A resource ID is therefore ``rescID = (ℋ(π_a), H(a))`` and is stored at
+its root via Cycloid's ``Insert``.  A non-range query is one Cycloid
+lookup; a range query ``[π1, π2]`` routes to ``root(ℋ(π1), H(a))`` and
+forwards along cluster successors until the node owning ``ℋ(π2)`` — by
+Proposition 3.1 every node holding values in range lies between the two
+roots, so the walk (at most ``d`` nodes, on average ``1 + d/4``) is
+complete.  Multi-attribute queries resolve the per-attribute sub-queries
+in parallel and join on provider address.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.baselines.base import DiscoveryService
+from repro.core.resource import Query, QueryResult, ResourceInfo
+from repro.hashing.consistent import ConsistentHash
+from repro.hashing.locality import LocalityPreservingHash
+from repro.hashing.spread import spread_attribute_ids
+from repro.overlay.cycloid import CycloidId, CycloidNode, CycloidOverlay
+from repro.sim.metrics import MetricsRegistry
+from repro.utils.seeding import SeedFactory
+from repro.workloads.attributes import AttributeSchema
+
+__all__ = ["LormService"]
+
+_NAMESPACE = "lorm"
+
+
+class LormService(DiscoveryService):
+    """LORM resource discovery on a Cycloid overlay.
+
+    Examples
+    --------
+    >>> from repro.workloads.attributes import AttributeSchema
+    >>> schema = AttributeSchema.synthetic(4)
+    >>> service = LormService.build_full(dimension=4, schema=schema, seed=7)
+    >>> info = ResourceInfo("cpu-mhz", 2400.0, "grid-node-00001")
+    >>> _ = service.register(info)
+    >>> from repro.core.resource import AttributeConstraint, Query
+    >>> q = Query(AttributeConstraint.at_least("cpu-mhz", 2000.0))
+    >>> service.query(q).providers
+    frozenset({'grid-node-00001'})
+    """
+
+    name: ClassVar[str] = "LORM"
+
+    def __init__(
+        self,
+        overlay: CycloidOverlay,
+        schema: AttributeSchema,
+        *,
+        seed: int = 0,
+        lph_kind: str = "cdf",
+        attr_placement: str = "spread",
+    ) -> None:
+        self.overlay = overlay
+        self.schema = schema
+        self.lph_kind = lph_kind
+        #: See ChordBackedService.collect_matches — same accounting-only mode.
+        self.collect_matches = True
+        self.metrics = MetricsRegistry()
+        self._seeds = SeedFactory(seed).fork("service:LORM")
+        self._rng: np.random.Generator = self._seeds.numpy("queries")
+        self._churn_rng: np.random.Generator = self._seeds.numpy("churn")
+        #: H — consistent hash of attribute names onto the 2**d clusters.
+        self.attr_hash = ConsistentHash(bits=overlay.dimension)
+        #: "spread" assigns each attribute its own cluster (the paper's
+        #: "each cluster is responsible for one attribute" model; requires
+        #: m <= 2**d); "hash" is plain consistent hashing with collisions.
+        self.attr_placement = attr_placement
+        self._attr_ids: dict[str, int] | None = None
+        self._value_hashes: dict[str, LocalityPreservingHash] = {}
+        self._departed: list[CycloidId] = []
+
+    @classmethod
+    def build_full(
+        cls,
+        dimension: int,
+        schema: AttributeSchema,
+        *,
+        seed: int = 0,
+        replication: int = 1,
+        **kwargs: Any,
+    ) -> "LormService":
+        """LORM over a fully populated ``d * 2**d``-node Cycloid."""
+        overlay = CycloidOverlay(dimension, replication=replication)
+        overlay.build_full()
+        return cls(overlay, schema, seed=seed, **kwargs)
+
+    # ------------------------------------------------------------------
+    # ID mapping
+    # ------------------------------------------------------------------
+    def value_hash(self, attribute: str) -> LocalityPreservingHash:
+        """ℋ for ``attribute`` — onto the cyclic-index space ``[0, d)``."""
+        vh = self._value_hashes.get(attribute)
+        if vh is None:
+            vh = self.schema.spec(attribute).value_hash(
+                size=self.overlay.dimension, kind=self.lph_kind
+            )
+            self._value_hashes[attribute] = vh
+        return vh
+
+    def attr_key(self, attribute: str) -> int:
+        """The cubical (cluster) index of ``attribute``."""
+        if self.attr_placement == "hash":
+            return self.attr_hash(attribute)
+        if self._attr_ids is None:
+            self._attr_ids = spread_attribute_ids(self.schema.names, self.attr_hash)
+        try:
+            return self._attr_ids[attribute]
+        except KeyError:
+            raise KeyError(
+                f"attribute {attribute!r} is not in the globally-known schema "
+                f"({len(self.schema)} attributes)"
+            ) from None
+
+    def resc_id(self, attribute: str, value: float) -> CycloidId:
+        """``rescID = (ℋ(value), H(attribute))`` (Section III)."""
+        return CycloidId(self.value_hash(attribute)(value), self.attr_key(attribute))
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, info: ResourceInfo, *, routed: bool = True) -> int:
+        """``Insert(rescID, rescInfo)`` — one Cycloid insertion."""
+        key = self.resc_id(info.attribute, info.value)
+        if not routed:
+            self.overlay.store(_NAMESPACE, key, info)
+            return 0
+        result = self.overlay.routed_store(self.random_node(), _NAMESPACE, key, info)
+        self.metrics.record("register.hops", result.hops)
+        return result.hops
+
+    def deregister(self, info: ResourceInfo) -> int:
+        """Withdraw the info from its rescID root (and replicas)."""
+        key = self.resc_id(info.attribute, info.value)
+        return self.overlay.discard(_NAMESPACE, key, info)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, q: Query, start: Any | None = None) -> QueryResult:
+        """One Cycloid lookup; range queries walk the attribute's cluster."""
+        start = self._resolve_start(start)
+        constraint = q.constraint
+        spec = self.schema.spec(q.attribute)
+        vh = self.value_hash(q.attribute)
+        cluster = self.attr_key(q.attribute)
+
+        if not q.is_range:
+            key = CycloidId(vh(constraint.low), cluster)
+            lookup = self.overlay.lookup(start, key)
+            matches = tuple(
+                info
+                for info in lookup.owner.items_at(
+                    _NAMESPACE, self.overlay.linearize(key)
+                )
+                if info.attribute == q.attribute and constraint.matches(info.value)
+            )
+            self.overlay.network.count_directory_check(1)
+            self._record(lookup.hops, 1)
+            return QueryResult(matches=matches, hops=lookup.hops, visited_nodes=1)
+
+        low, high = constraint.bounds_within(spec.lo, spec.hi)
+        k1, k2 = vh.hash_range(low, high)
+        lookup = self.overlay.lookup(start, CycloidId(k1, cluster))
+        walk = self.overlay.walk_cluster(lookup.owner, k1, k2)
+        matches: tuple = ()
+        if self.collect_matches:
+            matches = tuple(
+                info
+                for node in walk
+                for info in node.items_in(_NAMESPACE)
+                if info.attribute == q.attribute and constraint.matches(info.value)
+            )
+        hops = lookup.hops + (len(walk) - 1)
+        self.overlay.network.count_hop(len(walk) - 1)
+        self.overlay.network.count_directory_check(len(walk))
+        self._record(hops, len(walk))
+        return QueryResult(matches=matches, hops=hops, visited_nodes=len(walk))
+
+    def _record(self, hops: int, visited: int) -> None:
+        self.metrics.record("query.hops", hops)
+        self.metrics.record("query.visited", visited)
+
+    # ------------------------------------------------------------------
+    # Structure metrics
+    # ------------------------------------------------------------------
+    def random_node(self) -> CycloidNode:
+        ids = self.overlay.node_ids
+        return self.overlay.node(ids[int(self._rng.integers(len(ids)))])
+
+    def directory_sizes(self) -> list[int]:
+        return self.overlay.directory_sizes()
+
+    def outlink_counts(self) -> list[int]:
+        return self.overlay.outlink_counts()
+
+    def num_nodes(self) -> int:
+        return self.overlay.num_nodes
+
+    def _resolve_start(self, start: CycloidNode | None) -> CycloidNode:
+        return start if start is not None else self.random_node()
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+    def churn_leave(self) -> bool:
+        if self.overlay.num_nodes <= 2:
+            return False
+        ids = self.overlay.node_ids
+        victim = ids[int(self._churn_rng.integers(len(ids)))]
+        self.overlay.leave(victim)
+        self._departed.append(victim)
+        return True
+
+    def churn_join(self) -> bool:
+        if not self._departed:
+            return False
+        idx = int(self._churn_rng.integers(len(self._departed)))
+        cid = self._departed.pop(idx)
+        self.overlay.join(cid)
+        return True
+
+    def churn_fail(self) -> bool:
+        if self.overlay.num_nodes <= 2:
+            return False
+        ids = self.overlay.node_ids
+        victim = ids[int(self._churn_rng.integers(len(ids)))]
+        self.overlay.fail(victim)
+        self._departed.append(victim)
+        return True
+
+    def stabilize(self) -> None:
+        self.overlay.stabilize_all()

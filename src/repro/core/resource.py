@@ -1,0 +1,234 @@
+"""Resource-information and query vocabulary (Section III of the paper).
+
+The paper represents the available resource information of node ``i`` as a
+3-tuple ``⟨a, δπ_a, ip_addr(i)⟩`` — attribute type, value, provider address
+— and a resource request of node ``j`` as ``⟨a, π_a, ip_addr(j)⟩`` where
+``π_a`` is a value or range.  These classes are that vocabulary, shared by
+LORM and all three comparator approaches so the equivalence tests can run
+identical workloads through each.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+
+__all__ = [
+    "ResourceInfo",
+    "AttributeConstraint",
+    "Query",
+    "MultiAttributeQuery",
+    "QueryResult",
+    "MultiQueryResult",
+]
+
+
+@dataclass(frozen=True)
+class ResourceInfo:
+    """One piece of available-resource information, ``⟨a, δπ_a, ip_addr⟩``.
+
+    Attributes
+    ----------
+    attribute:
+        Globally-known attribute type ``a`` (e.g. ``"cpu-mhz"``).
+    value:
+        The provider's available value ``δπ_a``.  String-valued attributes
+        (e.g. ``OS=Linux``) are encoded to numeric codes by the workload
+        layer, mirroring the paper's use of a locality-preserving hash over
+        "value or string description".
+    provider:
+        ``ip_addr(i)`` — opaque provider address used as the join key.
+    """
+
+    attribute: str
+    value: float
+    provider: str
+
+
+@dataclass(frozen=True)
+class AttributeConstraint:
+    """A sub-query ``π_a`` on one attribute: a point or a (half-)range.
+
+    ``low``/``high`` are inclusive bounds; ``None`` means unbounded on that
+    side, giving the paper's ``CPU >= 1.8GHz`` style half-ranges.
+
+    Examples
+    --------
+    >>> c = AttributeConstraint.between("cpu-mhz", 1000, 1800)
+    >>> c.matches(1500), c.matches(2000)
+    (True, False)
+    >>> AttributeConstraint.point("mem-mb", 2048).is_range
+    False
+    """
+
+    attribute: str
+    low: float | None = None
+    high: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.low is not None and self.high is not None:
+            require(
+                self.low <= self.high,
+                f"inverted range for {self.attribute}: [{self.low}, {self.high}]",
+            )
+
+    # Constructors -----------------------------------------------------
+    @classmethod
+    def point(cls, attribute: str, value: float) -> "AttributeConstraint":
+        """Exact-value constraint (a non-range query)."""
+        return cls(attribute, value, value)
+
+    @classmethod
+    def at_least(cls, attribute: str, value: float) -> "AttributeConstraint":
+        """Lower-bounded half-range, e.g. ``Free memory >= 2GB``."""
+        return cls(attribute, value, None)
+
+    @classmethod
+    def at_most(cls, attribute: str, value: float) -> "AttributeConstraint":
+        """Upper-bounded half-range."""
+        return cls(attribute, None, value)
+
+    @classmethod
+    def between(cls, attribute: str, low: float, high: float) -> "AttributeConstraint":
+        """Doubly-bounded range, e.g. ``1GHz <= CPU <= 1.8GHz``."""
+        return cls(attribute, low, high)
+
+    # Semantics ---------------------------------------------------------
+    @property
+    def is_range(self) -> bool:
+        """True unless this is an exact-value (point) constraint."""
+        return self.low is None or self.high is None or self.low != self.high
+
+    def matches(self, value: float) -> bool:
+        """Whether a provider's ``value`` satisfies this constraint."""
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    def bounds_within(self, lo: float, hi: float) -> tuple[float, float]:
+        """Concrete inclusive bounds, substituting the attribute domain
+        ``[lo, hi]`` for unbounded sides."""
+        low = lo if self.low is None else self.low
+        high = hi if self.high is None else self.high
+        return low, high
+
+
+@dataclass(frozen=True)
+class Query:
+    """A single-attribute resource request, ``⟨a, π_a, ip_addr(j)⟩``."""
+
+    constraint: AttributeConstraint
+    requester: str = "requester"
+
+    @property
+    def attribute(self) -> str:
+        """The queried attribute type."""
+        return self.constraint.attribute
+
+    @property
+    def is_range(self) -> bool:
+        """Whether this is a range query (vs. non-range/point)."""
+        return self.constraint.is_range
+
+
+@dataclass(frozen=True)
+class MultiAttributeQuery:
+    """An m-attribute request: one constraint per attribute, resolved as
+    parallel sub-queries whose results are joined on provider address."""
+
+    constraints: tuple[AttributeConstraint, ...]
+    requester: str = "requester"
+
+    def __post_init__(self) -> None:
+        require(len(self.constraints) >= 1, "need at least one constraint")
+        attrs = [c.attribute for c in self.constraints]
+        require(len(set(attrs)) == len(attrs), f"duplicate attributes in query: {attrs}")
+
+    @property
+    def num_attributes(self) -> int:
+        """``m`` — the number of attributes in the request."""
+        return len(self.constraints)
+
+    @property
+    def is_range(self) -> bool:
+        """True if any sub-query is a range query."""
+        return any(c.is_range for c in self.constraints)
+
+    def sub_queries(self) -> tuple[Query, ...]:
+        """The per-attribute sub-queries, in constraint order."""
+        return tuple(Query(c, self.requester) for c in self.constraints)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome and accounting of one single-attribute query.
+
+    ``hops`` is the paper's logical-hop metric (routing messages);
+    ``visited_nodes`` counts nodes that received the query and checked
+    their directory (the Figure 5/6b metric).
+    """
+
+    matches: tuple[ResourceInfo, ...]
+    hops: int
+    visited_nodes: int
+
+    @property
+    def providers(self) -> frozenset[str]:
+        """Distinct providers among the matches."""
+        return frozenset(info.provider for info in self.matches)
+
+
+@dataclass(frozen=True)
+class MultiQueryResult:
+    """Joined outcome of an m-attribute query.
+
+    ``providers`` holds the requesters' answer: nodes offering *all*
+    requested attributes within the requested ranges, obtained by the
+    database-like join on ``ip_addr``.
+    """
+
+    providers: frozenset[str]
+    sub_results: tuple[QueryResult, ...]
+
+    @property
+    def total_hops(self) -> int:
+        """Sum of routing hops across the parallel sub-queries."""
+        return sum(r.hops for r in self.sub_results)
+
+    @property
+    def total_visited(self) -> int:
+        """Sum of visited (directory-checking) nodes across sub-queries."""
+        return sum(r.visited_nodes for r in self.sub_results)
+
+    @property
+    def latency_hops(self) -> int:
+        """Hops on the critical path: sub-queries resolve in parallel, so
+        the slowest one bounds response time."""
+        return max((r.hops for r in self.sub_results), default=0)
+
+    @property
+    def num_matches(self) -> int:
+        """Number of providers satisfying every constraint."""
+        return len(self.providers)
+
+
+def effective_span_fraction(
+    constraint: AttributeConstraint, lo: float, hi: float, cdf=None
+) -> float:
+    """Fraction of the (hashed) value space a constraint covers.
+
+    With a CDF-calibrated LPH the covered ID-space fraction equals
+    ``F(high) - F(low)``; without a CDF the linear fraction is returned.
+    Used by tests and the span ablation to verify the workload generator
+    produces the paper's average-case regime (spans averaging 1/4).
+    """
+    low, high = constraint.bounds_within(lo, hi)
+    if cdf is not None:
+        return max(0.0, min(1.0, cdf(high) - cdf(low)))
+    if math.isclose(hi, lo):
+        return 0.0
+    return max(0.0, min(1.0, (high - low) / (hi - lo)))

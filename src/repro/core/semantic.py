@@ -1,0 +1,182 @@
+"""Semantic resource discovery (the paper's stated future work).
+
+The conclusion of the paper: "We plan to further explore and elaborate upon
+the LORM design to discover resources based on semantic information."  This
+module provides that elaboration as an optional layer over *any*
+:class:`~repro.baselines.base.DiscoveryService`:
+
+* an :class:`Ontology` declares, for the globally-known schema,
+
+  - **synonyms** — alternative names requesters may use
+    (``"clock-speed"`` → ``"cpu-mhz"``),
+  - **unit conversions** — affine transforms from requester units to the
+    canonical unit (``"free-memory-gb"`` is ``free-memory-mb`` × 1024),
+  - **broader terms** — one name covering several concrete attributes
+    (``"storage"`` → any of ``disk-gb``/``tape-gb``), resolved as a union;
+
+* :class:`SemanticResolver` rewrites a semantic multi-attribute query into
+  canonical sub-queries, executes them through the underlying service, and
+  combines the results (union within a broader term, join across terms),
+  preserving the hop / visited-node accounting.
+
+The layer is deliberately service-agnostic so the semantic elaboration
+composes with LORM and with all three comparators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import DiscoveryService
+from repro.core.resource import (
+    AttributeConstraint,
+    MultiAttributeQuery,
+    MultiQueryResult,
+    Query,
+    QueryResult,
+)
+from repro.utils.validation import require
+
+__all__ = ["Ontology", "SemanticResolver", "UnitConversion"]
+
+
+@dataclass(frozen=True)
+class UnitConversion:
+    """Affine map from a requester-facing unit to the canonical one.
+
+    ``canonical_value = scale * value + offset``.
+
+    Examples
+    --------
+    >>> gb = UnitConversion("free-memory-mb", scale=1024.0)
+    >>> gb.to_canonical(2.0)
+    2048.0
+    """
+
+    canonical: str
+    scale: float = 1.0
+    offset: float = 0.0
+
+    def to_canonical(self, value: float) -> float:
+        """Convert one requester-unit value to the canonical unit."""
+        return self.scale * value + self.offset
+
+
+@dataclass
+class Ontology:
+    """Semantic vocabulary over a canonical attribute schema."""
+
+    #: alias -> canonical attribute name (pure renaming).
+    synonyms: dict[str, str] = field(default_factory=dict)
+    #: alias -> affine conversion into a canonical attribute.
+    conversions: dict[str, UnitConversion] = field(default_factory=dict)
+    #: broader term -> canonical attributes it covers (union semantics).
+    broader: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def add_synonym(self, alias: str, canonical: str) -> "Ontology":
+        """Register ``alias`` as a plain rename of ``canonical``."""
+        self._require_fresh(alias)
+        self.synonyms[alias] = canonical
+        return self
+
+    def add_conversion(
+        self, alias: str, canonical: str, *, scale: float = 1.0, offset: float = 0.0
+    ) -> "Ontology":
+        """Register ``alias`` as ``canonical`` in different units."""
+        self._require_fresh(alias)
+        self.conversions[alias] = UnitConversion(canonical, scale, offset)
+        return self
+
+    def add_broader(self, term: str, covers: tuple[str, ...]) -> "Ontology":
+        """Register ``term`` as the union of several canonical attributes."""
+        self._require_fresh(term)
+        require(len(covers) >= 1, f"broader term {term!r} must cover something")
+        self.broader[term] = tuple(covers)
+        return self
+
+    def _require_fresh(self, alias: str) -> None:
+        require(
+            alias not in self.synonyms
+            and alias not in self.conversions
+            and alias not in self.broader,
+            f"semantic term {alias!r} already defined",
+        )
+
+    def resolve(self, constraint: AttributeConstraint) -> list[AttributeConstraint]:
+        """Rewrite one (possibly semantic) constraint to canonical ones.
+
+        Returns one constraint for synonyms/conversions/canonical names, or
+        several (union semantics) for a broader term.
+        """
+        name = constraint.attribute
+        if name in self.synonyms:
+            return [
+                AttributeConstraint(self.synonyms[name], constraint.low, constraint.high)
+            ]
+        if name in self.conversions:
+            conv = self.conversions[name]
+            low = None if constraint.low is None else conv.to_canonical(constraint.low)
+            high = None if constraint.high is None else conv.to_canonical(constraint.high)
+            if conv.scale < 0:  # an inverting conversion flips the bounds
+                low, high = high, low
+            return [AttributeConstraint(conv.canonical, low, high)]
+        if name in self.broader:
+            return [
+                AttributeConstraint(canonical, constraint.low, constraint.high)
+                for canonical in self.broader[name]
+            ]
+        return [constraint]  # already canonical
+
+
+class SemanticResolver:
+    """Executes semantic queries through an underlying discovery service."""
+
+    def __init__(self, service: DiscoveryService, ontology: Ontology) -> None:
+        self.service = service
+        self.ontology = ontology
+
+    def query(self, q: Query, start=None) -> QueryResult:
+        """Resolve one (possibly semantic) single-attribute query.
+
+        A broader term fans out to its covered attributes — resolved in
+        parallel like any multi-attribute request — and the results are
+        *unioned* (a provider offering any covered resource qualifies).
+        """
+        canonical = self.ontology.resolve(q.constraint)
+        if start is None:
+            start = self.service.random_node()
+        sub_results = [
+            self.service.query(Query(c, q.requester), start) for c in canonical
+        ]
+        matches = tuple(
+            info for result in sub_results for info in result.matches
+        )
+        return QueryResult(
+            matches=matches,
+            hops=sum(r.hops for r in sub_results),
+            visited_nodes=sum(r.visited_nodes for r in sub_results),
+        )
+
+    def multi_query(self, mq: MultiAttributeQuery, start=None) -> MultiQueryResult:
+        """Resolve a semantic multi-attribute request.
+
+        Union within each term (broader terms), join across terms — so
+        "storage >= 100 AND clock-speed >= 2000" means *some* storage
+        attribute qualifies and the CPU constraint holds.
+        """
+        if start is None:
+            start = self.service.random_node()
+        term_results: list[QueryResult] = [
+            self.query(Query(constraint, mq.requester), start)
+            for constraint in mq.constraints
+        ]
+        providers: frozenset[str] | None = None
+        for result in term_results:
+            term_providers = result.providers
+            providers = (
+                term_providers if providers is None else providers & term_providers
+            )
+        return MultiQueryResult(
+            providers=providers if providers is not None else frozenset(),
+            sub_results=tuple(term_results),
+        )

@@ -1,0 +1,31 @@
+"""Experiment harness — regenerates every figure of the paper.
+
+One module per figure family:
+
+* :mod:`~repro.experiments.figure3` — maintenance overhead: outlinks vs
+  network size (3a) and directory-size distributions (3b/3c/3d);
+* :mod:`~repro.experiments.figure4` — non-range multi-attribute lookup
+  hops, average (4a) and total (4b);
+* :mod:`~repro.experiments.figure5` — range-query visited nodes,
+  system-wide approaches (5a) and SWORD/LORM (5b);
+* :mod:`~repro.experiments.figure6` — churn: hops (6a) and visited nodes
+  (6b) vs the Poisson rate R.
+
+:mod:`~repro.experiments.config` holds the paper's parameters;
+:mod:`~repro.experiments.report` renders each figure as CSV + text table +
+ASCII chart; :mod:`~repro.experiments.runner` is the programmatic entry
+point used by the CLI and the benchmarks.
+"""
+
+from repro.experiments.config import ExperimentConfig, PAPER_CONFIG, SMOKE_CONFIG
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import FIGURES, run_figure
+
+__all__ = [
+    "ExperimentConfig",
+    "FIGURES",
+    "FigureResult",
+    "PAPER_CONFIG",
+    "SMOKE_CONFIG",
+    "run_figure",
+]

@@ -1,0 +1,112 @@
+"""Shared experiment plumbing: building and loading the four services.
+
+Every figure starts from the same state — the four approaches built at the
+configured scale and loaded with the identical Bounded-Pareto workload —
+so construction lives here and each figure module only adds its sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.maan import MaanService
+from repro.baselines.mercury import MercuryService
+from repro.baselines.sword import SwordService
+from repro.core.lorm import LormService
+from repro.experiments.config import ExperimentConfig
+from repro.workloads.generator import GridWorkload
+
+__all__ = ["ServiceBundle", "build_services", "build_workload"]
+
+
+@dataclass
+class ServiceBundle:
+    """The four approaches over one configuration, plus the workload."""
+
+    config: ExperimentConfig
+    workload: GridWorkload
+    lorm: LormService
+    mercury: MercuryService
+    sword: SwordService
+    maan: MaanService
+
+    def all(self) -> tuple:
+        """The services, LORM first (report order used throughout)."""
+        return (self.lorm, self.mercury, self.sword, self.maan)
+
+    def by_name(self, name: str):
+        """Service by approach name ('LORM', 'Mercury', 'SWORD', 'MAAN')."""
+        for service in self.all():
+            if service.name == name:
+                return service
+        raise KeyError(f"unknown approach {name!r}")
+
+    def set_collect_matches(self, flag: bool) -> None:
+        """Toggle match collection on every service (accounting-only runs)."""
+        for service in self.all():
+            service.collect_matches = flag
+
+
+def build_workload(config: ExperimentConfig) -> GridWorkload:
+    """The configured Bounded-Pareto workload (m attributes × k providers)."""
+    return GridWorkload(
+        schema=config.schema(),
+        infos_per_attribute=config.infos_per_attribute,
+        seed=config.seed,
+        mean_span_fraction=config.mean_span_fraction,
+    )
+
+
+def build_services(
+    config: ExperimentConfig,
+    *,
+    register: bool = True,
+    routed_registration: bool = False,
+    seed_offset: int = 0,
+) -> ServiceBundle:
+    """Build all four services at ``config`` scale and load the workload.
+
+    ``routed_registration=False`` (default) places infos at their roots
+    directly — byte-identical placement without paying 400k routed inserts;
+    the registration-cost benchmarks flip it on.  ``seed_offset``
+    de-correlates repeated builds (used by the churn sweep).
+    """
+    seed = config.seed + seed_offset
+    workload = build_workload(config)
+    schema = workload.schema
+    lorm = LormService.build_full(
+        config.dimension, schema, seed=seed, lph_kind=config.lph_kind
+    )
+
+    # The paper runs every DHT with the same population ("each DHT had 2048
+    # nodes"); at paper scale the 11-bit ring is exactly full, otherwise the
+    # ring is sparse with population n = d * 2**d.
+    def chord_service(cls):
+        if config.population == (1 << config.chord_bits):
+            return cls.build_full(
+                config.chord_bits, schema, seed=seed, lph_kind=config.lph_kind
+            )
+        return cls.build(
+            config.chord_bits,
+            config.population,
+            schema,
+            seed=seed,
+            lph_kind=config.lph_kind,
+        )
+
+    mercury = chord_service(MercuryService)
+    sword = chord_service(SwordService)
+    maan = chord_service(MaanService)
+    bundle = ServiceBundle(
+        config=config,
+        workload=workload,
+        lorm=lorm,
+        mercury=mercury,
+        sword=sword,
+        maan=maan,
+    )
+    if register:
+        for info in workload.resource_infos():
+            for service in bundle.all():
+                service.register(info, routed=routed_registration)
+    return bundle

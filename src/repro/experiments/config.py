@@ -1,0 +1,125 @@
+"""Experiment configuration (Section V parameters).
+
+The paper's setup: "The dimension was set to 8 in Cycloid and 11 in Chord,
+and each DHT had 2048 nodes.  We assumed there were m = 200 resource
+attributes, and each attribute had k = 500 values.  We used Bounded Pareto
+distribution function to generate resource values…"; Figure 4 uses 100
+requesters × 10 queries over 1–10 attributes; Figure 5 uses 1000 range
+queries; Figure 6 uses 10000 requests under churn rates R = 0.1 … 0.5.
+
+``PAPER_CONFIG`` encodes those numbers; ``SMOKE_CONFIG`` is a scaled-down
+copy with the same *shape* for tests and quick runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.utils.validation import require
+from repro.workloads.attributes import AttributeSchema
+
+__all__ = ["ExperimentConfig", "PAPER_CONFIG", "SMOKE_CONFIG"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs of the paper's evaluation, with the paper's defaults."""
+
+    #: Cycloid dimension d (n = d * 2**d nodes).
+    dimension: int = 8
+    #: Chord ID-space width; the paper uses 11 (2048 IDs = 2048 nodes).
+    chord_bits: int = 11
+    #: m — number of resource attributes.
+    num_attributes: int = 200
+    #: k — resource-information pieces (provider values) per attribute.
+    infos_per_attribute: int = 500
+    #: Attributes per query swept in Figures 4/5 (1..10 in the paper).
+    max_query_attributes: int = 10
+    #: Figure 4: requesters × queries-per-requester.
+    num_requesters: int = 100
+    queries_per_requester: int = 10
+    #: Figure 5: number of range queries per point.
+    num_range_queries: int = 1000
+    #: Figure 6: total resource requests under churn.
+    num_churn_requests: int = 10000
+    #: Figure 6: churn rates R (events/second per stream).
+    churn_rates: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5)
+    #: Query arrival rate (req/s) in the churn experiment.
+    churn_query_rate: float = 10.0
+    #: Expected hashed-span fraction of range queries (Theorem 4.9's
+    #: average case corresponds to 0.25).
+    mean_span_fraction: float = 0.25
+    #: Locality-preserving hash flavour: "cdf" (default) or "linear".
+    lph_kind: str = "cdf"
+    #: Bounded-Pareto shape for attribute values.
+    pareto_shape: float = 2.0
+    #: Master seed.
+    seed: int = 2009
+    #: Network sizes (Cycloid dimensions) swept in Figure 3(a).
+    fig3a_dimensions: tuple[int, ...] = (5, 6, 7, 8, 9)
+
+    def __post_init__(self) -> None:
+        require(self.dimension >= 2, "dimension must be >= 2")
+        require(self.chord_bits >= 2, "chord_bits must be >= 2")
+        require(
+            self.max_query_attributes <= self.num_attributes,
+            "max_query_attributes cannot exceed num_attributes",
+        )
+        require(
+            self.population <= (1 << self.chord_bits),
+            f"chord_bits={self.chord_bits} cannot host {self.population} nodes",
+        )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def population(self) -> int:
+        """n — the node population of *every* overlay, ``d * 2**d``.
+
+        The paper uses n = 2048 for both the Cycloid and the Chord DHTs
+        ("each DHT had 2048 nodes"); at paper scale the 11-bit Chord ring
+        is exactly full, at other scales the ring is sparse with the same
+        population so per-node averages stay comparable.
+        """
+        return self.dimension * (1 << self.dimension)
+
+    @property
+    def cycloid_nodes(self) -> int:
+        """Alias of :attr:`population` (Cycloid capacity ``d * 2**d``)."""
+        return self.population
+
+    @property
+    def log_n(self) -> float:
+        """``log2`` of the population."""
+        return math.log2(self.population)
+
+    def schema(self) -> AttributeSchema:
+        """The attribute schema this configuration implies."""
+        return AttributeSchema.synthetic(
+            self.num_attributes, pareto_shape=self.pareto_shape
+        )
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        """A copy with some fields replaced (for ablations and tests)."""
+        return replace(self, **overrides)
+
+
+#: The paper's exact evaluation parameters.
+PAPER_CONFIG = ExperimentConfig()
+
+#: Same shape, laptop-smoke scale: d=5 Cycloid (160 nodes), 256-ID Chord,
+#: 20 attributes × 50 providers, fewer queries.
+SMOKE_CONFIG = ExperimentConfig(
+    dimension=5,
+    chord_bits=8,
+    num_attributes=20,
+    infos_per_attribute=50,
+    max_query_attributes=5,
+    num_requesters=20,
+    queries_per_requester=5,
+    num_range_queries=100,
+    num_churn_requests=300,
+    churn_rates=(0.1, 0.3, 0.5),
+)

@@ -1,0 +1,70 @@
+"""Response latency (extension figure).
+
+The paper's Section III stresses that multi-attribute queries are resolved
+as *parallel* sub-queries, so a requester's response time is bounded by the
+slowest sub-query, not the sum.  This extension figure makes that visible:
+simulated response latency (hop latency × critical-path hops) versus
+attributes per query, for range queries.
+
+Expected shape: SWORD flattest (one lookup per attribute, no walk), LORM
+close behind (short cluster walks), Mercury/MAAN dominated by their long
+sequential range walks — the latency view of Theorem 4.9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.models import AnalysisCurve
+from repro.experiments.common import ServiceBundle, build_services
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import FigureResult
+from repro.workloads.generator import QueryKind
+
+__all__ = ["run_latency"]
+
+_APPROACHES = ("LORM", "Mercury", "SWORD", "MAAN")
+
+
+def run_latency(
+    config: ExperimentConfig, bundle: ServiceBundle | None = None
+) -> FigureResult:
+    """Mean simulated response latency of range queries vs attribute count."""
+    bundle = bundle if bundle is not None else build_services(config)
+    bundle.set_collect_matches(False)
+    hop_latency = bundle.lorm.overlay.network.hop_latency
+
+    xs = tuple(float(m) for m in range(1, config.max_query_attributes + 1))
+    mean_latency: dict[str, list[float]] = {name: [] for name in _APPROACHES}
+    for m_query in range(1, config.max_query_attributes + 1):
+        queries = list(
+            bundle.workload.query_stream(
+                max(50, config.num_range_queries // 4),
+                m_query,
+                QueryKind.RANGE,
+                label="latency",
+            )
+        )
+        for service in bundle.all():
+            # Sub-queries run in parallel; a sub-query's own hops (routing
+            # plus any sequential range-walk forwarding) are serial.
+            samples = [
+                service.multi_query(q).latency_hops * hop_latency for q in queries
+            ]
+            mean_latency[service.name].append(float(np.mean(samples)))
+    bundle.set_collect_matches(True)
+
+    result = FigureResult(
+        figure_id="latency",
+        title="Simulated response latency of range queries (parallel sub-queries)",
+        x_label="attributes per query",
+        y_label=f"mean latency (s, {hop_latency * 1000:.0f} ms/hop)",
+        log_y=True,
+    )
+    for name in ("MAAN", "Mercury", "LORM", "SWORD"):
+        result.add(AnalysisCurve(name, xs, tuple(mean_latency[name])))
+    result.notes.append(
+        "latency = slowest sub-query's serial hops x hop latency; "
+        "range walks are sequential, lookups of different attributes parallel"
+    )
+    return result

@@ -1,0 +1,105 @@
+"""Multi-seed repetition: figures with across-run dispersion.
+
+The paper reports single-run curves; for tighter claims the harness can
+repeat any figure across independent seeds and aggregate each series into
+mean / min / max envelopes.  ``repro``'s benches use single runs (matching
+the paper); repetition is available programmatically and through
+``run_repeated``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.models import AnalysisCurve
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import FigureResult
+from repro.utils.validation import require
+
+__all__ = ["RepeatedFigure", "run_repeated"]
+
+
+@dataclass(frozen=True)
+class RepeatedFigure:
+    """Aggregation of one figure over several seeds."""
+
+    figure_id: str
+    title: str
+    seeds: tuple[int, ...]
+    #: series name -> (x, mean, minimum, maximum), each a tuple of floats.
+    envelopes: dict[str, tuple[tuple[float, ...], ...]]
+
+    def mean_curve(self, name: str) -> AnalysisCurve:
+        """The across-seed mean of series ``name``."""
+        x, mean, _, _ = self.envelopes[name]
+        return AnalysisCurve(name, x, mean)
+
+    def spread(self, name: str) -> float:
+        """Largest relative (max-min)/mean spread across the series."""
+        x, mean, lo, hi = self.envelopes[name]
+        worst = 0.0
+        for m, a, b in zip(mean, lo, hi):
+            if m:
+                worst = max(worst, (b - a) / abs(m))
+        return worst
+
+    def to_figure(self) -> FigureResult:
+        """A FigureResult of the mean curves (renders/saves like any figure)."""
+        result = FigureResult(
+            figure_id=f"{self.figure_id}-mean",
+            title=f"{self.title} (mean of {len(self.seeds)} seeds)",
+            x_label="x",
+            y_label="y",
+        )
+        for name in self.envelopes:
+            result.add(self.mean_curve(name))
+        result.notes.append(f"seeds: {list(self.seeds)}")
+        return result
+
+
+def run_repeated(
+    runner: Callable[[ExperimentConfig], FigureResult],
+    config: ExperimentConfig,
+    *,
+    repeats: int = 3,
+    seed_stride: int = 1000,
+) -> RepeatedFigure:
+    """Run ``runner`` across ``repeats`` seeds and aggregate the curves.
+
+    Seeds are ``config.seed + i * seed_stride``; every run must produce the
+    same series names and x grids (they do, by construction of the figure
+    modules).
+    """
+    require(repeats >= 1, "repeats must be >= 1")
+    seeds = tuple(config.seed + i * seed_stride for i in range(repeats))
+    runs: list[FigureResult] = [
+        runner(config.scaled(seed=seed)) for seed in seeds
+    ]
+
+    first = runs[0]
+    envelopes: dict[str, tuple[tuple[float, ...], ...]] = {}
+    for curve in first.curves:
+        series: list[Sequence[float]] = []
+        for run in runs:
+            other = run.curve(curve.name)
+            require(
+                other.x == curve.x,
+                f"{curve.name}: x grids differ across seeds",
+            )
+            series.append(other.y)
+        stacked = np.asarray(series, dtype=float)
+        envelopes[curve.name] = (
+            curve.x,
+            tuple(float(v) for v in stacked.mean(axis=0)),
+            tuple(float(v) for v in stacked.min(axis=0)),
+            tuple(float(v) for v in stacked.max(axis=0)),
+        )
+    return RepeatedFigure(
+        figure_id=first.figure_id,
+        title=first.title,
+        seeds=seeds,
+        envelopes=envelopes,
+    )

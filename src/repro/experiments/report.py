@@ -1,0 +1,186 @@
+"""Figure results: structured series + CSV + text rendering.
+
+A :class:`FigureResult` carries every curve of one paper figure (measured
+and analysis-derived), knows the paper's qualitative expectation for that
+figure, and renders itself as an aligned table, an ASCII chart, and a CSV
+file under ``results/``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.models import AnalysisCurve
+from repro.plotting.ascii import ascii_chart
+from repro.utils.formatting import render_table
+from repro.utils.validation import require
+
+__all__ = ["DistributionResult", "DistributionRow", "FigureResult"]
+
+
+@dataclass
+class FigureResult:
+    """All series of one figure, plus labels and provenance metadata."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    curves: list[AnalysisCurve] = field(default_factory=list)
+    log_y: bool = False
+    #: Free-form notes (workload parameters, paper-expectation check).
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, curve: AnalysisCurve) -> None:
+        """Append one series."""
+        self.curves.append(curve)
+
+    def curve(self, name: str) -> AnalysisCurve:
+        """The series named ``name``."""
+        for c in self.curves:
+            if c.name == name:
+                return c
+        raise KeyError(f"{self.figure_id}: no curve named {name!r}; "
+                       f"have {[c.name for c in self.curves]}")
+
+    @property
+    def curve_names(self) -> list[str]:
+        """All series names in insertion order."""
+        return [c.name for c in self.curves]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Wide CSV: one x column, one column per series."""
+        require(bool(self.curves), f"{self.figure_id}: no curves to render")
+        xs = sorted({x for c in self.curves for x in c.x})
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow([self.x_label] + self.curve_names)
+        lookup = [dict(zip(c.x, c.y)) for c in self.curves]
+        for x in xs:
+            writer.writerow(
+                [x] + [table.get(x, "") for table in lookup]
+            )
+        return buffer.getvalue()
+
+    def to_table(self) -> str:
+        """Aligned text table of all series."""
+        xs = sorted({x for c in self.curves for x in c.x})
+        lookup = [dict(zip(c.x, c.y)) for c in self.curves]
+        rows = [
+            [x] + [table.get(x, float("nan")) for table in lookup] for x in xs
+        ]
+        return render_table(
+            [self.x_label] + self.curve_names,
+            rows,
+            title=f"{self.figure_id}: {self.title}",
+        )
+
+    def to_ascii_chart(self, width: int = 64, height: int = 16) -> str:
+        """ASCII chart of all series."""
+        series = {c.name: (list(c.x), list(c.y)) for c in self.curves}
+        return ascii_chart(
+            series,
+            title=f"{self.figure_id}: {self.title}",
+            width=width,
+            height=height,
+            log_y=self.log_y,
+            x_label=self.x_label,
+            y_label=self.y_label,
+        )
+
+    def render(self) -> str:
+        """Full text report: table, chart and notes."""
+        parts = [self.to_table(), "", self.to_ascii_chart()]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def save(self, directory: str | Path) -> Path:
+        """Write ``<figure_id>.csv`` and ``<figure_id>.txt`` under
+        ``directory``; returns the CSV path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        csv_path = directory / f"{self.figure_id}.csv"
+        csv_path.write_text(self.to_csv())
+        (directory / f"{self.figure_id}.txt").write_text(self.render() + "\n")
+        return csv_path
+
+@dataclass(frozen=True)
+class DistributionRow:
+    """One series of a percentile figure: mean with 1st/99th percentiles."""
+
+    name: str
+    mean: float
+    p01: float
+    p99: float
+
+
+@dataclass
+class DistributionResult:
+    """A percentile-bar figure (Figure 3b/c/d): per-approach mean + 1st/99th.
+
+    The paper plots, for each approach (and its analysis derivation), the
+    average directory size together with the 1st and 99th percentiles.
+    """
+
+    figure_id: str
+    title: str
+    value_label: str
+    rows: list[DistributionRow] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, name: str, mean: float, p01: float, p99: float) -> None:
+        """Append one series row."""
+        self.rows.append(DistributionRow(name, mean, p01, p99))
+
+    def add_summary(self, name: str, summary: "object") -> None:
+        """Append a row from a :class:`~repro.sim.metrics.SummaryStats`."""
+        self.add(name, summary.mean, summary.p01, summary.p99)  # type: ignore[attr-defined]
+
+    def row(self, name: str) -> DistributionRow:
+        """The row named ``name``."""
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(f"{self.figure_id}: no row named {name!r}")
+
+    def to_csv(self) -> str:
+        """CSV with columns series,mean,p01,p99."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["series", "mean", "p01", "p99"])
+        for r in self.rows:
+            writer.writerow([r.name, r.mean, r.p01, r.p99])
+        return buffer.getvalue()
+
+    def to_table(self) -> str:
+        """Aligned text table."""
+        return render_table(
+            ["series", f"mean {self.value_label}", "p01", "p99"],
+            [[r.name, r.mean, r.p01, r.p99] for r in self.rows],
+            title=f"{self.figure_id}: {self.title}",
+        )
+
+    def render(self) -> str:
+        """Full text report."""
+        parts = [self.to_table()]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def save(self, directory: str | Path) -> Path:
+        """Write CSV and text renderings; returns the CSV path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        csv_path = directory / f"{self.figure_id}.csv"
+        csv_path.write_text(self.to_csv())
+        (directory / f"{self.figure_id}.txt").write_text(self.render() + "\n")
+        return csv_path

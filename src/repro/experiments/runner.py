@@ -1,0 +1,94 @@
+"""Programmatic entry point: run any figure by ID.
+
+``run_figure("fig4a", config)`` returns the figure's result object
+(:class:`~repro.experiments.report.FigureResult` or
+:class:`~repro.experiments.report.DistributionResult`); the CLI and the
+benchmark suite both go through this registry, so the figure inventory
+lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.experiments import figure3, figure4, figure5, figure6
+from repro.experiments.common import build_services
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.latency import run_latency
+from repro.experiments.maintenance import run_maintenance
+from repro.experiments.staleness import run_staleness
+from repro.experiments.theorem_table import run_theorem_table
+
+__all__ = ["FIGURES", "run_figure", "run_all_figures"]
+
+#: Figure ID → runner.  Each runner takes a config and returns a result
+#: object with ``render()`` and ``save(directory)``.
+FIGURES: dict[str, Callable] = {
+    "fig3a": figure3.run_fig3a,
+    "fig3b": figure3.run_fig3b,
+    "fig3c": figure3.run_fig3c,
+    "fig3d": figure3.run_fig3d,
+    "fig4a": figure4.run_fig4a,
+    "fig4b": figure4.run_fig4b,
+    "fig5a": figure5.run_fig5a,
+    "fig5b": figure5.run_fig5b,
+    "fig6a": figure6.run_fig6a,
+    "fig6b": figure6.run_fig6b,
+    "theorems": run_theorem_table,
+    "latency": run_latency,  # extension figure, see module docstring
+    "staleness": run_staleness,  # extension figure: provider churn x leases
+    "maintenance": run_maintenance,  # extension figure: repair traffic vs R
+}
+
+
+def run_figure(
+    figure_id: str,
+    config: ExperimentConfig,
+    *,
+    save_dir: str | Path | None = None,
+):
+    """Run one figure; optionally persist CSV/text under ``save_dir``."""
+    try:
+        runner = FIGURES[figure_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
+        ) from None
+    result = runner(config)
+    if save_dir is not None:
+        result.save(save_dir)
+    return result
+
+
+def run_all_figures(
+    config: ExperimentConfig,
+    *,
+    save_dir: str | Path | None = None,
+) -> dict[str, object]:
+    """Run every figure, sharing expensive state where possible.
+
+    The directory-size panels (3b/3c/3d) share one loaded service bundle;
+    figures 4 and 5 each produce both panels from a single sweep; figure 6
+    produces both panels from one churn sweep.
+    """
+    results: dict[str, object] = {}
+    results["fig3a"] = figure3.run_fig3a(config)
+
+    bundle = build_services(config)
+    results["fig3b"] = figure3.run_fig3b(config, bundle)
+    results["fig3c"] = figure3.run_fig3c(config, bundle)
+    results["fig3d"] = figure3.run_fig3d(config, bundle)
+
+    results["fig4a"], results["fig4b"] = figure4.run_fig4(config, bundle)
+    results["fig5a"], results["fig5b"] = figure5.run_fig5(config, bundle)
+    results["theorems"] = run_theorem_table(config, bundle)
+    results["latency"] = run_latency(config, bundle)
+    results["staleness"] = run_staleness(config)
+    results["maintenance"] = run_maintenance(config)
+    results["fig6a"], results["fig6b"] = figure6.run_fig6(config)
+
+    if save_dir is not None:
+        for result in results.values():
+            result.save(save_dir)  # type: ignore[attr-defined]
+    return results

@@ -1,0 +1,490 @@
+"""Chord DHT (Stoica et al., IEEE/ACM ToN 2003) — simulated, with churn.
+
+Chord is the flat DHT the paper uses underneath all three comparator
+approaches ("To be comparable, we use Chord for attribute hubs in Mercury,
+and we replace Bamboo DHT with Chord in SWORD"; MAAN is natively
+Chord-based).  This implementation provides:
+
+* an ``bits``-bit circular ID space with key ownership by successor;
+* per-node finger tables (``finger[i] = successor(id + 2**i)``),
+  predecessor pointers and successor lists;
+* iterative greedy lookup via closest-preceding-finger with per-hop
+  accounting (the paper's "logical hops" metric; expected ``log2(n)/2``
+  hops, cf. Theorem 4.7);
+* clockwise *successor walks* over an ID arc — the primitive behind
+  Mercury's and MAAN's range queries — with visited-node accounting;
+* graceful node join/leave with key transfer and routing-state repair, and
+  a ``stabilize_all`` pass modelling Chord's periodic stabilization.
+
+The overlay keeps a sorted membership index which acts as the omniscient
+oracle for building routing state (a *stabilized* network) and for
+verifying that routed lookups land on the true successor.  Routing itself
+only ever follows per-node links, so hop counts are honest.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable
+from typing import Any
+
+from repro.overlay.idspace import IdSpace
+from repro.overlay.node import LookupResult, OverlayNode
+from repro.sim.network import SimulatedNetwork
+from repro.utils.validation import require
+
+__all__ = ["ChordNode", "ChordRing"]
+
+
+class ChordNode(OverlayNode):
+    """A Chord node: finger table, predecessor, successor list."""
+
+    __slots__ = ("bits", "fingers", "predecessor", "successor_list")
+
+    def __init__(self, node_id: int, bits: int) -> None:
+        super().__init__(node_id)
+        self.bits = bits
+        #: finger[i] targets successor(id + 2**i); entries may go stale
+        #: (dead) between stabilization rounds.
+        self.fingers: list[ChordNode | None] = [None] * bits
+        self.predecessor: ChordNode | None = None
+        #: Chord's r-entry successor list for resilience; entry 0 is the
+        #: immediate successor.
+        self.successor_list: list[ChordNode] = []
+
+    @property
+    def node_id(self) -> int:
+        """The node's ring identifier."""
+        return self.uid  # type: ignore[return-value]
+
+    @property
+    def successor(self) -> "ChordNode | None":
+        """Immediate successor (first live entry of the successor list)."""
+        for candidate in self.successor_list:
+            if candidate.alive:
+                return candidate
+        return None
+
+    def outlinks(self) -> set[int]:
+        """Distinct live neighbours this node maintains (Figure 3a metric)."""
+        links: set[int] = set()
+        for finger in self.fingers:
+            if finger is not None and finger.alive:
+                links.add(finger.node_id)
+        for succ in self.successor_list:
+            if succ.alive:
+                links.add(succ.node_id)
+        if self.predecessor is not None and self.predecessor.alive:
+            links.add(self.predecessor.node_id)
+        links.discard(self.node_id)
+        return links
+
+
+class ChordRing:
+    """A simulated Chord overlay.
+
+    Parameters
+    ----------
+    bits:
+        Width of the ID space (the paper uses 11, so 2048 IDs).
+    network:
+        Shared hop/message accounting sink; a private one is created when
+        omitted.
+    successor_list_len:
+        Length of each node's successor list (resilience under churn).
+
+    Examples
+    --------
+    >>> ring = ChordRing(bits=4)
+    >>> ring.build([1, 5, 9, 13])
+    >>> ring.successor_of(6).node_id
+    9
+    >>> result = ring.lookup(ring.node(1), 6)
+    >>> result.owner.node_id
+    9
+    """
+
+    def __init__(
+        self,
+        bits: int,
+        network: SimulatedNetwork | None = None,
+        successor_list_len: int = 4,
+        replication: int = 1,
+    ) -> None:
+        require(successor_list_len >= 1, "successor_list_len must be >= 1")
+        require(replication >= 1, "replication must be >= 1")
+        require(
+            replication <= successor_list_len + 1,
+            "replication cannot exceed successor_list_len + 1 "
+            "(replicas live on the successor list)",
+        )
+        self.space = IdSpace(bits)
+        self.network = network if network is not None else SimulatedNetwork()
+        self.successor_list_len = successor_list_len
+        #: Copies kept per key: the owner plus ``replication - 1``
+        #: successors (Chord's successor-list replication).  With the
+        #: default of 1 behaviour matches the paper exactly; higher values
+        #: make data survive *crash* failures (see :meth:`fail`).
+        self.replication = replication
+        self._nodes: dict[int, ChordNode] = {}
+        self._sorted_ids: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Membership / construction
+    # ------------------------------------------------------------------
+    @property
+    def bits(self) -> int:
+        """ID-space width."""
+        return self.space.bits
+
+    @property
+    def num_nodes(self) -> int:
+        """Current live population."""
+        return len(self._sorted_ids)
+
+    @property
+    def node_ids(self) -> list[int]:
+        """Live node IDs in ring order."""
+        return list(self._sorted_ids)
+
+    def node(self, node_id: int) -> ChordNode:
+        """The live node with identifier ``node_id``."""
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterable[ChordNode]:
+        """All live nodes, in ring order."""
+        return (self._nodes[i] for i in self._sorted_ids)
+
+    def build(self, node_ids: Iterable[int]) -> None:
+        """Construct a stabilized ring over ``node_ids`` in one shot."""
+        ids = sorted(set(self.space.wrap(i) for i in node_ids))
+        require(bool(ids), "cannot build an empty ring")
+        self._nodes = {i: ChordNode(i, self.bits) for i in ids}
+        self._sorted_ids = ids
+        for node in self._nodes.values():
+            self._refresh_routing_state(node)
+
+    def build_full(self) -> None:
+        """Construct a ring occupying every identifier (the paper's 2048)."""
+        self.build(range(self.space.size))
+
+    # ------------------------------------------------------------------
+    # Oracle helpers (membership index)
+    # ------------------------------------------------------------------
+    def successor_of(self, key: int) -> ChordNode:
+        """The live node owning ``key`` (first node at or after it)."""
+        require(bool(self._sorted_ids), "ring is empty")
+        key = self.space.wrap(key)
+        idx = bisect.bisect_left(self._sorted_ids, key)
+        if idx == len(self._sorted_ids):
+            idx = 0
+        return self._nodes[self._sorted_ids[idx]]
+
+    def predecessor_of(self, key: int) -> ChordNode:
+        """The last live node strictly before ``key`` on the ring."""
+        require(bool(self._sorted_ids), "ring is empty")
+        key = self.space.wrap(key)
+        idx = bisect.bisect_left(self._sorted_ids, key) - 1
+        return self._nodes[self._sorted_ids[idx]]
+
+    def _successors_from(self, key: int, count: int) -> list[ChordNode]:
+        """Up to ``count`` distinct live nodes clockwise from ``key``."""
+        result: list[ChordNode] = []
+        if not self._sorted_ids:
+            return result
+        idx = bisect.bisect_left(self._sorted_ids, self.space.wrap(key))
+        n = len(self._sorted_ids)
+        for offset in range(min(count, n)):
+            result.append(self._nodes[self._sorted_ids[(idx + offset) % n]])
+        return result
+
+    def _refresh_routing_state(self, node: ChordNode) -> None:
+        """Point ``node``'s fingers/successors/predecessor at true targets."""
+        nid = node.node_id
+        node.fingers = [
+            self.successor_of(nid + (1 << i)) for i in range(self.bits)
+        ]
+        node.successor_list = [
+            n for n in self._successors_from(nid + 1, self.successor_list_len)
+            if n.node_id != nid
+        ] or [node]
+        pred = self.predecessor_of(nid)
+        node.predecessor = pred if pred.node_id != nid else None
+
+    # ------------------------------------------------------------------
+    # Routed lookup
+    # ------------------------------------------------------------------
+    def lookup(self, start: ChordNode, key: int) -> LookupResult:
+        """Route from ``start`` to the owner of ``key`` using only links.
+
+        Greedy closest-preceding-finger routing; stale (dead) fingers are
+        skipped, and the successor list is the fallback, so lookups remain
+        correct between stabilization rounds under graceful churn.
+        """
+        key = self.space.wrap(key)
+        cur = start
+        hops = 0
+        path = [cur.node_id]
+        max_hops = 8 * self.bits + self.num_nodes  # termination guard
+        while hops < max_hops:
+            if self._owns(cur, key):
+                break
+            succ = cur.successor
+            if succ is None or succ is cur:
+                break
+            if self.space.in_interval(key, cur.node_id, succ.node_id):
+                # Key lies between us and our successor: successor owns it.
+                cur = succ
+            else:
+                cur = self._closest_preceding(cur, key)
+            hops += 1
+            path.append(cur.node_id)
+            self.network.count_hop()
+        return LookupResult(owner=cur, hops=hops, path=tuple(path))
+
+    def _owns(self, node: ChordNode, key: int) -> bool:
+        pred = node.predecessor
+        if pred is None or not pred.alive:
+            # Degenerate/repairing state: fall back to the oracle check.
+            return self.successor_of(key) is node
+        return self.space.in_interval(key, pred.node_id, node.node_id)
+
+    def _closest_preceding(self, node: ChordNode, key: int) -> ChordNode:
+        """Best live next hop: highest finger in ``(node, key)``."""
+        for finger in reversed(node.fingers):
+            if (
+                finger is not None
+                and finger.alive
+                and finger is not node
+                and self.space.in_interval(
+                    finger.node_id, node.node_id, key,
+                    closed_left=False, closed_right=False,
+                )
+            ):
+                return finger
+        succ = node.successor
+        return succ if succ is not None else node
+
+    # ------------------------------------------------------------------
+    # Successor walk (range-query primitive)
+    # ------------------------------------------------------------------
+    def walk_arc(self, start: ChordNode, from_key: int, until_key: int) -> list[ChordNode]:
+        """All live nodes owning keys on the clockwise arc
+        ``[from_key, until_key]``, starting at ``start = successor(from_key)``.
+
+        Used by Mercury and MAAN range queries: the query root forwards to
+        its successor repeatedly while keys of the queried range remain
+        ahead.  Every returned node is a *visited node* in the paper's
+        sense; the caller accounts them.
+
+        The stop test is span-based (how far along the arc the current
+        node's sector reaches) rather than ownership-based, so arcs that
+        wrap most of the ring — Theorem 4.10's worst case — are walked in
+        full instead of terminating at the first node, whose sector can
+        contain ``until_key`` *behind* the arc start.
+        """
+        span = self.space.clockwise_distance(from_key, until_key)
+        visited = [start]
+        cur = start
+        # cur covers keys up to cur.node_id; continue while that falls
+        # short of the arc end.
+        while self.space.clockwise_distance(from_key, cur.node_id) < span:
+            nxt = cur.successor
+            if nxt is None or nxt is start:
+                break
+            cur = nxt
+            visited.append(cur)
+            if len(visited) > self.num_nodes:  # safety: ring corrupted
+                break
+        return visited
+
+    # ------------------------------------------------------------------
+    # Key storage (routed through the overlay)
+    # ------------------------------------------------------------------
+    def replica_set(self, key: int) -> list[ChordNode]:
+        """The nodes that should hold ``key``: its owner plus the next
+        ``replication - 1`` live successors."""
+        return self._successors_from(key, self.replication)
+
+    def store(self, namespace: str, key: int, item: Any) -> ChordNode:
+        """Place ``item`` at the owner of ``key`` (oracle placement).
+
+        With ``replication > 1`` the owner pushes copies to its successors
+        (counted as maintenance messages).
+        """
+        key = self.space.wrap(key)
+        replicas = self.replica_set(key)
+        for holder in replicas:
+            holder.store(namespace, key, item)
+        if len(replicas) > 1:
+            self.network.count_maintenance(len(replicas) - 1)
+        return replicas[0]
+
+    def routed_store(self, start: ChordNode, namespace: str, key: int, item: Any) -> LookupResult:
+        """Insert via a routed lookup from ``start`` (counts hops)."""
+        result = self.lookup(start, key)
+        key = self.space.wrap(key)
+        result.owner.store(namespace, key, item)
+        for holder in self.replica_set(key)[1:]:
+            if holder is not result.owner:
+                holder.store(namespace, key, item)
+                self.network.count_maintenance(1)
+        return result
+
+    def discard(self, namespace: str, key: int, item: Any) -> int:
+        """Remove ``item``'s copies from the key's replica set.
+
+        Returns the number of copies removed.  Used by lease expiry
+        (``repro.core.refresh``): a provider's stale report is withdrawn
+        from the owner and every replica.
+        """
+        key = self.space.wrap(key)
+        removed = 0
+        for holder in self.replica_set(key):
+            if holder.remove_item(namespace, key, item):
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+    def join(self, node_id: int) -> ChordNode:
+        """A new node joins: takes over its key sector from its successor.
+
+        Models Chord's join: the newcomer builds correct routing state, its
+        neighbours learn about it immediately (predecessor/successor
+        pointers and successor lists), and other nodes' fingers are
+        refreshed lazily by :meth:`stabilize_all`.
+        """
+        node_id = self.space.wrap(node_id)
+        require(node_id not in self._nodes, f"node {node_id} already present")
+        had_members = bool(self._sorted_ids)
+        node = ChordNode(node_id, self.bits)
+        bisect.insort(self._sorted_ids, node_id)
+        self._nodes[node_id] = node
+        self._refresh_routing_state(node)
+        self.network.count_maintenance(self.bits)  # building its state
+
+        if had_members:
+            succ = self.successor_of(node_id + 1)
+            # Transfer the keys the newcomer is now responsible for.
+            if succ is not node:
+                moved = 0
+                for namespace, key_id, item in succ.stored_entries():
+                    if self.successor_of(key_id) is node:
+                        succ.remove_items(namespace, key_id)  # removes bucket
+                        node.store(namespace, key_id, item)
+                        moved += 1
+                if moved:
+                    self.network.count_maintenance(1)
+            self._repair_neighbourhood(node_id)
+        return node
+
+    def leave(self, node_id: int) -> None:
+        """Graceful departure: keys move to the successor, neighbours repair.
+
+        Matches the paper's churn model, in which "there were no failures in
+        all test cases" — departures hand their state off before leaving.
+        """
+        node = self._nodes.pop(node_id)
+        self._sorted_ids.remove(node_id)
+        require(bool(self._sorted_ids), "cannot remove the last ring node")
+        node.alive = False
+        successor = self.successor_of(node_id)
+        for namespace, key_id, item in node.stored_entries():
+            # With replication the successor usually holds the copy already
+            # (it was replica #2); avoid duplicating it.  Without
+            # replication identical items are distinct pieces and all move.
+            if self.replication == 1 or not successor.has_item(namespace, key_id, item):
+                successor.store(namespace, key_id, item)
+        node.clear_storage()
+        self.network.count_maintenance(2)  # departure notifications
+        self._repair_neighbourhood(node_id)
+
+    def fail(self, node_id: int) -> None:
+        """Crash failure: the node vanishes *without* handing off its keys.
+
+        Keys whose only copy lived on the crashed node are lost (the
+        ``replication=1`` configuration); with ``replication >= 2`` the
+        surviving successor-list replicas keep every key readable, and the
+        next :meth:`repair_replication` restores the full replica count.
+        """
+        node = self._nodes.pop(node_id)
+        self._sorted_ids.remove(node_id)
+        require(bool(self._sorted_ids), "cannot remove the last ring node")
+        node.alive = False
+        node.clear_storage()  # the crashed node's memory is gone
+        # Neighbours detect the failure via timeouts and repair locally.
+        self._repair_neighbourhood(node_id)
+
+    def repair_replication(self) -> int:
+        """Restore every key to exactly its replica set; returns copies moved.
+
+        Models the periodic replica-maintenance pass of successor-list
+        replication: after joins/leaves/failures, each surviving copy is
+        re-homed so the owner plus ``replication - 1`` successors hold it
+        (and nobody else does).
+        """
+        # Collect surviving copies with multiplicity per (ns, key, item).
+        surviving: dict[tuple[str, int], dict[Any, int]] = {}
+        for node in self.nodes():
+            for namespace, key_id, item in node.stored_entries():
+                bucket = surviving.setdefault((namespace, key_id), {})
+                bucket[item] = max(bucket.get(item, 0), 1)
+            node.clear_storage()
+        moved = 0
+        for (namespace, key_id), items in surviving.items():
+            replicas = self.replica_set(key_id)
+            for item in items:
+                for holder in replicas:
+                    holder.store(namespace, key_id, item)
+                    moved += 1
+        if moved:
+            self.network.count_maintenance(moved)
+        return moved
+
+    def _repair_neighbourhood(self, around_id: int) -> None:
+        """Refresh routing state of nodes adjacent to a membership change."""
+        for neighbour in self._successors_from(around_id, self.successor_list_len + 1):
+            self._refresh_routing_state(neighbour)
+            self.network.count_maintenance(1)
+        pred = self.predecessor_of(around_id)
+        self._refresh_routing_state(pred)
+        self.network.count_maintenance(1)
+
+    def stabilize_all(self) -> None:
+        """Periodic stabilization: every node re-derives its routing state."""
+        for node in self._nodes.values():
+            self._refresh_routing_state(node)
+            self.network.count_maintenance(1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def outlink_counts(self) -> list[int]:
+        """Per-node count of distinct live neighbours (Figure 3a)."""
+        return [len(node.outlinks()) for node in self.nodes()]
+
+    def directory_sizes(self, namespace: str | None = None) -> list[int]:
+        """Per-node directory sizes (Figure 3b–d)."""
+        return [node.directory_size(namespace) for node in self.nodes()]
+
+    def check_ring_invariants(self) -> None:
+        """Raise AssertionError unless successor/predecessor links form the
+        unique ring over live nodes — used by tests and after churn storms.
+        """
+        ids = self._sorted_ids
+        n = len(ids)
+        for idx, nid in enumerate(ids):
+            node = self._nodes[nid]
+            expected_succ = self._nodes[ids[(idx + 1) % n]]
+            succ = node.successor
+            if n == 1:
+                continue
+            assert succ is expected_succ, (
+                f"node {nid}: successor {succ and succ.node_id} != {expected_succ.node_id}"
+            )
+            expected_pred = self._nodes[ids[(idx - 1) % n]]
+            assert node.predecessor is expected_pred, (
+                f"node {nid}: predecessor mismatch"
+            )

@@ -1,0 +1,712 @@
+"""Cycloid DHT (Shen, Xu & Chen, Performance Evaluation 2006) — simulated.
+
+Cycloid is the constant-degree hierarchical overlay LORM is built on.  With
+dimension ``d`` it accommodates ``n = d * 2**d`` nodes; each node carries a
+pair of indices ``(k, a)``:
+
+* ``k`` — the *cyclic* index, an integer in ``[0, d)``.  Nodes sharing a
+  cubical index are ordered by cyclic index on a small cycle, the *cluster*.
+* ``a`` — the *cubical* index, a ``d``-bit number in ``[0, 2**d)``.
+  Clusters are ordered by cubical index on one large cycle.
+
+Each node maintains the seven-entry constant-degree routing table of the
+Cycloid paper:
+
+==================  =============================================when=====
+entry               target
+==================  ========================================================
+cubical neighbour   ``((k-1) mod d,  a XOR 2**((k-1) mod d))`` — flips the
+                    bit its cyclic position is responsible for
+2 cyclic            ``((k-1) mod d, preceding / succeeding cluster)``
+2 inside leaf set   cyclic predecessor / successor within the own cluster
+2 outside leaf set  top node of the preceding / succeeding cluster on the
+                    large cycle
+==================  ========================================================
+
+Routing emulates cube-connected-cycles routing: descend the local cluster
+cycle one cyclic position per hop, taking the cubical link whenever the bit
+that position governs differs from the target cluster, then walk the target
+cluster to the wanted cyclic index.  Expected path length is ``O(d)``
+(Theorem 4.7 uses ``d`` hops per lookup), with constant (7) out-degree —
+the two properties LORM inherits.
+
+Key assignment is cluster-first, as LORM requires: a key ``(k, a)`` belongs
+to the nearest non-empty cluster to ``a`` on the large cycle, and within
+that cluster to the node with the nearest cyclic index.  This makes the
+cyclic dimension an order-preserving sub-space per cluster, the property
+behind Proposition 3.1's intra-cluster range walk.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable
+from typing import Any, NamedTuple
+
+from repro.overlay.idspace import IdSpace
+from repro.overlay.node import LookupResult, OverlayNode
+from repro.sim.network import SimulatedNetwork
+from repro.utils.validation import require
+
+__all__ = ["CycloidId", "CycloidNode", "CycloidOverlay"]
+
+
+class CycloidId(NamedTuple):
+    """A Cycloid identifier: (cyclic index ``k``, cubical index ``a``)."""
+
+    k: int
+    a: int
+
+
+class CycloidNode(OverlayNode):
+    """A Cycloid node with the seven-entry constant-degree routing table."""
+
+    __slots__ = (
+        "dimension",
+        "cubical_neighbor",
+        "cyclic_neighbors",
+        "inside_leaf",
+        "outside_leaf",
+    )
+
+    def __init__(self, cid: CycloidId, dimension: int) -> None:
+        super().__init__(cid)
+        self.dimension = dimension
+        self.cubical_neighbor: CycloidNode | None = None
+        #: (node in preceding cluster, node in succeeding cluster), both at
+        #: cyclic level k-1 when available.
+        self.cyclic_neighbors: tuple[CycloidNode | None, CycloidNode | None] = (None, None)
+        #: (cyclic predecessor, cyclic successor) within the own cluster.
+        self.inside_leaf: tuple[CycloidNode | None, CycloidNode | None] = (None, None)
+        #: (top of preceding cluster, top of succeeding cluster).
+        self.outside_leaf: tuple[CycloidNode | None, CycloidNode | None] = (None, None)
+
+    @property
+    def cid(self) -> CycloidId:
+        """The node's (k, a) identifier."""
+        return self.uid  # type: ignore[return-value]
+
+    @property
+    def k(self) -> int:
+        """Cyclic index."""
+        return self.cid.k
+
+    @property
+    def a(self) -> int:
+        """Cubical index (cluster)."""
+        return self.cid.a
+
+    def table_entries(self) -> list["CycloidNode"]:
+        """All live routing-table entries, duplicates removed."""
+        seen: dict[CycloidId, CycloidNode] = {}
+        candidates = (
+            self.cubical_neighbor,
+            *self.cyclic_neighbors,
+            *self.inside_leaf,
+            *self.outside_leaf,
+        )
+        for node in candidates:
+            if node is not None and node.alive and node is not self:
+                seen[node.cid] = node
+        return list(seen.values())
+
+    def outlinks(self) -> set[CycloidId]:
+        """Distinct live neighbours (Figure 3a metric; ≤ 7 by construction)."""
+        return {node.cid for node in self.table_entries()}
+
+
+class CycloidOverlay:
+    """A simulated Cycloid overlay of dimension ``d``.
+
+    Examples
+    --------
+    >>> overlay = CycloidOverlay(dimension=3)
+    >>> overlay.build_full()
+    >>> overlay.num_nodes
+    24
+    >>> result = overlay.lookup(overlay.node(CycloidId(0, 0)), CycloidId(2, 5))
+    >>> result.owner.cid
+    CycloidId(k=2, a=5)
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        network: SimulatedNetwork | None = None,
+        replication: int = 1,
+        routing_mode: str = "adaptive",
+    ) -> None:
+        require(dimension >= 2, f"dimension must be >= 2, got {dimension}")
+        require(1 <= replication <= dimension, "replication must be in [1, d]")
+        require(
+            routing_mode in ("adaptive", "msb"),
+            f"routing_mode must be 'adaptive' or 'msb', got {routing_mode!r}",
+        )
+        #: Routing discipline while clusters disagree:
+        #:   * "adaptive" (default) — descend immediately, fixing whichever
+        #:     bit the current cyclic level governs; no ascending phase.
+        #:     Correct for any occupancy here because the cubical neighbour
+        #:     targets the closest node of the exact flipped cluster.
+        #:   * "msb" — the Cycloid paper's three-phase discipline: ascend
+        #:     to the most significant differing bit, then descend fixing
+        #:     bits MSB-first.  Longer paths (the ascending phase is pure
+        #:     overhead under full occupancy); kept for fidelity and
+        #:     measured in benchmarks/test_ablation_routing.py.
+        self.routing_mode = routing_mode
+        self.dimension = dimension
+        self.cubical_space = IdSpace(dimension)  # ring of 2**d clusters
+        self.network = network if network is not None else SimulatedNetwork()
+        #: Copies per key: the owner plus ``replication - 1`` cluster
+        #: successors (replicas stay inside the attribute's cluster, so the
+        #: intra-cluster range walk still sees every key).  Default 1
+        #: matches the paper; >= 2 survives crash failures (:meth:`fail`).
+        self.replication = replication
+        self._nodes: dict[CycloidId, CycloidNode] = {}
+        #: cluster -> sorted list of present cyclic indices
+        self._clusters: dict[int, list[int]] = {}
+        #: sorted list of non-empty cluster cubical indices
+        self._cluster_ids: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Membership / construction
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum population, ``d * 2**d``."""
+        return self.dimension * self.cubical_space.size
+
+    @property
+    def num_nodes(self) -> int:
+        """Current live population."""
+        return len(self._nodes)
+
+    @property
+    def node_ids(self) -> list[CycloidId]:
+        """Live node IDs, ordered by (cluster, cyclic index)."""
+        return [
+            CycloidId(k, a) for a in self._cluster_ids for k in self._clusters[a]
+        ]
+
+    def node(self, cid: CycloidId) -> CycloidNode:
+        """The live node with identifier ``cid``."""
+        return self._nodes[cid]
+
+    def nodes(self) -> Iterable[CycloidNode]:
+        """All live nodes."""
+        return (self._nodes[cid] for cid in self.node_ids)
+
+    def cluster_members(self, a: int) -> list[CycloidNode]:
+        """Live nodes of cluster ``a`` ordered by cyclic index."""
+        return [self._nodes[CycloidId(k, a)] for k in self._clusters.get(a, [])]
+
+    def build(self, node_ids: Iterable[CycloidId]) -> None:
+        """Construct a stabilized overlay over ``node_ids`` in one shot."""
+        ids = sorted({CycloidId(k % self.dimension, a % self.cubical_space.size)
+                      for k, a in node_ids})
+        require(bool(ids), "cannot build an empty overlay")
+        self._nodes = {cid: CycloidNode(cid, self.dimension) for cid in ids}
+        self._clusters = {}
+        for cid in ids:
+            self._clusters.setdefault(cid.a, []).append(cid.k)
+        for ks in self._clusters.values():
+            ks.sort()
+        self._cluster_ids = sorted(self._clusters)
+        for node in self._nodes.values():
+            self._refresh_routing_state(node)
+
+    def build_full(self) -> None:
+        """Construct the complete ``d * 2**d`` overlay (the paper's 2048)."""
+        self.build(
+            CycloidId(k, a)
+            for a in range(self.cubical_space.size)
+            for k in range(self.dimension)
+        )
+
+    # ------------------------------------------------------------------
+    # Oracle helpers
+    # ------------------------------------------------------------------
+    def nearest_cluster(self, a: int) -> int:
+        """The non-empty cluster nearest to cubical index ``a``."""
+        require(bool(self._cluster_ids), "overlay is empty")
+        a = self.cubical_space.wrap(a)
+        if a in self._clusters:
+            return a
+        return self.cubical_space.closest(a, self._cluster_ids)
+
+    def closest_node(self, target: CycloidId) -> CycloidNode:
+        """The live node owning key ``target`` (cluster-first closeness).
+
+        First the nearest non-empty cluster to ``target.a`` on the large
+        cycle, then the node with cyclic index nearest ``target.k`` (ties
+        clockwise) inside that cluster.
+        """
+        cluster = self.nearest_cluster(target.a)
+        ks = self._clusters[cluster]
+        d = self.dimension
+        tk = target.k % d
+        best = min(
+            ks,
+            key=lambda k: (min((k - tk) % d, (tk - k) % d), (k - tk) % d),
+        )
+        return self._nodes[CycloidId(best, cluster)]
+
+    def _cluster_neighbor(self, a: int, direction: int) -> int | None:
+        """Nearest non-empty cluster strictly after (+1) / before (-1) ``a``.
+
+        Wraps around the large cycle; returns ``None`` only when ``a`` is
+        the sole non-empty cluster.
+        """
+        ids = self._cluster_ids
+        if not ids:
+            return None
+        if len(ids) == 1:
+            return None if ids[0] == a else ids[0]
+        if direction > 0:
+            idx = bisect.bisect_right(ids, a) % len(ids)
+        else:
+            idx = (bisect.bisect_left(ids, a) - 1) % len(ids)
+        return ids[idx]
+
+    def _refresh_routing_state(self, node: CycloidNode) -> None:
+        """Derive all seven routing entries from the membership oracle."""
+        d = self.dimension
+        k, a = node.cid
+        j = (k - 1) % d
+
+        # Inside leaf set: cyclic predecessor and successor in own cluster.
+        ks = self._clusters[a]
+        if len(ks) == 1:
+            node.inside_leaf = (None, None)
+        else:
+            idx = ks.index(k)
+            pred = self._nodes[CycloidId(ks[(idx - 1) % len(ks)], a)]
+            succ = self._nodes[CycloidId(ks[(idx + 1) % len(ks)], a)]
+            node.inside_leaf = (pred, succ)
+
+        # Cubical neighbour: level j in the cluster differing at bit j.
+        flipped = a ^ (1 << j)
+        cub = self.closest_node(CycloidId(j, flipped))
+        node.cubical_neighbor = cub if cub is not node else None
+
+        # Cyclic neighbours: level-(k-1) nodes of adjacent non-empty clusters.
+        prev_cluster = self._cluster_neighbor(a, -1)
+        next_cluster = self._cluster_neighbor(a, +1)
+        cyc_prev = (
+            self.closest_node(CycloidId(j, prev_cluster))
+            if prev_cluster is not None else None
+        )
+        cyc_next = (
+            self.closest_node(CycloidId(j, next_cluster))
+            if next_cluster is not None else None
+        )
+        node.cyclic_neighbors = (
+            cyc_prev if cyc_prev is not node else None,
+            cyc_next if cyc_next is not node else None,
+        )
+
+        # Outside leaf set: top (largest cyclic index) nodes of the adjacent
+        # clusters on the large cycle.
+        out_prev = (
+            self._nodes[CycloidId(self._clusters[prev_cluster][-1], prev_cluster)]
+            if prev_cluster is not None else None
+        )
+        out_next = (
+            self._nodes[CycloidId(self._clusters[next_cluster][-1], next_cluster)]
+            if next_cluster is not None else None
+        )
+        node.outside_leaf = (
+            out_prev if out_prev is not node else None,
+            out_next if out_next is not node else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Routed lookup
+    # ------------------------------------------------------------------
+    def lookup(self, start: CycloidNode, target: CycloidId) -> LookupResult:
+        """Route from ``start`` to the owner of key ``target``.
+
+        Cube-connected-cycles emulation: while the cubical index disagrees
+        with the owner's cluster, descend one cyclic level per hop — via the
+        cubical link when the bit governed by that level differs, via the
+        inside leaf set otherwise — then walk the final cluster's small
+        cycle to the owner.  Every hop follows a maintained routing-table
+        link; the membership oracle is used only to know when to stop.
+        """
+        owner = self.closest_node(target)
+        cur = start
+        hops = 0
+        path = [cur.cid]
+        visited = {cur.cid}
+        # Fallback big-cycle traversal mode: entered when the CCC/greedy
+        # steps revisit a node (possible while routing state is being
+        # repaired under churn).  It walks strictly clockwise — outside
+        # leaf sets across clusters, then inside leaf successors within the
+        # owner's cluster — which terminates unconditionally.
+        deterministic = False
+        max_hops = 10 * self.dimension + 3 * len(self._cluster_ids) + 4
+        while cur is not owner and hops < max_hops:
+            if deterministic:
+                nxt = self._clockwise_hop(cur, owner)
+            else:
+                nxt = self._next_hop(cur, owner)
+                if nxt is None or nxt is cur or nxt.cid in visited:
+                    deterministic = True
+                    nxt = self._clockwise_hop(cur, owner)
+            if nxt is None or nxt is cur:
+                break
+            cur = nxt
+            hops += 1
+            path.append(cur.cid)
+            visited.add(cur.cid)
+            self.network.count_hop()
+        if cur is not owner:
+            raise RuntimeError(
+                f"Cycloid routing did not converge: {start.cid} -> {target} "
+                f"stopped at {cur.cid} (owner {owner.cid}) after {hops} hops"
+            )
+        return LookupResult(owner=cur, hops=hops, path=tuple(path))
+
+    def _next_hop(self, cur: CycloidNode, owner: CycloidNode) -> CycloidNode | None:
+        d = self.dimension
+        if cur.a == owner.a:
+            # Final phase: walk the cluster's small cycle the short way.
+            pred, succ = cur.inside_leaf
+            forward = (owner.k - cur.k) % d
+            backward = (cur.k - owner.k) % d
+            primary, secondary = (succ, pred) if forward <= backward else (pred, succ)
+            for cand in (primary, secondary):
+                if cand is not None and cand.alive:
+                    return cand
+            return self._greedy_fallback(cur, owner)
+
+        if self.routing_mode == "msb":
+            return self._next_hop_msb(cur, owner)
+
+        j = (cur.k - 1) % d
+        differing = (cur.a ^ owner.a) >> j & 1
+        if differing:
+            cand = cur.cubical_neighbor
+            if cand is not None and cand.alive and cand.a != cur.a:
+                return cand
+        else:
+            pred = cur.inside_leaf[0]
+            if pred is not None and pred.alive:
+                return pred
+            cand = cur.cubical_neighbor  # singleton cluster: leave via cube
+            if cand is not None and cand.alive:
+                return cand
+        return self._greedy_fallback(cur, owner)
+
+    def _next_hop_msb(self, cur: CycloidNode, owner: CycloidNode) -> CycloidNode | None:
+        """The Cycloid paper's MSB-first step (clusters still disagree).
+
+        Let ``l`` be the most significant differing bit.  Ascend (inside
+        leaf successor) while the node's level is too low to fix it, flip
+        via the cubical link when standing exactly at level ``l + 1``, and
+        descend (inside leaf predecessor) when above it.
+        """
+        l = (cur.a ^ owner.a).bit_length() - 1
+        pred, succ = cur.inside_leaf
+        if cur.k == (l + 1) % self.dimension or (cur.k - 1) % self.dimension == l:
+            cand = cur.cubical_neighbor
+            if cand is not None and cand.alive and cand.a != cur.a:
+                return cand
+        elif cur.k < l + 1:
+            if succ is not None and succ.alive:
+                return succ  # ascending phase
+        else:
+            if pred is not None and pred.alive:
+                return pred  # descending phase
+        return self._greedy_fallback(cur, owner)
+
+    def _clockwise_hop(self, cur: CycloidNode, owner: CycloidNode) -> CycloidNode | None:
+        """Strictly clockwise progress: next cluster's top node until the
+        owner's cluster is reached, then the inside-leaf successor.
+
+        Every hop moves to a node not seen before within this mode, so the
+        walk terminates within #clusters + cluster-size hops.
+        """
+        if cur.a != owner.a:
+            for cand in (cur.outside_leaf[1], cur.cyclic_neighbors[1]):
+                if cand is not None and cand.alive:
+                    return cand
+            return None
+        succ = cur.inside_leaf[1]
+        return succ if succ is not None and succ.alive else None
+
+    def _greedy_fallback(self, cur: CycloidNode, owner: CycloidNode) -> CycloidNode | None:
+        """Strictly-improving greedy step over the whole routing table.
+
+        Used when the ideal CCC link is missing (sparse overlay or between
+        repairs under churn).  Falls back to the outside leaf set — the
+        large-cycle traversal — which always makes cluster-ring progress, so
+        routing still terminates.
+        """
+        def badness(node: CycloidNode) -> tuple[int, int]:
+            cluster_dist = self.cubical_space.ring_distance(node.a, owner.a)
+            cyclic_dist = min((node.k - owner.k) % self.dimension,
+                              (owner.k - node.k) % self.dimension)
+            return (cluster_dist, cyclic_dist)
+
+        current_badness = badness(cur)
+        best: CycloidNode | None = None
+        best_badness = current_badness
+        for cand in cur.table_entries():
+            b = badness(cand)
+            if b < best_badness:
+                best, best_badness = cand, b
+        if best is not None:
+            return best
+        # No strictly-improving entry: take an outside-leaf step clockwise.
+        for cand in (cur.outside_leaf[1], cur.outside_leaf[0]):
+            if cand is not None and cand.alive:
+                return cand
+        return None
+
+    # ------------------------------------------------------------------
+    # Intra-cluster walk (LORM's range-query primitive)
+    # ------------------------------------------------------------------
+    def walk_cluster(
+        self, start: CycloidNode, k_from: int, k_to: int
+    ) -> list[CycloidNode]:
+        """Nodes of ``start``'s cluster covering cyclic sector [k_from, k_to].
+
+        LORM's range query routes to the root of the lower bound and then
+        forwards along cluster successors while cyclic positions of the
+        queried range remain ahead (Section III).  Returns the visited
+        nodes in order, ``start`` first; the caller passes
+        ``start = closest(k_from)``.  By Proposition 3.1 the visited nodes
+        cover every cyclic sector the value range can map into.
+
+        Ownership within a cluster is nearest-cyclic-index, so the
+        boundary between two adjacent members sits at the midpoint of
+        their gap (ties clockwise); the walk continues while the next
+        member's first owned position still lies within the queried span —
+        which also handles ranges covering (almost) the whole cluster,
+        where the end owner can wrap behind the start.
+        """
+        d = self.dimension
+        k_from %= d
+        k_to %= d
+        span = (k_to - k_from) % d
+        members = self.cluster_members(start.a)
+        visited = [start]
+        cur = start
+        while len(visited) < len(members):
+            succ = cur.inside_leaf[1]
+            if succ is None or not succ.alive or succ is start:
+                break
+            # First cyclic position owned by succ, clockwise from cur:
+            # the midpoint of the gap (ties go clockwise, i.e. to succ).
+            gap = (succ.k - cur.k) % d
+            first_of_succ = (cur.k + (gap + 1) // 2) % d
+            if (first_of_succ - k_from) % d > span:
+                break
+            cur = succ
+            visited.append(cur)
+        return visited
+
+    # ------------------------------------------------------------------
+    # Key storage
+    # ------------------------------------------------------------------
+    def replica_set(self, key: CycloidId) -> list[CycloidNode]:
+        """Nodes that should hold ``key``: the closest node plus the next
+        ``replication - 1`` distinct members clockwise in its cluster."""
+        owner = self.closest_node(key)
+        members = self.cluster_members(owner.a)
+        idx = members.index(owner)
+        count = min(self.replication, len(members))
+        return [members[(idx + offset) % len(members)] for offset in range(count)]
+
+    def store(self, namespace: str, key: CycloidId, item: Any) -> CycloidNode:
+        """Place ``item`` at the owner of ``key`` (oracle placement).
+
+        With ``replication > 1`` copies go to cluster successors (counted
+        as maintenance messages).
+        """
+        replicas = self.replica_set(key)
+        for holder in replicas:
+            holder.store(namespace, self.linearize(key), item)
+        if len(replicas) > 1:
+            self.network.count_maintenance(len(replicas) - 1)
+        return replicas[0]
+
+    def routed_store(
+        self, start: CycloidNode, namespace: str, key: CycloidId, item: Any
+    ) -> LookupResult:
+        """Insert via a routed lookup from ``start`` (counts hops)."""
+        result = self.lookup(start, key)
+        result.owner.store(namespace, self.linearize(key), item)
+        for holder in self.replica_set(key)[1:]:
+            if holder is not result.owner:
+                holder.store(namespace, self.linearize(key), item)
+                self.network.count_maintenance(1)
+        return result
+
+    def discard(self, namespace: str, key: CycloidId, item: Any) -> int:
+        """Remove ``item``'s copies from the key's replica set; returns the
+        number of copies removed (lease-expiry support)."""
+        key_id = self.linearize(key)
+        removed = 0
+        for holder in self.replica_set(key):
+            if holder.remove_item(namespace, key_id, item):
+                removed += 1
+        return removed
+
+    def linearize(self, cid: CycloidId) -> int:
+        return cid.a * self.dimension + (cid.k % self.dimension)
+
+    def delinearize(self, value: int) -> CycloidId:
+        """Inverse of the internal (k, a) → int storage-key mapping."""
+        return CycloidId(value % self.dimension, value // self.dimension)
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+    def join(self, cid: CycloidId) -> CycloidNode:
+        """A new node joins and takes over the keys now closest to it."""
+        cid = CycloidId(cid.k % self.dimension, cid.a % self.cubical_space.size)
+        require(cid not in self._nodes, f"node {cid} already present")
+        node = CycloidNode(cid, self.dimension)
+        had_members = bool(self._nodes)
+
+        self._nodes[cid] = node
+        ks = self._clusters.setdefault(cid.a, [])
+        bisect.insort(ks, cid.k)
+        if len(ks) == 1:
+            bisect.insort(self._cluster_ids, cid.a)
+
+        self._refresh_routing_state(node)
+        self.network.count_maintenance(7)
+        if had_members:
+            # Keys the newcomer now owns may sit on several donors: its own
+            # cluster's members (intra-cluster redistribution) and the
+            # nearest non-empty cluster on either side (keys whose target
+            # cluster was empty and had been pushed outward).
+            donors: list[CycloidNode] = [
+                member for member in self.cluster_members(cid.a) if member is not node
+            ]
+            for direction in (-1, +1):
+                adjacent = self._cluster_neighbor(cid.a, direction)
+                if adjacent is not None and adjacent != cid.a:
+                    donors.extend(self.cluster_members(adjacent))
+            moved = 0
+            for donor in donors:
+                for namespace, key_id, item in donor.stored_entries():
+                    if self.closest_node(self.delinearize(key_id)) is node:
+                        donor.remove_items(namespace, key_id)
+                        node.store(namespace, key_id, item)
+                        moved += 1
+            if moved:
+                self.network.count_maintenance(1)
+        self._repair_neighbourhood(node)
+        return node
+
+    def leave(self, cid: CycloidId) -> None:
+        """Graceful departure: keys re-home to the new closest node."""
+        require(len(self._nodes) > 1, "cannot remove the last node")
+        node = self._nodes.pop(cid)
+        ks = self._clusters[cid.a]
+        ks.remove(cid.k)
+        if not ks:
+            del self._clusters[cid.a]
+            self._cluster_ids.remove(cid.a)
+        node.alive = False
+        for namespace, key_id, item in node.stored_entries():
+            new_owner = self.closest_node(self.delinearize(key_id))
+            # See ChordRing.leave: dedup only applies under replication.
+            if self.replication == 1 or not new_owner.has_item(namespace, key_id, item):
+                new_owner.store(namespace, key_id, item)
+        node.clear_storage()
+        self.network.count_maintenance(2)
+        self._repair_neighbourhood(node)
+
+    def fail(self, cid: CycloidId) -> None:
+        """Crash failure: the node vanishes without handing off its keys.
+
+        With ``replication >= 2`` the intra-cluster replicas keep every key
+        readable; :meth:`repair_replication` then restores the replica
+        count.  With ``replication = 1`` keys held only here are lost.
+        """
+        require(len(self._nodes) > 1, "cannot remove the last node")
+        node = self._nodes.pop(cid)
+        ks = self._clusters[cid.a]
+        ks.remove(cid.k)
+        if not ks:
+            del self._clusters[cid.a]
+            self._cluster_ids.remove(cid.a)
+        node.alive = False
+        node.clear_storage()  # the crashed node's memory is gone
+        self._repair_neighbourhood(node)
+
+    def repair_replication(self) -> int:
+        """Restore every key to exactly its replica set; returns copies moved."""
+        surviving: dict[tuple[str, int], dict[Any, int]] = {}
+        for node in list(self.nodes()):
+            for namespace, key_id, item in node.stored_entries():
+                bucket = surviving.setdefault((namespace, key_id), {})
+                bucket[item] = max(bucket.get(item, 0), 1)
+            node.clear_storage()
+        moved = 0
+        for (namespace, key_id), items in surviving.items():
+            replicas = self.replica_set(self.delinearize(key_id))
+            for item in items:
+                for holder in replicas:
+                    holder.store(namespace, key_id, item)
+                    moved += 1
+        if moved:
+            self.network.count_maintenance(moved)
+        return moved
+
+    def _repair_neighbourhood(self, node: CycloidNode) -> None:
+        """Refresh routing state around a membership change.
+
+        Cycloid's self-organization repairs the leaf sets of affected
+        cluster members and the outside leaf sets / cyclic links of the
+        adjacent clusters; distant cubical links are refreshed lazily by
+        :meth:`stabilize_all`.
+        """
+        affected: list[CycloidNode] = []
+        if node.a in self._clusters:
+            affected.extend(self.cluster_members(node.a))
+        for direction in (-1, +1):
+            adjacent = self._cluster_neighbor(node.a, direction)
+            if adjacent is not None and adjacent != node.a:
+                affected.extend(self.cluster_members(adjacent))
+        for member in affected:
+            self._refresh_routing_state(member)
+            self.network.count_maintenance(1)
+
+    def stabilize_all(self) -> None:
+        """Periodic stabilization: every node re-derives its routing state."""
+        for node in list(self.nodes()):
+            self._refresh_routing_state(node)
+            self.network.count_maintenance(1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def outlink_counts(self) -> list[int]:
+        """Per-node count of distinct live neighbours (Figure 3a; ≤ 7)."""
+        return [len(node.outlinks()) for node in self.nodes()]
+
+    def directory_sizes(self, namespace: str | None = None) -> list[int]:
+        """Per-node directory sizes (Figure 3b–d)."""
+        return [node.directory_size(namespace) for node in self.nodes()]
+
+    def check_invariants(self) -> None:
+        """Verify leaf-set mutuality and cluster ordering (test support)."""
+        for a, ks in self._clusters.items():
+            assert ks == sorted(ks), f"cluster {a} not ordered"
+            members = self.cluster_members(a)
+            for idx, member in enumerate(members):
+                if len(members) == 1:
+                    assert member.inside_leaf == (None, None)
+                    continue
+                pred, succ = member.inside_leaf
+                assert pred is members[(idx - 1) % len(members)], (
+                    f"{member.cid}: inside-leaf predecessor mismatch"
+                )
+                assert succ is members[(idx + 1) % len(members)], (
+                    f"{member.cid}: inside-leaf successor mismatch"
+                )

@@ -1,0 +1,132 @@
+"""Shared overlay-node abstractions.
+
+Every DHT node — Chord or Cycloid — stores opaque *items* under
+``(namespace, key_id)`` pairs.  Namespaces let several logical indexes share
+one physical overlay (Mercury's per-attribute hubs, MAAN's separate
+attribute and value maps) while keeping per-node *directory size*
+accounting — the quantity plotted throughout Figure 3 — exact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["LookupResult", "OverlayNode"]
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a routed DHT lookup.
+
+    Attributes
+    ----------
+    owner:
+        The node responsible for the looked-up key.
+    hops:
+        Logical hops (overlay messages) traversed from the requester to the
+        owner — the paper's Figure 4 metric.
+    path:
+        Identifiers of every node on the route, requester first.
+    """
+
+    owner: "OverlayNode"
+    hops: int
+    path: tuple[Any, ...]
+
+
+class OverlayNode:
+    """A DHT node with namespaced key→items storage.
+
+    Subclasses add their overlay-specific routing state (finger tables for
+    Chord, the seven-entry routing table for Cycloid).
+    """
+
+    __slots__ = ("uid", "alive", "_store")
+
+    def __init__(self, uid: Any) -> None:
+        #: Overlay-specific identifier (int for Chord, (k, a) for Cycloid).
+        self.uid = uid
+        #: False once the node has left; dead nodes are skipped by routing.
+        self.alive = True
+        self._store: dict[str, dict[int, list[Any]]] = {}
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def store(self, namespace: str, key_id: int, item: Any) -> None:
+        """Store ``item`` under ``key_id`` within ``namespace``."""
+        self._store.setdefault(namespace, defaultdict(list))[key_id].append(item)
+
+    def has_item(self, namespace: str, key_id: int, item: Any) -> bool:
+        """Whether ``item`` is already stored under ``(namespace, key_id)``.
+
+        Used by replication-aware transfers to avoid duplicating copies.
+        """
+        ns = self._store.get(namespace)
+        if ns is None:
+            return False
+        return item in ns.get(key_id, ())
+
+    def items_at(self, namespace: str, key_id: int) -> list[Any]:
+        """Items stored under exactly ``(namespace, key_id)``."""
+        ns = self._store.get(namespace)
+        if ns is None:
+            return []
+        return list(ns.get(key_id, ()))
+
+    def items_in(self, namespace: str) -> list[Any]:
+        """All items in ``namespace`` regardless of key."""
+        ns = self._store.get(namespace)
+        if ns is None:
+            return []
+        return [item for bucket in ns.values() for item in bucket]
+
+    def stored_entries(self) -> list[tuple[str, int, Any]]:
+        """Every stored ``(namespace, key_id, item)`` triple (for re-homing)."""
+        return [
+            (namespace, key_id, item)
+            for namespace, buckets in self._store.items()
+            for key_id, bucket in buckets.items()
+            for item in bucket
+        ]
+
+    def remove_items(self, namespace: str, key_id: int) -> list[Any]:
+        """Remove and return all items under ``(namespace, key_id)``."""
+        ns = self._store.get(namespace)
+        if ns is None:
+            return []
+        return list(ns.pop(key_id, ()))
+
+    def remove_item(self, namespace: str, key_id: int, item: Any) -> bool:
+        """Remove one copy of ``item``; True if a copy was present."""
+        ns = self._store.get(namespace)
+        if ns is None:
+            return False
+        bucket = ns.get(key_id)
+        if not bucket or item not in bucket:
+            return False
+        bucket.remove(item)
+        if not bucket:
+            del ns[key_id]
+        return True
+
+    def clear_storage(self) -> None:
+        """Drop every stored item (used after transfer on departure)."""
+        self._store.clear()
+
+    def directory_size(self, namespace: str | None = None) -> int:
+        """Number of stored resource-information pieces.
+
+        With ``namespace`` given, counts only that namespace; otherwise the
+        node's full directory.  This is Figure 3's per-node *directory size*.
+        """
+        if namespace is not None:
+            ns = self._store.get(namespace)
+            return sum(len(b) for b in ns.values()) if ns else 0
+        return sum(len(b) for ns in self._store.values() for b in ns.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self.alive else "dead"
+        return f"<{type(self).__name__} {self.uid} {state} dir={self.directory_size()}>"

@@ -1,0 +1,10 @@
+"""Terminal plotting (the offline environment has no matplotlib).
+
+Every figure is emitted as CSV plus an ASCII line chart rendered by
+:func:`~repro.plotting.ascii.ascii_chart`.
+"""
+
+from repro.plotting.ascii import ascii_chart
+from repro.plotting.topology import render_cluster_grid, render_ring_load
+
+__all__ = ["ascii_chart", "render_cluster_grid", "render_ring_load"]

@@ -1,0 +1,128 @@
+"""ASCII line charts for figure output in the terminal.
+
+Renders multiple named series on a shared grid with optional logarithmic
+y-axis (Figure 5(a) is log-scale in the paper).  Each series gets a marker
+character; collisions show the later series' marker.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.utils.formatting import format_float
+from repro.utils.validation import require
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox*+#@%&"
+
+
+def _ticks(lo: float, hi: float, count: int) -> list[float]:
+    if math.isclose(lo, hi):
+        return [lo] * count
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def ascii_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to ``(xs, ys)``.
+    log_y:
+        Plot ``log10(y)`` on the vertical axis (requires positive y).
+
+    Examples
+    --------
+    >>> out = ascii_chart({"s": ([1, 2, 3], [1, 4, 9])}, title="demo")
+    >>> "demo" in out and "s" in out
+    True
+    """
+    require(bool(series), "need at least one series")
+    all_x = [float(x) for xs, _ in series.values() for x in xs]
+    all_y = [float(y) for _, ys in series.values() for y in ys]
+    require(bool(all_x), "series contain no points")
+    if log_y:
+        require(min(all_y) > 0, "log_y requires strictly positive values")
+        transform = math.log10
+    else:
+        def transform(v: float) -> float:
+            return v
+
+    x_lo, x_hi = min(all_x), max(all_x)
+    t_y = [transform(y) for y in all_y]
+    y_lo, y_hi = min(t_y), max(t_y)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, int((x - x_lo) / (x_hi - x_lo) * (width - 1) + 0.5))
+
+    def to_row(y: float) -> int:
+        frac = (transform(y) - y_lo) / (y_hi - y_lo)
+        return min(height - 1, int((1.0 - frac) * (height - 1) + 0.5))
+
+    legend: list[str] = []
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        points = sorted(zip(xs, ys))
+        # Draw line segments by linear interpolation between points.
+        for (x1, y1), (x2, y2) in zip(points, points[1:]):
+            c1, c2 = to_col(x1), to_col(x2)
+            for col in range(c1, c2 + 1):
+                if c2 == c1:
+                    y = y1
+                else:
+                    f = (col - c1) / (c2 - c1)
+                    if log_y:
+                        y = 10 ** (
+                            transform(y1) + f * (transform(y2) - transform(y1))
+                        )
+                    else:
+                        y = y1 + f * (y2 - y1)
+                grid[to_row(y)][col] = "." if grid[to_row(y)][col] == " " else grid[to_row(y)][col]
+        for x, y in points:
+            grid[to_row(y)][to_col(x)] = marker
+
+    y_axis_ticks = _ticks(y_lo, y_hi, 4)
+    label_width = max(
+        len(format_float(10**t if log_y else t)) for t in y_axis_ticks
+    )
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    scale_note = " (log y)" if log_y else ""
+    lines.append(f"{y_label}{scale_note}")
+    tick_rows = {0, height // 3, 2 * height // 3, height - 1}
+    for row in range(height):
+        if row in tick_rows:
+            frac = 1.0 - row / (height - 1)
+            t = y_lo + frac * (y_hi - y_lo)
+            value = 10**t if log_y else t
+            label = format_float(value).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(grid[row])}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_ticks = _ticks(x_lo, x_hi, 4)
+    tick_text = "    ".join(format_float(t) for t in x_ticks)
+    lines.append(" " * (label_width + 2) + tick_text + f"   [{x_label}]")
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""ASCII topology/load rendering for the overlays.
+
+Two renderers for eyeballing placement and balance in the terminal:
+
+* :func:`render_ring_load` — a Chord ring unrolled into fixed-width bins,
+  one glyph per bin encoding the directory load of the nodes inside it;
+  makes SWORD's attribute-root hotspots or a skewed LPH instantly visible.
+* :func:`render_cluster_grid` — Cycloid as a cluster × cyclic-index grid,
+  load-glyph per node; shows LORM's one-attribute-per-cluster striping.
+
+Glyph scale: ``.`` empty, then ``▁▂▃▄▅▆▇█`` by load relative to the
+maximum (falls back to ``12345678`` with ``ascii_only=True``).
+"""
+
+from __future__ import annotations
+
+from repro.overlay.chord import ChordRing
+from repro.overlay.cycloid import CycloidOverlay
+from repro.utils.validation import require
+
+__all__ = ["render_cluster_grid", "render_ring_load"]
+
+_BLOCKS = ".▁▂▃▄▅▆▇█"
+_ASCII = ".12345678"
+
+
+def _glyph(load: float, max_load: float, ascii_only: bool) -> str:
+    scale = _ASCII if ascii_only else _BLOCKS
+    if load <= 0 or max_load <= 0:
+        return scale[0]
+    level = 1 + int((load / max_load) * (len(scale) - 2) + 0.5)
+    return scale[min(level, len(scale) - 1)]
+
+
+def render_ring_load(
+    ring: ChordRing,
+    namespace: str | None = None,
+    *,
+    width: int = 64,
+    ascii_only: bool = False,
+) -> str:
+    """Render a Chord ring's per-node directory load into ``width`` bins.
+
+    Each bin aggregates the load of nodes whose IDs fall inside it; the
+    legend reports the heaviest node.
+    """
+    require(width >= 8, "width must be >= 8")
+    bins = [0.0] * width
+    size = ring.space.size
+    heaviest = (None, 0)
+    for node in ring.nodes():
+        load = node.directory_size(namespace)
+        bins[node.node_id * width // size] += load
+        if load > heaviest[1]:
+            heaviest = (node.node_id, load)
+    max_bin = max(bins) if bins else 0.0
+    row = "".join(_glyph(b, max_bin, ascii_only) for b in bins)
+    what = f"namespace {namespace!r}" if namespace else "all namespaces"
+    lines = [
+        f"Chord ring load ({ring.num_nodes} nodes, {what})",
+        f"id 0 {'-' * (width - 10)} {size - 1}",
+        row,
+        f"max bin: {max_bin:.0f} pieces; heaviest node: "
+        f"{heaviest[0]} ({heaviest[1]} pieces)",
+    ]
+    return "\n".join(lines)
+
+
+def render_cluster_grid(
+    overlay: CycloidOverlay,
+    namespace: str | None = None,
+    *,
+    clusters_per_row: int = 32,
+    ascii_only: bool = False,
+) -> str:
+    """Render a Cycloid overlay as cluster columns × cyclic-index rows.
+
+    Column ``a`` holds cluster ``a``; row ``k`` (top = high k) shows the
+    node ``(k, a)``'s load glyph, or a space when the position is vacant.
+    """
+    require(clusters_per_row >= 4, "clusters_per_row must be >= 4")
+    d = overlay.dimension
+    num_clusters = overlay.cubical_space.size
+    loads: dict[tuple[int, int], float] = {}
+    max_load = 0.0
+    for node in overlay.nodes():
+        load = node.directory_size(namespace)
+        loads[(node.k, node.a)] = load
+        max_load = max(max_load, load)
+
+    what = f"namespace {namespace!r}" if namespace else "all namespaces"
+    lines = [
+        f"Cycloid d={d} load grid ({overlay.num_nodes}/{overlay.capacity} "
+        f"nodes, {what}; columns = clusters, rows = cyclic index)"
+    ]
+    for band_start in range(0, num_clusters, clusters_per_row):
+        band = range(band_start, min(band_start + clusters_per_row, num_clusters))
+        lines.append(f"clusters {band.start}..{band.stop - 1}:")
+        for k in range(d - 1, -1, -1):
+            cells = []
+            for a in band:
+                if (k, a) in loads:
+                    cells.append(_glyph(loads[(k, a)], max_load, ascii_only))
+                else:
+                    cells.append(" ")
+            lines.append(f"  k={k} |{''.join(cells)}|")
+    lines.append(f"max node load: {max_load:.0f} pieces")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+The paper's evaluation is a discrete-event simulation of DHT overlays; this
+package rebuilds that substrate: a deterministic event engine
+(:mod:`~repro.sim.engine`), message/hop accounting
+(:mod:`~repro.sim.network`), the Poisson churn process of Section V-C
+(:mod:`~repro.sim.churn`) and metric collection with the 1st/99th-percentile
+summaries used throughout Figure 3 (:mod:`~repro.sim.metrics`).
+"""
+
+from repro.sim.churn import ChurnEvent, ChurnProcess
+from repro.sim.engine import Event, Simulator
+from repro.sim.metrics import MetricsRegistry, SummaryStats, summarize
+from repro.sim.network import MessageStats, SimulatedNetwork
+from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnProcess",
+    "Event",
+    "MessageStats",
+    "MetricsRegistry",
+    "SimulatedNetwork",
+    "Simulator",
+    "SummaryStats",
+    "summarize",
+    "TraceEvent",
+    "TraceEventKind",
+    "TraceRecorder",
+]

@@ -1,0 +1,109 @@
+"""Poisson churn process (Section V-C of the paper).
+
+The paper models the node join/departure rate ``R`` as a Poisson process,
+"one resource join and one resource departure every 2.5 seconds with
+R = 0.4" — i.e. joins arrive as a Poisson process of rate ``R`` per second
+and departures as an independent Poisson process of the same rate, so the
+population stays balanced around its initial size.
+
+:class:`ChurnProcess` generates the event stream; the experiment harness
+binds each event to the overlay's ``join``/``leave`` operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.utils.validation import require_positive
+
+__all__ = ["ChurnEvent", "ChurnEventKind", "ChurnProcess"]
+
+
+class ChurnEventKind(str, Enum):
+    """Whether a churn event adds or removes a node."""
+
+    JOIN = "join"
+    LEAVE = "leave"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One churn event: a node joins or leaves at simulated ``time``."""
+
+    time: float
+    kind: ChurnEventKind
+
+
+@dataclass
+class ChurnProcess:
+    """Two independent Poisson streams (joins, departures) of rate ``rate``.
+
+    Parameters
+    ----------
+    rate:
+        Events per second *per stream*; ``rate=0.4`` reproduces the paper's
+        example of one join and one departure every 2.5 s on average.
+    rng:
+        NumPy generator supplying the exponential inter-arrival times.
+    """
+
+    rate: float
+    rng: np.random.Generator
+
+    def __post_init__(self) -> None:
+        require_positive(self.rate, "rate")
+
+    def events_until(self, horizon: float) -> list[ChurnEvent]:
+        """All churn events in ``[0, horizon)``, time-ordered."""
+        events = [
+            ChurnEvent(t, kind)
+            for kind in (ChurnEventKind.JOIN, ChurnEventKind.LEAVE)
+            for t in self._arrivals(horizon)
+        ]
+        events.sort(key=lambda e: e.time)
+        return events
+
+    def stream(self) -> Iterator[ChurnEvent]:
+        """Unbounded time-ordered stream of churn events."""
+        next_join = self._expovariate()
+        next_leave = self._expovariate()
+        while True:
+            if next_join <= next_leave:
+                yield ChurnEvent(next_join, ChurnEventKind.JOIN)
+                next_join += self._expovariate()
+            else:
+                yield ChurnEvent(next_leave, ChurnEventKind.LEAVE)
+                next_leave += self._expovariate()
+
+    def install(
+        self,
+        sim: Simulator,
+        horizon: float,
+        on_join: Callable[[], None],
+        on_leave: Callable[[], None],
+    ) -> int:
+        """Schedule every churn event up to ``horizon`` on ``sim``.
+
+        Returns the number of events installed.
+        """
+        events = self.events_until(horizon)
+        for event in events:
+            action = on_join if event.kind is ChurnEventKind.JOIN else on_leave
+            sim.schedule_at(event.time, action, name=f"churn-{event.kind.value}")
+        return len(events)
+
+    def _expovariate(self) -> float:
+        return float(self.rng.exponential(1.0 / self.rate))
+
+    def _arrivals(self, horizon: float) -> list[float]:
+        times: list[float] = []
+        t = self._expovariate()
+        while t < horizon:
+            times.append(t)
+            t += self._expovariate()
+        return times

@@ -1,0 +1,128 @@
+"""Metric collection and the percentile summaries used in Figure 3.
+
+The paper reports, for directory sizes, the mean together with the 1st and
+99th percentiles; for hop counts it reports means and totals.
+:func:`summarize` computes exactly that summary from raw samples, and
+:class:`MetricsRegistry` is the shared sink the services write their
+per-operation accounting into.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize", "MetricsRegistry"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / percentile summary of a sample, as plotted in Figure 3."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p01: float
+    median: float
+    p99: float
+    maximum: float
+    total: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict form for CSV emission."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p01": self.p01,
+            "median": self.median,
+            "p99": self.p99,
+            "max": self.maximum,
+            "total": self.total,
+        }
+
+
+def summarize(samples: Sequence[float]) -> SummaryStats:
+    """Summary statistics of ``samples`` (1st/99th percentiles included).
+
+    Percentiles use linear interpolation, matching ``numpy`` defaults.
+
+    Examples
+    --------
+    >>> summarize([1, 2, 3]).mean
+    2.0
+    """
+    if len(samples) == 0:
+        return SummaryStats(0, float("nan"), float("nan"), float("nan"),
+                            float("nan"), float("nan"), float("nan"),
+                            float("nan"), 0.0)
+    arr = np.asarray(samples, dtype=float)
+    p01, median, p99 = np.percentile(arr, [1, 50, 99])
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        p01=float(p01),
+        median=float(median),
+        p99=float(p99),
+        maximum=float(arr.max()),
+        total=float(arr.sum()),
+    )
+
+
+class MetricsRegistry:
+    """Named counters and sample accumulators.
+
+    Services record one sample per operation (e.g. ``lookup.hops``) and
+    monotone counters (e.g. ``messages.sent``); experiments read them back
+    as :class:`SummaryStats`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: defaultdict[str, float] = defaultdict(float)
+        self._samples: defaultdict[str, list[float]] = defaultdict(list)
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Increase counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters[name]
+
+    def record(self, name: str, value: float) -> None:
+        """Append one sample to series ``name``."""
+        self._samples[name].append(float(value))
+
+    def samples(self, name: str) -> list[float]:
+        """Raw samples recorded under ``name``."""
+        return list(self._samples[name])
+
+    def summary(self, name: str) -> SummaryStats:
+        """Summary of series ``name``."""
+        return summarize(self._samples[name])
+
+    def reset(self, name: str | None = None) -> None:
+        """Clear one series/counter, or everything when ``name`` is None."""
+        if name is None:
+            self._counters.clear()
+            self._samples.clear()
+        else:
+            self._counters.pop(name, None)
+            self._samples.pop(name, None)
+
+    @property
+    def series_names(self) -> tuple[str, ...]:
+        """Names of all recorded sample series."""
+        return tuple(self._samples)
+
+    @property
+    def counter_names(self) -> tuple[str, ...]:
+        """Names of all counters."""
+        return tuple(self._counters)

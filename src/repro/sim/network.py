@@ -1,0 +1,88 @@
+"""Message and hop accounting for the simulated overlay network.
+
+The paper's efficiency metrics are *logical hops* (routing messages
+traversed by a lookup) and *visited nodes* (nodes that receive a query and
+check their directory).  :class:`SimulatedNetwork` is the single place
+where every overlay message is counted, so the experiment harness can read
+totals without each overlay keeping its own books.
+
+A simple latency model (constant per-hop delay) is included for the
+event-driven churn experiments; the static experiments only use the
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import require_positive
+
+__all__ = ["MessageStats", "SimulatedNetwork"]
+
+
+@dataclass
+class MessageStats:
+    """Running totals of overlay traffic."""
+
+    messages: int = 0
+    routing_hops: int = 0
+    directory_checks: int = 0
+    maintenance_messages: int = 0
+
+    def snapshot(self) -> "MessageStats":
+        """An independent copy of the current totals."""
+        return MessageStats(
+            messages=self.messages,
+            routing_hops=self.routing_hops,
+            directory_checks=self.directory_checks,
+            maintenance_messages=self.maintenance_messages,
+        )
+
+    def delta_since(self, earlier: "MessageStats") -> "MessageStats":
+        """Totals accumulated since ``earlier`` was snapshotted."""
+        return MessageStats(
+            messages=self.messages - earlier.messages,
+            routing_hops=self.routing_hops - earlier.routing_hops,
+            directory_checks=self.directory_checks - earlier.directory_checks,
+            maintenance_messages=self.maintenance_messages - earlier.maintenance_messages,
+        )
+
+
+@dataclass
+class SimulatedNetwork:
+    """Hop/message accounting plus a constant-latency model.
+
+    Parameters
+    ----------
+    hop_latency:
+        Simulated one-way latency of a single overlay hop, in seconds.
+        Only consumed by the event-driven churn harness.
+    """
+
+    hop_latency: float = 0.05
+    stats: MessageStats = field(default_factory=MessageStats)
+
+    def __post_init__(self) -> None:
+        require_positive(self.hop_latency, "hop_latency")
+
+    def count_hop(self, n: int = 1) -> None:
+        """Record ``n`` routing hops (each hop is one message)."""
+        self.stats.routing_hops += n
+        self.stats.messages += n
+
+    def count_directory_check(self, n: int = 1) -> None:
+        """Record ``n`` visited nodes (query received, directory checked)."""
+        self.stats.directory_checks += n
+
+    def count_maintenance(self, n: int = 1) -> None:
+        """Record ``n`` maintenance messages (stabilize, leaf-set repair…)."""
+        self.stats.maintenance_messages += n
+        self.stats.messages += n
+
+    def latency_of(self, hops: int) -> float:
+        """Simulated completion latency of a ``hops``-hop route."""
+        return hops * self.hop_latency
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.stats = MessageStats()

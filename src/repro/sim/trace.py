@@ -1,0 +1,127 @@
+"""Structured event tracing for simulations.
+
+A bounded, filterable trace of what happened inside an experiment: routed
+lookups with their paths, churn events, storage transfers.  Used for
+debugging routing regressions ("why did this lookup take 14 hops?") and by
+tests that assert *sequences* of behaviour rather than end states.
+
+The tracer is deliberately decoupled from the overlays: callers attach it
+where they need it (`TraceRecorder.record(...)`) and overlays stay free of
+tracing branches on the hot path when no recorder is attached.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.utils.validation import require
+
+__all__ = ["TraceEvent", "TraceEventKind", "TraceRecorder"]
+
+
+class TraceEventKind(str, Enum):
+    """Categories of traced events."""
+
+    LOOKUP = "lookup"
+    RANGE_WALK = "range-walk"
+    STORE = "store"
+    TRANSFER = "transfer"
+    JOIN = "join"
+    LEAVE = "leave"
+    FAIL = "fail"
+    STABILIZE = "stabilize"
+    QUERY = "query"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence."""
+
+    kind: TraceEventKind
+    time: float
+    subject: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """One-line human-readable rendering."""
+        details = " ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[{self.time:10.3f}] {self.kind.value:<10} {self.subject} {details}".rstrip()
+
+
+class TraceRecorder:
+    """Bounded ring buffer of :class:`TraceEvent` with filtering.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained events; older events are dropped FIFO, and
+        :attr:`dropped` counts how many.
+    clock:
+        Callable returning the current simulation time (defaults to a
+        zero clock for non-event-driven uses).
+    """
+
+    def __init__(
+        self, capacity: int = 10_000, clock: Callable[[], float] | None = None
+    ) -> None:
+        require(capacity >= 1, "capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        #: Events evicted because the buffer was full.
+        self.dropped = 0
+        self._counts: Counter[TraceEventKind] = Counter()
+
+    def record(
+        self, kind: TraceEventKind | str, subject: str, **detail: Any
+    ) -> TraceEvent:
+        """Append one event; returns it."""
+        kind = TraceEventKind(kind)
+        event = TraceEvent(kind=kind, time=self._clock(), subject=subject, detail=detail)
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        self._counts[kind] += 1
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        kind: TraceEventKind | str | None = None,
+        subject: str | None = None,
+    ) -> list[TraceEvent]:
+        """Retained events, optionally filtered by kind and/or subject."""
+        if kind is not None:
+            kind = TraceEventKind(kind)
+        return [
+            e
+            for e in self._events
+            if (kind is None or e.kind is kind)
+            and (subject is None or e.subject == subject)
+        ]
+
+    def count(self, kind: TraceEventKind | str) -> int:
+        """Total events of ``kind`` ever recorded (including dropped)."""
+        return self._counts[TraceEventKind(kind)]
+
+    def last(self, kind: TraceEventKind | str | None = None) -> TraceEvent | None:
+        """The most recent (matching) event, or None."""
+        matching = self.events(kind)
+        return matching[-1] if matching else None
+
+    def clear(self) -> None:
+        """Drop all retained events (counters keep their totals)."""
+        self._events.clear()
+
+    def dump(self) -> str:
+        """All retained events, one formatted line each."""
+        return "\n".join(event.format() for event in self._events)

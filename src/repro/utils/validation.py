@@ -1,0 +1,29 @@
+"""Small argument-validation helpers used across the package.
+
+These raise early with precise messages instead of letting malformed
+parameters surface as obscure failures deep inside a simulation run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["require", "require_positive", "require_in_range"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def require_in_range(value: Any, lo: Any, hi: Any, name: str) -> None:
+    """Raise unless ``lo <= value <= hi`` (inclusive both ends)."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo!r}, {hi!r}], got {value!r}")

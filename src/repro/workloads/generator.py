@@ -1,0 +1,204 @@
+"""Resource and query generators reproducing the paper's workload.
+
+* ``k`` providers per attribute report Bounded-Pareto values —
+  :meth:`GridWorkload.resource_infos` yields the full ``m × k`` set of
+  resource-information pieces.
+* Query attributes are "randomly generated" — sampled uniformly without
+  replacement.
+* Range queries target the paper's *average case* of Theorem 4.9: the
+  expected covered fraction of the (hashed) value space is 1/4, achieved by
+  drawing the quantile span uniformly from ``[0, 1/2]`` and placing it
+  uniformly inside the quantile space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.core.resource import (
+    AttributeConstraint,
+    MultiAttributeQuery,
+    ResourceInfo,
+)
+from repro.utils.seeding import SeedFactory
+from repro.utils.validation import require
+from repro.workloads.attributes import AttributeSchema
+
+__all__ = ["GridWorkload", "QueryKind"]
+
+
+class QueryKind(str, Enum):
+    """Shape of the generated per-attribute constraints."""
+
+    POINT = "point"  # non-range query (Figures 4 / 6a)
+    RANGE = "range"  # doubly-bounded range (Figures 5 / 6b)
+    AT_LEAST = "at-least"  # one-sided range, "CPU >= 1.8GHz"
+
+
+@dataclass
+class GridWorkload:
+    """Deterministic generator of providers, resource infos and queries.
+
+    Parameters
+    ----------
+    schema:
+        The globally-known attribute types.
+    infos_per_attribute:
+        ``k`` — resource-information pieces per attribute (paper: 500).
+        Provider ``p`` reports one value for every attribute, so there are
+        exactly ``k`` providers and ``m*k`` info pieces in total.
+    seed:
+        Master seed; the full workload is a pure function of it.
+    mean_span_fraction:
+        Expected quantile-space fraction covered by a RANGE constraint
+        (paper's average case: 0.25).  The span is drawn uniformly from
+        ``[0, 2 * mean_span_fraction]``.
+    """
+
+    schema: AttributeSchema
+    infos_per_attribute: int = 500
+    seed: int = 0
+    mean_span_fraction: float = 0.25
+    _seeds: SeedFactory = field(init=False, repr=False)
+    _values: dict[str, np.ndarray] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        require(self.infos_per_attribute >= 1, "need at least one info per attribute")
+        require(
+            0.0 < self.mean_span_fraction <= 0.5,
+            f"mean_span_fraction must be in (0, 0.5], got {self.mean_span_fraction}",
+        )
+        self._seeds = SeedFactory(self.seed)
+        rng = self._seeds.numpy("provider-values")
+        self._values = {
+            spec.name: np.asarray(
+                spec.distribution.sample(rng, self.infos_per_attribute), dtype=float
+            )
+            for spec in self.schema
+        }
+
+    # ------------------------------------------------------------------
+    # Providers and resource information
+    # ------------------------------------------------------------------
+    @property
+    def num_providers(self) -> int:
+        """Number of distinct providers (= ``k``)."""
+        return self.infos_per_attribute
+
+    def provider_name(self, index: int) -> str:
+        """Stable provider address, ``grid-node-0042`` style."""
+        return f"grid-node-{index:05d}"
+
+    def provider_value(self, attribute: str, provider_index: int) -> float:
+        """The value provider ``provider_index`` reports for ``attribute``."""
+        return float(self._values[attribute][provider_index])
+
+    def resource_infos(self) -> Iterator[ResourceInfo]:
+        """All ``m * k`` resource-information pieces, provider-major order."""
+        for p in range(self.num_providers):
+            provider = self.provider_name(p)
+            for spec in self.schema:
+                yield ResourceInfo(spec.name, float(self._values[spec.name][p]), provider)
+
+    def infos_for_attribute(self, attribute: str) -> list[ResourceInfo]:
+        """The ``k`` info pieces of one attribute."""
+        return [
+            ResourceInfo(attribute, float(v), self.provider_name(p))
+            for p, v in enumerate(self._values[attribute])
+        ]
+
+    def total_info_pieces(self) -> int:
+        """``m * k`` — the system-wide resource-information count."""
+        return len(self.schema) * self.infos_per_attribute
+
+    # ------------------------------------------------------------------
+    # Query sampling
+    # ------------------------------------------------------------------
+    def sample_constraint(
+        self,
+        attribute: str,
+        kind: QueryKind = QueryKind.RANGE,
+        rng: np.random.Generator | None = None,
+    ) -> AttributeConstraint:
+        """One constraint on ``attribute`` of the requested ``kind``.
+
+        RANGE constraints are placed in quantile space (see module
+        docstring) so their expected hashed span is ``mean_span_fraction``
+        regardless of the Pareto skew.  POINT constraints sample an
+        *existing* provider value so that non-range queries have hits.
+        """
+        rng = rng if rng is not None else self._seeds.numpy("adhoc-constraint")
+        spec = self.schema.spec(attribute)
+        dist = spec.distribution
+        if kind is QueryKind.POINT:
+            values = self._values[attribute]
+            return AttributeConstraint.point(
+                attribute, float(values[int(rng.integers(len(values)))])
+            )
+        if kind is QueryKind.AT_LEAST:
+            # Lower bound placed so the expected covered quantile mass is
+            # mean_span_fraction: U ~ Uniform(1 - 2*msf, 1) covers on
+            # average msf of the space.
+            u = float(rng.uniform(1.0 - 2.0 * self.mean_span_fraction, 1.0))
+            return AttributeConstraint.at_least(attribute, dist.ppf(u))
+        span = float(rng.uniform(0.0, 2.0 * self.mean_span_fraction))
+        start = float(rng.uniform(0.0, 1.0 - span))
+        return AttributeConstraint.between(
+            attribute, dist.ppf(start), dist.ppf(start + span)
+        )
+
+    def sample_multi_query(
+        self,
+        num_attributes: int,
+        kind: QueryKind = QueryKind.RANGE,
+        rng: np.random.Generator | None = None,
+        requester: str = "requester",
+    ) -> MultiAttributeQuery:
+        """An m-attribute query over uniformly chosen distinct attributes."""
+        require(
+            1 <= num_attributes <= len(self.schema),
+            f"num_attributes must be in [1, {len(self.schema)}], got {num_attributes}",
+        )
+        rng = rng if rng is not None else self._seeds.numpy("adhoc-query")
+        chosen = rng.choice(len(self.schema), size=num_attributes, replace=False)
+        constraints = tuple(
+            self.sample_constraint(self.schema.specs[int(i)].name, kind, rng)
+            for i in chosen
+        )
+        return MultiAttributeQuery(constraints, requester=requester)
+
+    def query_stream(
+        self,
+        count: int,
+        num_attributes: int,
+        kind: QueryKind = QueryKind.RANGE,
+        label: str = "queries",
+    ) -> Iterator[MultiAttributeQuery]:
+        """A deterministic stream of ``count`` multi-attribute queries."""
+        rng = self._seeds.numpy(f"query-stream:{label}:{num_attributes}:{kind.value}")
+        for i in range(count):
+            yield self.sample_multi_query(
+                num_attributes, kind, rng, requester=f"requester-{i:05d}"
+            )
+
+    # ------------------------------------------------------------------
+    # Ground truth (for equivalence tests)
+    # ------------------------------------------------------------------
+    def matching_providers_bruteforce(self, query: MultiAttributeQuery) -> frozenset[str]:
+        """Providers satisfying every constraint, by exhaustive scan."""
+        result: set[str] | None = None
+        for constraint in query.constraints:
+            values = self._values[constraint.attribute]
+            hits = {
+                self.provider_name(p)
+                for p, v in enumerate(values)
+                if constraint.matches(float(v))
+            }
+            result = hits if result is None else (result & hits)
+            if not result:
+                return frozenset()
+        return frozenset(result or set())

@@ -1,0 +1,93 @@
+"""Bounded Pareto distribution.
+
+The paper: "We used Bounded Pareto distribution function to generate
+resource values owned by a node and requested by a node."  The bounded
+(truncated) Pareto on ``[L, H]`` with shape ``alpha`` has density
+
+    f(x) = alpha * L^alpha * x^(-alpha-1) / (1 - (L/H)^alpha)
+
+Implemented from scratch (CDF, quantile function, moments, sampling) so the
+CDF-calibrated locality-preserving hash can be driven analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+
+__all__ = ["BoundedPareto"]
+
+
+@dataclass(frozen=True)
+class BoundedPareto:
+    """Bounded Pareto on ``[low, high]`` with shape ``alpha``.
+
+    Examples
+    --------
+    >>> d = BoundedPareto(alpha=2.0, low=1.0, high=100.0)
+    >>> round(d.cdf(1.0), 6), round(d.cdf(100.0), 6)
+    (0.0, 1.0)
+    >>> abs(d.cdf(d.ppf(0.3)) - 0.3) < 1e-12
+    True
+    """
+
+    alpha: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.alpha, "alpha")
+        require_positive(self.low, "low")
+        require(self.high > self.low, f"need high > low, got [{self.low}, {self.high}]")
+
+    @property
+    def _norm(self) -> float:
+        """The truncation normaliser ``1 - (L/H)^alpha``."""
+        return 1.0 - (self.low / self.high) ** self.alpha
+
+    def cdf(self, x: float) -> float:
+        """Cumulative distribution function F(x)."""
+        if x <= self.low:
+            return 0.0
+        if x >= self.high:
+            return 1.0
+        return (1.0 - (self.low / x) ** self.alpha) / self._norm
+
+    def pdf(self, x: float) -> float:
+        """Probability density f(x); zero outside ``[low, high]``."""
+        if x < self.low or x > self.high:
+            return 0.0
+        return (
+            self.alpha
+            * self.low**self.alpha
+            * x ** (-self.alpha - 1.0)
+            / self._norm
+        )
+
+    def ppf(self, q: float) -> float:
+        """Quantile function (inverse CDF); exact inverse of :meth:`cdf`."""
+        require(0.0 <= q <= 1.0, f"quantile must be in [0, 1], got {q}")
+        if q <= 0.0:
+            return self.low
+        if q >= 1.0:
+            return self.high
+        return self.low / (1.0 - q * self._norm) ** (1.0 / self.alpha)
+
+    def mean(self) -> float:
+        """Analytic mean of the bounded distribution."""
+        a, lo, hi = self.alpha, self.low, self.high
+        if a == 1.0:
+            return lo * np.log(hi / lo) / self._norm
+        num = (a / (a - 1.0)) * (lo - lo * (lo / hi) ** (a - 1.0))
+        return num / self._norm
+
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw samples via inverse-transform sampling."""
+        u = rng.random(size)
+        if size is None:
+            return self.ppf(float(u))
+        # Vectorised inverse transform.
+        return self.low / (1.0 - u * self._norm) ** (1.0 / self.alpha)

@@ -1,0 +1,114 @@
+"""Workload serialization — experiment artifacts you can re-run.
+
+A :class:`~repro.workloads.generator.GridWorkload` is a pure function of its
+parameters, so an experiment is fully described by a small JSON document:
+the schema, k, the seed, and the span regime.  ``save_workload`` /
+``load_workload`` round-trip that description so a published figure can
+name the exact workload file that produced it, and a collaborator can
+re-run it byte-identically without sharing the 100k generated values.
+
+Materialised values can optionally be embedded (``include_values=True``)
+for consumers without this library; on load they are verified against the
+regenerated ones, catching version drift in the generator.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.validation import require
+from repro.workloads.attributes import AttributeSchema, AttributeSpec
+from repro.workloads.generator import GridWorkload
+
+__all__ = ["dump_workload", "load_workload", "save_workload"]
+
+_FORMAT_VERSION = 1
+
+
+def dump_workload(workload: GridWorkload, *, include_values: bool = False) -> dict:
+    """The JSON-able description of ``workload``."""
+    doc: dict = {
+        "format_version": _FORMAT_VERSION,
+        "seed": workload.seed,
+        "infos_per_attribute": workload.infos_per_attribute,
+        "mean_span_fraction": workload.mean_span_fraction,
+        "schema": [
+            {
+                "name": spec.name,
+                "lo": spec.lo,
+                "hi": spec.hi,
+                "pareto_shape": spec.pareto_shape,
+                "categories": list(spec.categories),
+            }
+            for spec in workload.schema
+        ],
+    }
+    if include_values:
+        doc["values"] = {
+            spec.name: [
+                workload.provider_value(spec.name, p)
+                for p in range(workload.num_providers)
+            ]
+            for spec in workload.schema
+        }
+    return doc
+
+
+def save_workload(
+    workload: GridWorkload, path: str | Path, *, include_values: bool = False
+) -> Path:
+    """Write the workload description to ``path`` (JSON)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(dump_workload(workload, include_values=include_values),
+                               indent=2))
+    return path
+
+
+def load_workload(source: str | Path | dict) -> GridWorkload:
+    """Reconstruct a workload from a file path or parsed document.
+
+    If the document embeds values, they are checked against the
+    regenerated ones; a mismatch raises, flagging generator drift.
+    """
+    if isinstance(source, (str, Path)):
+        doc = json.loads(Path(source).read_text())
+    else:
+        doc = source
+    require(
+        doc.get("format_version") == _FORMAT_VERSION,
+        f"unsupported workload format version {doc.get('format_version')!r}",
+    )
+    schema = AttributeSchema(
+        tuple(
+            AttributeSpec(
+                name=entry["name"],
+                lo=entry["lo"],
+                hi=entry["hi"],
+                pareto_shape=entry["pareto_shape"],
+                categories=tuple(entry.get("categories", ())),
+            )
+            for entry in doc["schema"]
+        )
+    )
+    workload = GridWorkload(
+        schema=schema,
+        infos_per_attribute=doc["infos_per_attribute"],
+        seed=doc["seed"],
+        mean_span_fraction=doc["mean_span_fraction"],
+    )
+    embedded = doc.get("values")
+    if embedded is not None:
+        for name, values in embedded.items():
+            regenerated = [
+                workload.provider_value(name, p) for p in range(len(values))
+            ]
+            require(
+                np.allclose(values, regenerated),
+                f"embedded values for {name!r} do not match the regenerated "
+                f"workload — generator version drift?",
+            )
+    return workload

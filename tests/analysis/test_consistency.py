@@ -1,0 +1,124 @@
+"""Analysis-vs-simulation consistency (the paper's central claim).
+
+Section V's conclusion is that the measured curves track the Theorem 4.x
+predictions.  These tests check the same consistency at miniature scale,
+with tolerances wide enough for the small-n noise but tight enough to catch
+a broken placement or accounting rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import theorems
+from repro.experiments.common import build_services
+from repro.workloads.generator import QueryKind
+
+
+@pytest.fixture(scope="module")
+def bundle(tiny_config):
+    return build_services(tiny_config)
+
+
+class TestTheorem42:
+    def test_maan_stores_twice_total_info(self, bundle):
+        base = bundle.workload.total_info_pieces()
+        assert bundle.maan.total_info_pieces() == 2 * base
+        assert bundle.lorm.total_info_pieces() == base
+        assert bundle.sword.total_info_pieces() == base
+        assert bundle.mercury.total_info_pieces() == base
+
+
+class TestTheorem44:
+    def test_lorm_loaded_directories_smaller_than_sword_by_d(self, bundle, tiny_config):
+        """SWORD pools k pieces per attribute on one node; LORM splits the
+        same pieces over ~d cluster members."""
+        d = tiny_config.dimension
+        sword_sizes = [s for s in bundle.sword.directory_sizes() if s > 0]
+        lorm_sizes = [s for s in bundle.lorm.directory_sizes() if s > 0]
+        ratio = float(np.mean(sword_sizes)) / float(np.mean(lorm_sizes))
+        assert ratio == pytest.approx(d, rel=0.45)
+
+
+class TestTheorem45:
+    def test_mercury_more_balanced_than_lorm(self, bundle):
+        mercury = np.asarray(bundle.mercury.directory_sizes(), dtype=float)
+        lorm = np.asarray(bundle.lorm.directory_sizes(), dtype=float)
+        # Coefficient of variation as the balance metric.
+        cv_mercury = mercury.std() / mercury.mean()
+        cv_lorm = lorm.std() / lorm.mean()
+        assert cv_mercury < cv_lorm * 1.05
+
+    def test_thm46_ordering_lorm_and_mercury_beat_pooling(self, bundle):
+        """Theorem 4.6: Mercury and LORM more balanced than SWORD/MAAN."""
+        def cv(service):
+            sizes = np.asarray(service.directory_sizes(), dtype=float)
+            return sizes.std() / sizes.mean()
+
+        assert cv(bundle.mercury) < cv(bundle.sword)
+        assert cv(bundle.mercury) < cv(bundle.maan)
+        assert cv(bundle.lorm) < cv(bundle.sword)
+        assert cv(bundle.lorm) < cv(bundle.maan)
+
+
+class TestTheorems47And48:
+    @pytest.fixture(scope="class")
+    def hop_means(self, bundle, tiny_config):
+        queries = list(
+            bundle.workload.query_stream(120, 1, QueryKind.POINT, label="cons47")
+        )
+        return {
+            s.name: float(np.mean([s.multi_query(q).total_hops for q in queries]))
+            for s in bundle.all()
+        }
+
+    def test_maan_doubles_mercury_and_sword(self, hop_means):
+        assert hop_means["MAAN"] / hop_means["Mercury"] == pytest.approx(2.0, rel=0.2)
+        assert hop_means["MAAN"] / hop_means["SWORD"] == pytest.approx(2.0, rel=0.2)
+
+    def test_lorm_between_mercury_and_maan(self, hop_means):
+        assert hop_means["Mercury"] < hop_means["LORM"] < hop_means["MAAN"]
+
+    def test_lorm_reduction_tracks_log_n_over_d(self, hop_means, tiny_config):
+        predicted = theorems.thm47_contacted_reduction_vs_maan(
+            tiny_config.population, tiny_config.dimension
+        )
+        measured = hop_means["MAAN"] / hop_means["LORM"]
+        assert measured == pytest.approx(predicted, rel=0.35)
+
+
+class TestTheorem49:
+    @pytest.fixture(scope="class")
+    def visit_means(self, bundle):
+        bundle.set_collect_matches(False)
+        queries = list(
+            bundle.workload.query_stream(150, 1, QueryKind.RANGE, label="cons49")
+        )
+        means = {
+            s.name: float(np.mean([s.multi_query(q).total_visited for q in queries]))
+            for s in bundle.all()
+        }
+        bundle.set_collect_matches(True)
+        return means
+
+    def test_sword_visits_exactly_one_per_attribute(self, visit_means):
+        assert visit_means["SWORD"] == 1.0
+
+    def test_lorm_close_to_one_plus_d_over_4(self, visit_means, tiny_config):
+        predicted = theorems.thm49_visited_nodes_avg(
+            "LORM", tiny_config.population, tiny_config.dimension, 1
+        )
+        assert visit_means["LORM"] == pytest.approx(predicted, rel=0.3)
+
+    def test_mercury_close_to_one_plus_n_over_4(self, visit_means, tiny_config):
+        predicted = theorems.thm49_visited_nodes_avg(
+            "Mercury", tiny_config.population, tiny_config.dimension, 1
+        )
+        assert visit_means["Mercury"] == pytest.approx(predicted, rel=0.25)
+
+    def test_maan_about_one_more_than_mercury(self, visit_means):
+        assert visit_means["MAAN"] - visit_means["Mercury"] == pytest.approx(1.0, abs=1.5)
+
+    def test_systemwide_orders_of_magnitude_above_lorm(self, visit_means):
+        assert visit_means["Mercury"] > 10 * visit_means["LORM"]

@@ -1,0 +1,59 @@
+"""Tests for analysis-curve derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.models import AnalysisCurve, curve_from_points, derive_curve
+
+
+@pytest.fixture
+def measured() -> AnalysisCurve:
+    return AnalysisCurve("MAAN", (1.0, 2.0, 3.0), (10.0, 20.0, 30.0))
+
+
+class TestAnalysisCurve:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisCurve("bad", (1.0,), (1.0, 2.0))
+
+    def test_as_rows(self, measured):
+        assert measured.as_rows() == [(1.0, 10.0), (2.0, 20.0), (3.0, 30.0)]
+
+    def test_curve_from_points(self):
+        c = curve_from_points("c", [(1.0, 5.0), (2.0, 6.0)])
+        assert c.x == (1.0, 2.0)
+        assert c.y == (5.0, 6.0)
+
+    def test_curve_from_points_empty(self):
+        c = curve_from_points("empty", [])
+        assert c.x == () and c.y == ()
+
+
+class TestDerive:
+    def test_divide(self, measured):
+        derived = derive_curve("Analysis-LORM", measured, divide_by=2.0)
+        assert derived.y == (5.0, 10.0, 15.0)
+        assert derived.x == measured.x
+        assert derived.derived_from == "MAAN"
+        assert derived.factor == pytest.approx(0.5)
+
+    def test_multiply(self, measured):
+        derived = derive_curve("up", measured, multiply_by=3.0)
+        assert derived.y == (30.0, 60.0, 90.0)
+
+    def test_exactly_one_factor_required(self, measured):
+        with pytest.raises(ValueError):
+            derive_curve("x", measured)
+        with pytest.raises(ValueError):
+            derive_curve("x", measured, divide_by=2.0, multiply_by=2.0)
+
+    def test_zero_divide_rejected(self, measured):
+        with pytest.raises(ValueError):
+            derive_curve("x", measured, divide_by=0.0)
+
+    def test_paper_fig3a_construction(self, measured):
+        """'Analysis>LORM' is Mercury's measured curve divided by m."""
+        mercury = AnalysisCurve("Mercury", (1.0, 2.0), (2200.0, 2400.0))
+        analysis = derive_curve("Analysis>LORM", mercury, divide_by=200.0)
+        assert analysis.y == (11.0, 12.0)

@@ -1,0 +1,113 @@
+"""Tests for the closed forms of Theorems 4.1–4.10."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import theorems
+
+# The paper's evaluation constants.
+N, M, K, D = 2048, 200, 500, 8
+
+
+class TestHopPrimitives:
+    def test_chord_half_log_n(self):
+        assert theorems.chord_expected_lookup_hops(2048) == pytest.approx(5.5)
+
+    def test_cycloid_d(self):
+        assert theorems.cycloid_expected_lookup_hops(8) == 8.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            theorems.chord_expected_lookup_hops(0)
+
+
+class TestMaintenanceTheorems:
+    def test_thm41_at_paper_scale(self):
+        """m * log2(n) / d = 200 * 11 / 8 = 275 >= m."""
+        ratio = theorems.thm41_structure_overhead_ratio(N, M, D)
+        assert ratio == pytest.approx(275.0)
+        assert ratio >= M
+
+    def test_thm41_lower_bound_when_d_equals_log_n(self):
+        n = 2048
+        assert theorems.thm41_structure_overhead_ratio(n, M, 11) == pytest.approx(M)
+
+    def test_thm42(self):
+        assert theorems.thm42_total_info_ratio_maan() == 2.0
+
+    def test_thm43_matches_paper_constant(self):
+        """The paper computes d(1 + m/n) = 8 * (1 + 200/2048) = 8.78."""
+        assert theorems.thm43_directory_reduction_vs_maan(N, M, D) == pytest.approx(
+            8.78, abs=0.005
+        )
+
+    def test_thm44(self):
+        assert theorems.thm44_directory_reduction_vs_sword(D) == 8.0
+
+    def test_thm45_matches_paper_constant(self):
+        """n/(dm) = 2048 / 1600 = 1.28."""
+        assert theorems.thm45_balance_ratio_mercury_vs_lorm(N, M, D) == pytest.approx(
+            1.28
+        )
+
+
+class TestEfficiencyTheorems:
+    def test_thm47_matches_paper_constant(self):
+        """log2(n)/d = 11/8."""
+        assert theorems.thm47_contacted_reduction_vs_maan(N, D) == pytest.approx(11 / 8)
+
+    def test_thm48(self):
+        assert theorems.thm48_contacted_reduction_mercury_sword_vs_maan() == 2.0
+
+    def test_nonrange_hops_per_approach(self):
+        assert theorems.nonrange_query_hops_avg("LORM", N, D, 1) == 8.0
+        assert theorems.nonrange_query_hops_avg("Mercury", N, D, 1) == 5.5
+        assert theorems.nonrange_query_hops_avg("SWORD", N, D, 1) == 5.5
+        assert theorems.nonrange_query_hops_avg("MAAN", N, D, 1) == 11.0
+
+    def test_nonrange_hops_scale_with_attributes(self):
+        assert theorems.nonrange_query_hops_avg("LORM", N, D, 5) == 40.0
+
+    def test_thm49_paper_constants(self):
+        """Paper: 513m Mercury, 514m MAAN, 3m LORM, m SWORD."""
+        assert theorems.thm49_visited_nodes_avg("Mercury", N, D, 1) == 513.0
+        assert theorems.thm49_visited_nodes_avg("MAAN", N, D, 1) == 514.0
+        assert theorems.thm49_visited_nodes_avg("LORM", N, D, 1) == 3.0
+        assert theorems.thm49_visited_nodes_avg("SWORD", N, D, 1) == 1.0
+
+    def test_thm49_m_attribute_scaling(self):
+        assert theorems.thm49_visited_nodes_avg("Mercury", N, D, 10) == 5130.0
+
+    def test_thm49_lorm_saving_over_systemwide(self):
+        """Theorem 4.9's headline: LORM saves at least m(n-d)/4 visits."""
+        for m in (1, 5, 10):
+            saving = theorems.thm49_visited_nodes_avg(
+                "Mercury", N, D, m
+            ) - theorems.thm49_visited_nodes_avg("LORM", N, D, m)
+            assert saving == pytest.approx(m * (N - D) / 4)
+
+    def test_thm49_sword_saving_over_lorm(self):
+        """SWORD saves m*d/4 visits relative to LORM."""
+        for m in (1, 4):
+            saving = theorems.thm49_visited_nodes_avg(
+                "LORM", N, D, m
+            ) - theorems.thm49_visited_nodes_avg("SWORD", N, D, m)
+            assert saving == pytest.approx(m * D / 4)
+
+    def test_thm410_worst_case_ordering(self):
+        """MAAN > Mercury >> LORM in the worst case; LORM saving >= m*n."""
+        maan = theorems.thm410_visited_nodes_worst("MAAN", N, D, 1)
+        mercury = theorems.thm410_visited_nodes_worst("Mercury", N, D, 1)
+        lorm = theorems.thm410_visited_nodes_worst("LORM", N, D, 1)
+        assert maan > mercury > lorm
+        assert mercury - lorm >= N  # Theorem 4.10 with m = 1
+
+    def test_thm410_lorm_bounded_by_log_n(self):
+        assert theorems.thm410_visited_nodes_worst("LORM", N, D, 1) <= math.log2(N)
+
+    def test_unknown_approach_raises(self):
+        with pytest.raises(KeyError):
+            theorems.thm49_visited_nodes_avg("Pastry", N, D, 1)

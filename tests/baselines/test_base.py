@@ -1,0 +1,104 @@
+"""Tests for the shared service interface (ChordBackedService machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sword import SwordService
+from repro.core.resource import AttributeConstraint, MultiAttributeQuery, ResourceInfo
+from repro.workloads.attributes import AttributeSchema
+
+
+@pytest.fixture(scope="module")
+def schema() -> AttributeSchema:
+    return AttributeSchema.synthetic(4)
+
+
+class TestConstruction:
+    def test_build_full_population(self, schema):
+        service = SwordService.build_full(5, schema, seed=1)
+        assert service.num_nodes() == 32
+
+    def test_build_partial_population(self, schema):
+        service = SwordService.build(8, 60, schema, seed=1)
+        assert service.num_nodes() == 60
+
+    def test_build_caps_at_space_size(self, schema):
+        service = SwordService.build(4, 100, schema, seed=1)
+        assert service.num_nodes() == 16
+
+
+class TestValueHashes:
+    def test_cached_per_attribute(self, schema):
+        service = SwordService.build_full(5, schema, seed=1)
+        assert service.value_hash("cpu-mhz") is service.value_hash("cpu-mhz")
+
+    def test_lph_kind_respected(self, schema):
+        from repro.hashing.locality import CdfLocalityHash, LinearLocalityHash
+
+        cdf = SwordService.build_full(5, schema, seed=1, lph_kind="cdf")
+        lin = SwordService.build_full(5, schema, seed=1, lph_kind="linear")
+        assert isinstance(cdf.value_hash("cpu-mhz"), CdfLocalityHash)
+        assert isinstance(lin.value_hash("cpu-mhz"), LinearLocalityHash)
+
+
+class TestRandomNodes:
+    def test_random_node_is_live(self, schema):
+        service = SwordService.build_full(5, schema, seed=1)
+        for _ in range(20):
+            assert service.random_node().alive
+
+    def test_seeded_reproducibility(self, schema):
+        a = SwordService.build_full(5, schema, seed=4)
+        b = SwordService.build_full(5, schema, seed=4)
+        assert [a.random_node().node_id for _ in range(10)] == [
+            b.random_node().node_id for _ in range(10)
+        ]
+
+
+class TestMultiQueryInterface:
+    def test_multi_query_uses_one_entry_node(self, schema):
+        """All sub-queries of one request originate at the same requester."""
+        service = SwordService.build_full(5, schema, seed=1)
+        service.register(ResourceInfo("cpu-mhz", 500.0, "p"))
+        service.register(ResourceInfo("disk-gb", 5.0, "p"))
+        start = service.random_node()
+        mq = MultiAttributeQuery(
+            (
+                AttributeConstraint.at_least("cpu-mhz", 100.0),
+                AttributeConstraint.at_least("disk-gb", 1.0),
+            )
+        )
+        result = service.multi_query(mq, start=start)
+        assert result.providers == {"p"}
+
+    def test_metrics_recorded(self, schema):
+        service = SwordService.build_full(5, schema, seed=1)
+        mq = MultiAttributeQuery((AttributeConstraint.at_least("cpu-mhz", 0.0),))
+        service.multi_query(mq)
+        assert len(service.metrics.samples("multi_query.total_hops")) == 1
+        assert len(service.metrics.samples("multi_query.total_visited")) == 1
+
+
+class TestChurnBookkeeping:
+    def test_leave_then_join_recycles_ids(self, schema):
+        service = SwordService.build_full(5, schema, seed=1)
+        before = set(service.ring.node_ids)
+        assert service.churn_leave()
+        departed = before - set(service.ring.node_ids)
+        assert service.churn_join()
+        assert set(service.ring.node_ids) == before, departed
+
+    def test_join_without_departures_noop(self, schema):
+        service = SwordService.build_full(5, schema, seed=1)
+        assert not service.churn_join()
+
+    def test_leave_floor_of_two_nodes(self, schema):
+        service = SwordService.build(5, 2, schema, seed=1)
+        assert not service.churn_leave()
+
+    def test_stabilize_runs(self, schema):
+        service = SwordService.build_full(5, schema, seed=1)
+        service.churn_leave()
+        service.stabilize()
+        service.ring.check_ring_invariants()

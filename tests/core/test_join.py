@@ -1,0 +1,57 @@
+"""Tests for the requester-side join operation."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.join import join_on_provider
+from repro.core.resource import ResourceInfo
+
+
+def infos(attr: str, providers: list[str]) -> list[ResourceInfo]:
+    return [ResourceInfo(attr, 1.0, p) for p in providers]
+
+
+class TestJoin:
+    def test_intersection(self):
+        result = join_on_provider(
+            [infos("cpu", ["a", "b", "c"]), infos("mem", ["b", "c", "d"])]
+        )
+        assert result == {"b", "c"}
+
+    def test_single_attribute_identity(self):
+        assert join_on_provider([infos("cpu", ["a", "b"])]) == {"a", "b"}
+
+    def test_empty_sub_result_kills_join(self):
+        assert join_on_provider([infos("cpu", ["a"]), []]) == frozenset()
+
+    def test_no_sub_queries(self):
+        assert join_on_provider([]) == frozenset()
+
+    def test_duplicates_within_attribute_ignored(self):
+        result = join_on_provider(
+            [infos("cpu", ["a", "a"]), infos("mem", ["a"])]
+        )
+        assert result == {"a"}
+
+    def test_three_way(self):
+        result = join_on_provider(
+            [
+                infos("cpu", ["a", "b", "c"]),
+                infos("mem", ["a", "c"]),
+                infos("disk", ["c", "d"]),
+            ]
+        )
+        assert result == {"c"}
+
+    providers = st.lists(st.sampled_from("abcdefgh"), max_size=8)
+
+    @given(a=providers, b=providers)
+    def test_matches_set_intersection(self, a, b):
+        result = join_on_provider([infos("x", a), infos("y", b)])
+        assert result == set(a) & set(b)
+
+    @given(a=providers)
+    def test_idempotent(self, a):
+        assert join_on_provider([infos("x", a), infos("y", a)]) == set(a)

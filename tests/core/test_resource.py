@@ -1,0 +1,121 @@
+"""Tests for the resource/query vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resource import (
+    AttributeConstraint,
+    MultiAttributeQuery,
+    MultiQueryResult,
+    Query,
+    QueryResult,
+    ResourceInfo,
+    effective_span_fraction,
+)
+
+
+class TestAttributeConstraint:
+    def test_point_matches_exactly(self):
+        c = AttributeConstraint.point("cpu", 100.0)
+        assert c.matches(100.0)
+        assert not c.matches(100.1)
+        assert not c.is_range
+
+    def test_between_inclusive(self):
+        c = AttributeConstraint.between("cpu", 1.0, 2.0)
+        assert c.matches(1.0) and c.matches(2.0) and c.matches(1.5)
+        assert not c.matches(0.99) and not c.matches(2.01)
+        assert c.is_range
+
+    def test_at_least(self):
+        c = AttributeConstraint.at_least("mem", 512.0)
+        assert c.matches(512.0) and c.matches(1e9)
+        assert not c.matches(511.0)
+
+    def test_at_most(self):
+        c = AttributeConstraint.at_most("mem", 512.0)
+        assert c.matches(1.0) and not c.matches(513.0)
+
+    def test_unbounded_matches_everything(self):
+        c = AttributeConstraint("any")
+        assert c.matches(-1e18) and c.matches(1e18)
+        assert c.is_range
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeConstraint.between("cpu", 2.0, 1.0)
+
+    def test_bounds_within_substitutes_domain(self):
+        c = AttributeConstraint.at_least("cpu", 5.0)
+        assert c.bounds_within(0.0, 10.0) == (5.0, 10.0)
+        c2 = AttributeConstraint.at_most("cpu", 5.0)
+        assert c2.bounds_within(0.0, 10.0) == (0.0, 5.0)
+
+
+class TestQueries:
+    def test_query_delegates(self):
+        q = Query(AttributeConstraint.point("cpu", 1.0), requester="r")
+        assert q.attribute == "cpu"
+        assert not q.is_range
+
+    def test_multi_query_validation(self):
+        with pytest.raises(ValueError):
+            MultiAttributeQuery(())
+        with pytest.raises(ValueError):
+            MultiAttributeQuery(
+                (
+                    AttributeConstraint.point("cpu", 1.0),
+                    AttributeConstraint.point("cpu", 2.0),
+                )
+            )
+
+    def test_multi_query_sub_queries(self):
+        mq = MultiAttributeQuery(
+            (
+                AttributeConstraint.point("cpu", 1.0),
+                AttributeConstraint.at_least("mem", 2.0),
+            ),
+            requester="me",
+        )
+        subs = mq.sub_queries()
+        assert [s.attribute for s in subs] == ["cpu", "mem"]
+        assert all(s.requester == "me" for s in subs)
+        assert mq.num_attributes == 2
+        assert mq.is_range  # one constraint is a range
+
+
+class TestResults:
+    def _info(self, provider: str) -> ResourceInfo:
+        return ResourceInfo("cpu", 1.0, provider)
+
+    def test_query_result_providers(self):
+        r = QueryResult(matches=(self._info("a"), self._info("b"), self._info("a")),
+                        hops=3, visited_nodes=1)
+        assert r.providers == {"a", "b"}
+
+    def test_multi_result_accounting(self):
+        subs = (
+            QueryResult((), hops=3, visited_nodes=1),
+            QueryResult((), hops=5, visited_nodes=4),
+        )
+        mr = MultiQueryResult(providers=frozenset({"x"}), sub_results=subs)
+        assert mr.total_hops == 8
+        assert mr.total_visited == 5
+        assert mr.latency_hops == 5
+        assert mr.num_matches == 1
+
+
+class TestSpanFraction:
+    def test_linear_fraction(self):
+        c = AttributeConstraint.between("cpu", 2.0, 4.0)
+        assert effective_span_fraction(c, 0.0, 10.0) == pytest.approx(0.2)
+
+    def test_cdf_fraction(self):
+        c = AttributeConstraint.between("cpu", 2.0, 4.0)
+        frac = effective_span_fraction(c, 0.0, 10.0, cdf=lambda v: (v / 10.0) ** 2)
+        assert frac == pytest.approx(0.16 - 0.04)
+
+    def test_unbounded_covers_rest_of_domain(self):
+        c = AttributeConstraint.at_least("cpu", 7.5)
+        assert effective_span_fraction(c, 0.0, 10.0) == pytest.approx(0.25)

@@ -1,0 +1,123 @@
+"""Tests for the semantic-discovery extension (the paper's future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lorm import LormService
+from repro.core.resource import AttributeConstraint, MultiAttributeQuery, Query, ResourceInfo
+from repro.core.semantic import Ontology, SemanticResolver, UnitConversion
+from repro.workloads.attributes import AttributeSchema
+
+
+@pytest.fixture()
+def resolver() -> SemanticResolver:
+    schema = AttributeSchema.synthetic(6)
+    service = LormService.build_full(4, schema, seed=9)
+    service.register(ResourceInfo("cpu-mhz", 2400.0, "fast-box"))
+    service.register(ResourceInfo("cpu-mhz", 900.0, "slow-box"))
+    service.register(ResourceInfo("free-memory-mb", 8192.0, "fast-box"))
+    service.register(ResourceInfo("disk-gb", 500.0, "disk-box"))
+    service.register(ResourceInfo("network-mbps", 900.0, "net-box"))
+    ontology = (
+        Ontology()
+        .add_synonym("clock-speed", "cpu-mhz")
+        .add_conversion("free-memory-gb", "free-memory-mb", scale=1024.0)
+        .add_conversion("cpu-ghz", "cpu-mhz", scale=1000.0)
+        .add_broader("io-capacity", ("disk-gb", "network-mbps"))
+    )
+    return SemanticResolver(service, ontology)
+
+
+class TestUnitConversion:
+    def test_affine(self):
+        conv = UnitConversion("x", scale=2.0, offset=1.0)
+        assert conv.to_canonical(3.0) == 7.0
+
+
+class TestOntology:
+    def test_synonym_resolution(self, resolver):
+        [c] = resolver.ontology.resolve(AttributeConstraint.at_least("clock-speed", 1.0))
+        assert c.attribute == "cpu-mhz"
+        assert c.low == 1.0
+
+    def test_conversion_scales_bounds(self, resolver):
+        [c] = resolver.ontology.resolve(
+            AttributeConstraint.between("free-memory-gb", 2.0, 4.0)
+        )
+        assert c.attribute == "free-memory-mb"
+        assert (c.low, c.high) == (2048.0, 4096.0)
+
+    def test_conversion_preserves_unbounded_sides(self, resolver):
+        [c] = resolver.ontology.resolve(AttributeConstraint.at_least("cpu-ghz", 2.0))
+        assert c.low == 2000.0 and c.high is None
+
+    def test_negative_scale_flips_bounds(self):
+        ontology = Ontology().add_conversion("inv", "x", scale=-1.0)
+        [c] = ontology.resolve(AttributeConstraint.between("inv", 1.0, 2.0))
+        assert (c.low, c.high) == (-2.0, -1.0)
+
+    def test_broader_fans_out(self, resolver):
+        resolved = resolver.ontology.resolve(
+            AttributeConstraint.at_least("io-capacity", 100.0)
+        )
+        assert {c.attribute for c in resolved} == {"disk-gb", "network-mbps"}
+
+    def test_canonical_passthrough(self, resolver):
+        [c] = resolver.ontology.resolve(AttributeConstraint.at_least("cpu-mhz", 1.0))
+        assert c.attribute == "cpu-mhz"
+
+    def test_duplicate_terms_rejected(self):
+        ontology = Ontology().add_synonym("a", "x")
+        with pytest.raises(ValueError):
+            ontology.add_conversion("a", "y")
+
+    def test_empty_broader_rejected(self):
+        with pytest.raises(ValueError):
+            Ontology().add_broader("t", ())
+
+
+class TestSemanticQueries:
+    def test_synonym_query_finds_providers(self, resolver):
+        result = resolver.query(Query(AttributeConstraint.at_least("clock-speed", 2000.0)))
+        assert result.providers == {"fast-box"}
+
+    def test_converted_units_query(self, resolver):
+        result = resolver.query(
+            Query(AttributeConstraint.at_least("free-memory-gb", 4.0))
+        )
+        assert result.providers == {"fast-box"}
+
+    def test_broader_term_unions(self, resolver):
+        result = resolver.query(
+            Query(AttributeConstraint.at_least("io-capacity", 400.0))
+        )
+        assert result.providers == {"disk-box", "net-box"}
+
+    def test_multi_query_joins_across_terms(self, resolver):
+        mq = MultiAttributeQuery(
+            (
+                AttributeConstraint.at_least("cpu-ghz", 2.0),
+                AttributeConstraint.at_least("free-memory-gb", 4.0),
+            )
+        )
+        result = resolver.multi_query(mq)
+        assert result.providers == {"fast-box"}
+
+    def test_broader_and_specific_join(self, resolver):
+        mq = MultiAttributeQuery(
+            (
+                AttributeConstraint.at_least("io-capacity", 400.0),
+                AttributeConstraint.at_least("clock-speed", 2000.0),
+            )
+        )
+        # No provider offers both IO capacity and a fast CPU.
+        assert resolver.multi_query(mq).providers == frozenset()
+
+    def test_accounting_accumulates(self, resolver):
+        result = resolver.query(
+            Query(AttributeConstraint.at_least("io-capacity", 1.0))
+        )
+        # Two fan-out sub-queries: both are accounted.
+        assert result.visited_nodes >= 2
+        assert result.hops > 0

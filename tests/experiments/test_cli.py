@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_figures(self):
+        args = build_parser().parse_args(["run", "fig4a", "fig4b"])
+        assert args.figures == ["fig4a", "fig4b"]
+        assert args.scale == "smoke"
+
+    def test_run_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_scale_and_seed_flags(self):
+        args = build_parser().parse_args(["run", "fig3a", "--scale", "paper", "--seed", "7"])
+        assert args.scale == "paper"
+        assert args.seed == 7
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for fig in ("fig3a", "fig4a", "fig5b", "fig6b"):
+            assert fig in out
+
+    def test_run_single_figure(self, capsys, tmp_path):
+        code = main(["run", "fig3a", "--scale", "smoke", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Outlinks per node" in out
+        assert (tmp_path / "fig3a.csv").exists()
+
+    def test_seed_override_changes_config(self, capsys):
+        assert main(["run", "fig3a", "--seed", "123"]) == 0
+
+    def test_lph_override(self, capsys):
+        assert main(["run", "fig3a", "--lph", "linear"]) == 0
+
+    def test_run_multiple_figures(self, capsys):
+        assert main(["run", "fig3a", "theorems", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Outlinks per node" in out
+        assert "Theorems 4.1-4.10" in out
+
+    def test_all_command(self, capsys, tmp_path, tiny_config, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setitem(
+            cli._SCALES, "smoke", tiny_config.scaled(fig3a_dimensions=(3, 4))
+        )
+        assert main(["all", "--scale", "smoke", "--out", str(tmp_path)]) == 0
+        produced = {p.name for p in tmp_path.glob("*.csv")}
+        assert "fig6b.csv" in produced and "theorems.csv" in produced

@@ -1,0 +1,70 @@
+"""Tests for the shared experiment plumbing (ServiceBundle, builders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import build_services, build_workload
+
+
+class TestBuildWorkload:
+    def test_parameters_flow_from_config(self, tiny_config):
+        wl = build_workload(tiny_config)
+        assert len(wl.schema) == tiny_config.num_attributes
+        assert wl.infos_per_attribute == tiny_config.infos_per_attribute
+        assert wl.seed == tiny_config.seed
+        assert wl.mean_span_fraction == tiny_config.mean_span_fraction
+
+    def test_deterministic(self, tiny_config):
+        a = list(build_workload(tiny_config).resource_infos())
+        b = list(build_workload(tiny_config).resource_infos())
+        assert a == b
+
+
+class TestBuildServices:
+    def test_populations_match_across_overlays(self, tiny_config):
+        bundle = build_services(tiny_config, register=False)
+        populations = {s.num_nodes() for s in bundle.all()}
+        assert populations == {tiny_config.population}
+
+    def test_register_false_leaves_directories_empty(self, tiny_config):
+        bundle = build_services(tiny_config, register=False)
+        assert all(s.total_info_pieces() == 0 for s in bundle.all())
+
+    def test_registered_totals(self, loaded_bundle):
+        base = loaded_bundle.workload.total_info_pieces()
+        assert loaded_bundle.lorm.total_info_pieces() == base
+        assert loaded_bundle.maan.total_info_pieces() == 2 * base
+
+    def test_routed_registration_same_placement(self, tiny_config):
+        fast = build_services(tiny_config)
+        slow = build_services(tiny_config, routed_registration=True)
+        assert fast.lorm.directory_sizes() == slow.lorm.directory_sizes()
+        assert fast.sword.directory_sizes() == slow.sword.directory_sizes()
+
+    def test_seed_offset_changes_service_seeds_not_workload(self, tiny_config):
+        a = build_services(tiny_config, register=False, seed_offset=0)
+        b = build_services(tiny_config, register=False, seed_offset=7)
+        assert list(a.workload.resource_infos()) == list(b.workload.resource_infos())
+        ids_a = [a.lorm.random_node().cid for _ in range(8)]
+        ids_b = [b.lorm.random_node().cid for _ in range(8)]
+        assert ids_a != ids_b
+
+    def test_by_name(self, loaded_bundle):
+        assert loaded_bundle.by_name("LORM") is loaded_bundle.lorm
+        assert loaded_bundle.by_name("MAAN") is loaded_bundle.maan
+        with pytest.raises(KeyError):
+            loaded_bundle.by_name("Pastry")
+
+    def test_set_collect_matches_toggles_everywhere(self, tiny_config):
+        bundle = build_services(tiny_config, register=False)
+        bundle.set_collect_matches(False)
+        assert all(not s.collect_matches for s in bundle.all())
+        bundle.set_collect_matches(True)
+        assert all(s.collect_matches for s in bundle.all())
+
+    def test_full_ring_used_when_population_is_power_of_two(self, tiny_config):
+        # d=5 -> population 160; with chord_bits=8 the ring is sparse.
+        bundle = build_services(tiny_config, register=False)
+        assert bundle.sword.ring.num_nodes == 160
+        assert bundle.sword.ring.space.size == 256

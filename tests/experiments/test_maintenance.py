@@ -1,0 +1,55 @@
+"""Tests for the maintenance-traffic extension figure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.maintenance import maintenance_trial, run_maintenance
+
+
+@pytest.fixture(scope="module")
+def small_config(tiny_config):
+    return tiny_config.scaled(churn_rates=(0.1, 0.5))
+
+
+class TestMaintenanceTrial:
+    @pytest.fixture(scope="class")
+    def trial(self, small_config):
+        return maintenance_trial(small_config, rate=0.5)
+
+    def test_all_approaches_present(self, trial):
+        assert set(trial) == {"LORM", "Mercury", "SWORD", "MAAN"}
+
+    def test_mercury_pays_per_hub(self, trial, small_config):
+        """Mercury's structural traffic is ~m x a single ring's."""
+        m = small_config.num_attributes
+        assert trial["Mercury"] > (m / 2) * trial["SWORD"]
+
+    def test_single_dht_approaches_same_order(self, trial):
+        assert trial["LORM"] < 5 * trial["SWORD"]
+        assert trial["MAAN"] == pytest.approx(trial["SWORD"], rel=0.5)
+
+    def test_rates_positive(self, trial):
+        assert all(v > 0 for v in trial.values())
+
+
+class TestMaintenanceFigure:
+    @pytest.fixture(scope="class")
+    def figure(self, small_config):
+        return run_maintenance(small_config)
+
+    def test_traffic_grows_with_churn_rate(self, figure):
+        for name in ("Mercury", "LORM", "SWORD", "MAAN"):
+            ys = figure.curve(name).y
+            assert ys[-1] > ys[0]
+
+    def test_mercury_dominates_at_every_rate(self, figure):
+        mercury = figure.curve("Mercury").y
+        for other in ("LORM", "SWORD", "MAAN"):
+            for i, v in enumerate(figure.curve(other).y):
+                assert mercury[i] > 5 * v
+
+    def test_renders_and_saves(self, figure, tmp_path):
+        figure.save(tmp_path)
+        assert (tmp_path / "maintenance.csv").exists()
+        assert "Theorem 4.1" in figure.render()

@@ -1,0 +1,51 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.plotting.ascii import ascii_chart
+
+
+class TestAsciiChart:
+    def test_title_and_legend(self):
+        out = ascii_chart({"series-1": ([1, 2], [3, 4])}, title="T")
+        assert out.splitlines()[0] == "T"
+        assert "series-1" in out
+
+    def test_markers_distinct_per_series(self):
+        out = ascii_chart({"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])})
+        legend = out.splitlines()[-1]
+        assert "o = a" in legend and "x = b" in legend
+
+    def test_log_scale_requires_positive(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": ([1], [0.0])}, log_y=True)
+
+    def test_log_scale_renders(self):
+        out = ascii_chart({"a": ([1, 2, 3], [1, 100, 10000])}, log_y=True)
+        assert "(log y)" in out
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_flat_series_no_crash(self):
+        out = ascii_chart({"flat": ([1, 2, 3], [5, 5, 5])})
+        assert "flat" in out
+
+    def test_single_point(self):
+        out = ascii_chart({"p": ([1], [1])})
+        assert "p" in out
+
+    def test_dimensions_respected(self):
+        out = ascii_chart({"a": ([1, 2], [1, 2])}, width=30, height=8)
+        grid_lines = [l for l in out.splitlines() if "|" in l]
+        assert len(grid_lines) == 8  # exactly `height` plot rows
+        assert all(len(l.split("|", 1)[1]) <= 30 for l in grid_lines)
+
+    def test_axis_labels_present(self):
+        out = ascii_chart(
+            {"a": ([1, 2], [1, 2])}, x_label="attrs", y_label="hops"
+        )
+        assert "[attrs]" in out and "hops" in out

@@ -1,0 +1,98 @@
+"""Tests for figure rendering (CSV, tables, charts, persistence)."""
+
+from __future__ import annotations
+
+from repro.analysis.models import AnalysisCurve
+from repro.experiments.report import DistributionResult, FigureResult
+
+
+def make_figure() -> FigureResult:
+    fig = FigureResult(
+        figure_id="figX",
+        title="Demo",
+        x_label="x",
+        y_label="y",
+    )
+    fig.add(AnalysisCurve("a", (1.0, 2.0), (10.0, 20.0)))
+    fig.add(AnalysisCurve("b", (1.0, 2.0), (1.0, 2.0)))
+    return fig
+
+
+class TestFigureResult:
+    def test_curve_lookup(self):
+        fig = make_figure()
+        assert fig.curve("a").y == (10.0, 20.0)
+
+    def test_unknown_curve_raises(self):
+        fig = make_figure()
+        try:
+            fig.curve("zzz")
+            raise AssertionError("expected KeyError")
+        except KeyError as err:
+            assert "figX" in str(err)
+
+    def test_csv_shape(self):
+        lines = make_figure().to_csv().strip().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1].startswith("1.0,")
+        assert len(lines) == 3
+
+    def test_csv_handles_disjoint_x(self):
+        fig = make_figure()
+        fig.add(AnalysisCurve("c", (3.0,), (5.0,)))
+        lines = fig.to_csv().strip().splitlines()
+        assert len(lines) == 4  # header + x in {1, 2, 3}
+        assert lines[-1].startswith("3.0,,")
+
+    def test_table_mentions_everything(self):
+        table = make_figure().to_table()
+        assert "figX" in table and "a" in table and "20" in table
+
+    def test_render_includes_chart_and_notes(self):
+        fig = make_figure()
+        fig.notes.append("hello-note")
+        out = fig.render()
+        assert "hello-note" in out
+        assert "[x]" in out  # chart axis label
+
+    def test_save_writes_files(self, tmp_path):
+        path = make_figure().save(tmp_path)
+        assert path.read_text().startswith("x,a,b")
+        assert (tmp_path / "figX.txt").exists()
+
+
+class TestDistributionResult:
+    def make(self) -> DistributionResult:
+        dist = DistributionResult(
+            figure_id="figD", title="Dist", value_label="pieces"
+        )
+        dist.add("MAAN", 100.0, 0.0, 900.0)
+        dist.add("LORM", 50.0, 10.0, 120.0)
+        return dist
+
+    def test_row_lookup(self):
+        assert self.make().row("LORM").p99 == 120.0
+
+    def test_unknown_row_raises(self):
+        try:
+            self.make().row("zzz")
+            raise AssertionError("expected KeyError")
+        except KeyError:
+            pass
+
+    def test_csv(self):
+        lines = self.make().to_csv().strip().splitlines()
+        assert lines[0] == "series,mean,p01,p99"
+        assert len(lines) == 3
+
+    def test_save(self, tmp_path):
+        path = self.make().save(tmp_path)
+        assert path.name == "figD.csv"
+        assert (tmp_path / "figD.txt").read_text().startswith("figD: Dist")
+
+    def test_add_summary(self):
+        from repro.sim.metrics import summarize
+
+        dist = DistributionResult("f", "t", "v")
+        dist.add_summary("x", summarize([1, 2, 3]))
+        assert dist.row("x").mean == 2.0

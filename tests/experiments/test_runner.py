@@ -1,0 +1,42 @@
+"""Tests for the figure registry and runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import FIGURES, run_all_figures, run_figure
+
+
+class TestRegistry:
+    def test_every_paper_figure_registered(self):
+        assert set(FIGURES) == {
+            "fig3a", "fig3b", "fig3c", "fig3d",
+            "fig4a", "fig4b", "fig5a", "fig5b",
+            "fig6a", "fig6b", "theorems", "latency", "staleness", "maintenance",
+        }
+
+    def test_unknown_figure_rejected(self, tiny_config):
+        with pytest.raises(KeyError, match="unknown figure"):
+            run_figure("fig99", tiny_config)
+
+
+class TestRunFigure:
+    def test_runs_and_saves(self, tiny_config, tmp_path):
+        cfg = tiny_config.scaled(fig3a_dimensions=(3, 4))
+        result = run_figure("fig3a", cfg, save_dir=tmp_path)
+        assert result.figure_id == "fig3a"
+        assert (tmp_path / "fig3a.csv").exists()
+        assert (tmp_path / "fig3a.txt").exists()
+
+    def test_distribution_figure_saves_too(self, tiny_config, tmp_path):
+        run_figure("fig3c", tiny_config, save_dir=tmp_path)
+        assert (tmp_path / "fig3c.csv").exists()
+
+
+class TestRunAll:
+    def test_all_figures_produced_and_saved(self, tiny_config, tmp_path):
+        cfg = tiny_config.scaled(fig3a_dimensions=(3, 4))
+        results = run_all_figures(cfg, save_dir=tmp_path)
+        assert set(results) == set(FIGURES)
+        for figure_id in FIGURES:
+            assert (tmp_path / f"{figure_id}.csv").exists(), figure_id

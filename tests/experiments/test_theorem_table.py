@@ -1,0 +1,58 @@
+"""Tests for the theorem-constants table experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.theorem_table import TheoremRow, TheoremTable, run_theorem_table
+
+
+class TestTheoremRow:
+    def test_relative_error(self):
+        row = TheoremRow("4.2", "x", predicted=2.0, measured=2.1)
+        assert row.relative_error == pytest.approx(0.05)
+
+    def test_zero_predicted(self):
+        assert TheoremRow("x", "q", 0.0, 0.0).relative_error == 0.0
+        assert TheoremRow("x", "q", 0.0, 1.0).relative_error == float("inf")
+
+
+class TestTheoremTable:
+    @pytest.fixture(scope="class")
+    def table(self, tiny_config):
+        return run_theorem_table(tiny_config)
+
+    def test_all_theorems_covered(self, table):
+        theorems_present = {r.theorem for r in table.rows}
+        assert theorems_present == {"4.1", "4.2", "4.3", "4.4", "4.5",
+                                    "4.7", "4.8", "4.9", "4.10"}
+
+    def test_exact_rows(self, table):
+        assert table.row("4.2").measured == 2.0
+        sword = next(r for r in table.rows if "SWORD visited" in r.quantity)
+        assert sword.measured == 1.0
+
+    def test_every_row_within_tolerance(self, table):
+        """At tiny scale all constants should land within 50%; most are
+        far tighter (the benches assert tight bounds at paper scale).
+        Theorem 4.1 is a lower bound, so only under-shooting is an error."""
+        for row in table.rows:
+            if row.theorem == "4.1":
+                assert row.measured >= row.predicted * 0.95, row.quantity
+            else:
+                assert row.relative_error < 0.5, (row.theorem, row.quantity)
+
+    def test_rendering(self, table, tmp_path):
+        text = table.render()
+        assert "4.7" in text and "predicted" in text
+        path = table.save(tmp_path)
+        assert path.exists()
+        assert (tmp_path / "theorems.txt").exists()
+
+    def test_row_lookup_missing(self, table):
+        with pytest.raises(KeyError):
+            table.row("9.9")
+
+    def test_csv_columns(self, table):
+        header = table.to_csv().splitlines()[0]
+        assert header == "theorem,quantity,predicted,measured,rel_error"

@@ -1,0 +1,49 @@
+"""Tests for collision-free attribute placement."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.consistent import ConsistentHash
+from repro.hashing.spread import spread_attribute_ids
+
+
+class TestSpread:
+    def test_all_ids_distinct(self):
+        names = [f"attr-{i:03d}" for i in range(200)]
+        ids = spread_attribute_ids(names, ConsistentHash(8))
+        assert len(set(ids.values())) == 200
+
+    def test_deterministic_and_order_independent(self):
+        names = ["cpu", "mem", "disk", "net"]
+        a = spread_attribute_ids(names, ConsistentHash(6))
+        b = spread_attribute_ids(reversed(names), ConsistentHash(6))
+        assert a == b
+
+    def test_no_collision_means_plain_hash(self):
+        """Attributes whose hashes don't collide keep their hash ID."""
+        h = ConsistentHash(16)  # huge space, collisions ~impossible
+        names = [f"a{i}" for i in range(50)]
+        ids = spread_attribute_ids(names, h)
+        assert all(ids[name] == h(name) for name in names)
+
+    def test_overfull_space_rejected(self):
+        with pytest.raises(ValueError):
+            spread_attribute_ids([f"a{i}" for i in range(20)], ConsistentHash(4))
+
+    def test_exactly_full_space(self):
+        names = [f"x{i}" for i in range(16)]
+        ids = spread_attribute_ids(names, ConsistentHash(4))
+        assert sorted(ids.values()) == list(range(16))
+
+    def test_duplicate_names_collapse(self):
+        ids = spread_attribute_ids(["a", "a", "b"], ConsistentHash(4))
+        assert set(ids) == {"a", "b"}
+
+    @given(st.sets(st.text(min_size=1, max_size=8), min_size=1, max_size=30))
+    def test_distinctness_property(self, names):
+        ids = spread_attribute_ids(names, ConsistentHash(6))
+        assert len(set(ids.values())) == len(names)
+        assert all(0 <= v < 64 for v in ids.values())

@@ -1,0 +1,86 @@
+"""Cross-approach equivalence: all four services answer identically.
+
+The strongest end-to-end check in the suite — on identical workloads, LORM,
+Mercury, SWORD and MAAN must each return exactly the brute-force-correct
+provider set, for every query shape the paper uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import QueryKind
+
+
+@pytest.mark.parametrize("kind", [QueryKind.POINT, QueryKind.RANGE, QueryKind.AT_LEAST])
+@pytest.mark.parametrize("num_attributes", [1, 2, 3])
+def test_all_approaches_match_bruteforce(loaded_bundle, kind, num_attributes):
+    wl = loaded_bundle.workload
+    queries = list(
+        wl.query_stream(15, num_attributes, kind, label=f"eq-{kind.value}")
+    )
+    for query in queries:
+        truth = wl.matching_providers_bruteforce(query)
+        for service in loaded_bundle.all():
+            got = service.multi_query(query).providers
+            assert got == truth, (
+                f"{service.name} diverged on {kind.value}/{num_attributes}-attr query"
+            )
+
+
+def test_all_approaches_agree_with_each_other(loaded_bundle):
+    """Pairwise agreement on a fresh query mix (redundant with brute force,
+    but catches accounting-only refactors that break one service)."""
+    wl = loaded_bundle.workload
+    rng = np.random.default_rng(99)
+    for _ in range(20):
+        mq = wl.sample_multi_query(2, QueryKind.RANGE, rng)
+        answers = {s.name: s.multi_query(mq).providers for s in loaded_bundle.all()}
+        baseline = answers["LORM"]
+        assert all(a == baseline for a in answers.values()), answers
+
+
+def test_sub_results_join_consistency(loaded_bundle):
+    """The joined provider set equals the intersection of sub-result
+    provider sets for every service."""
+    wl = loaded_bundle.workload
+    rng = np.random.default_rng(7)
+    mq = wl.sample_multi_query(3, QueryKind.RANGE, rng)
+    for service in loaded_bundle.all():
+        result = service.multi_query(mq)
+        expected = frozenset.intersection(
+            *(r.providers for r in result.sub_results)
+        )
+        assert result.providers == expected
+
+
+def test_empty_result_when_constraints_unsatisfiable(loaded_bundle):
+    from repro.core.resource import AttributeConstraint, MultiAttributeQuery
+
+    spec = loaded_bundle.workload.schema.specs[0]
+    impossible = MultiAttributeQuery(
+        (AttributeConstraint.between(spec.name, spec.hi * 0.999999, spec.hi),)
+    )
+    # With Bounded-Pareto values, mass near the upper bound is ~0.
+    for service in loaded_bundle.all():
+        result = service.multi_query(impossible)
+        assert result.providers == loaded_bundle.workload.matching_providers_bruteforce(
+            impossible
+        )
+
+
+def test_accounting_ordering_between_approaches(loaded_bundle):
+    """The paper's headline orderings hold on every individual range query:
+    SWORD <= LORM visited counts, and LORM << system-wide approaches on
+    average."""
+    wl = loaded_bundle.workload
+    totals = {name: 0 for name in ("LORM", "Mercury", "SWORD", "MAAN")}
+    queries = list(wl.query_stream(25, 2, QueryKind.RANGE, label="ordering"))
+    for query in queries:
+        for service in loaded_bundle.all():
+            outcome = service.multi_query(query)
+            totals[service.name] += outcome.total_visited
+    assert totals["SWORD"] <= totals["LORM"]
+    assert totals["LORM"] * 5 < totals["Mercury"]
+    assert totals["Mercury"] <= totals["MAAN"]

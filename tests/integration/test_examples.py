@@ -1,0 +1,62 @@
+"""Every example script must run clean end-to-end.
+
+Examples are part of the public deliverable; these tests execute them the
+way a user would (fresh interpreter) and sanity-check their output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "machines satisfy both attributes" in out
+        assert "-> 0 machines" not in out  # the demo query must have hits
+
+    def test_grid_scheduler(self):
+        out = run_example("grid_scheduler.py")
+        assert "placed" in out
+        # A healthy majority of jobs find a host.
+        placed = int(out.split("placed ")[1].split("/")[0])
+        assert placed >= 60
+
+    def test_compare_approaches(self):
+        out = run_example("compare_approaches.py")
+        assert "25/25 spot-check queries identical" in out
+        for name in ("LORM", "Mercury", "SWORD", "MAAN"):
+            assert name in out
+
+    def test_churn_resilience(self):
+        out = run_example("churn_resilience.py")
+        assert "wrong answers: 0" in out
+        assert "consistent with the paper" in out
+
+    def test_semantic_discovery(self):
+        out = run_example("semantic_discovery.py")
+        assert "the raw service rejects it" in out
+        assert "-> 0 machines" not in out.split("join across semantic terms")[0]
+
+    def test_load_balance_viz(self):
+        out = run_example("load_balance_viz.py")
+        for name in ("SWORD", "MAAN", "Mercury", "LORM"):
+            assert f"== {name}" in out
+        assert "Cycloid d=5 load grid" in out

@@ -1,0 +1,92 @@
+"""The semantic layer is service-agnostic: identical answers over all four
+approaches (and consistent with a manual canonical rewrite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.resource import AttributeConstraint, MultiAttributeQuery, ResourceInfo
+from repro.core.semantic import Ontology, SemanticResolver
+
+
+@pytest.fixture(scope="module")
+def ontology() -> Ontology:
+    return (
+        Ontology()
+        .add_synonym("clock-speed", "cpu-mhz")
+        .add_conversion("free-memory-gb", "free-memory-mb", scale=1024.0)
+        .add_broader("capacity", ("disk-gb", "free-memory-mb"))
+    )
+
+
+def semantic_query() -> MultiAttributeQuery:
+    return MultiAttributeQuery(
+        (
+            AttributeConstraint.at_least("clock-speed", 1000.0),
+            AttributeConstraint.at_least("free-memory-gb", 1.0),
+        )
+    )
+
+
+def canonical_query() -> MultiAttributeQuery:
+    return MultiAttributeQuery(
+        (
+            AttributeConstraint.at_least("cpu-mhz", 1000.0),
+            AttributeConstraint.at_least("free-memory-mb", 1024.0),
+        )
+    )
+
+
+def test_identical_answers_across_all_approaches(loaded_bundle, ontology):
+    answers = {}
+    for service in loaded_bundle.all():
+        resolver = SemanticResolver(service, ontology)
+        answers[service.name] = resolver.multi_query(semantic_query()).providers
+    assert len(set(answers.values())) == 1, answers
+
+
+def test_semantic_equals_manual_canonical_rewrite(loaded_bundle, ontology):
+    for service in loaded_bundle.all():
+        resolver = SemanticResolver(service, ontology)
+        semantic = resolver.multi_query(semantic_query()).providers
+        canonical = service.multi_query(canonical_query()).providers
+        assert semantic == canonical, service.name
+
+
+def test_broader_term_unions_over_every_service(loaded_bundle, ontology):
+    query = MultiAttributeQuery(
+        (AttributeConstraint.at_least("capacity", 1.0),)
+    )
+    for service in loaded_bundle.all():
+        resolver = SemanticResolver(service, ontology)
+        got = resolver.multi_query(query).providers
+        disk = service.multi_query(
+            MultiAttributeQuery((AttributeConstraint.at_least("disk-gb", 1.0),))
+        ).providers
+        mem = service.multi_query(
+            MultiAttributeQuery((AttributeConstraint.at_least("free-memory-mb", 1.0),))
+        ).providers
+        assert got == disk | mem, service.name
+
+
+def test_semantic_layer_accounting_sums_subqueries(loaded_bundle, ontology):
+    resolver = SemanticResolver(loaded_bundle.lorm, ontology)
+    result = resolver.multi_query(semantic_query())
+    assert result.total_hops == sum(r.hops for r in result.sub_results)
+    assert all(r.visited_nodes >= 1 for r in result.sub_results)
+
+
+def test_fresh_registration_visible_through_resolver(loaded_bundle, ontology):
+    service = loaded_bundle.lorm
+    info = ResourceInfo("cpu-mhz", 4999.0, "semantic-new-box")
+    service.register(info, routed=False)
+    try:
+        resolver = SemanticResolver(service, ontology)
+        result = resolver.multi_query(
+            MultiAttributeQuery(
+                (AttributeConstraint.at_least("clock-speed", 4998.0),)
+            )
+        )
+        assert "semantic-new-box" in result.providers
+    finally:
+        service.deregister(info)

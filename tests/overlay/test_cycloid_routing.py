@@ -1,0 +1,146 @@
+"""Focused tests of Cycloid routing internals: phases, fallbacks, walks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.overlay.cycloid import CycloidId, CycloidOverlay
+
+
+class TestCccPhases:
+    def test_cubical_hop_taken_when_bit_differs(self):
+        """From (k, a) with bit k-1 differing, the first hop is cubical."""
+        overlay = CycloidOverlay(4)
+        overlay.build_full()
+        start = overlay.node(CycloidId(3, 0b0000))
+        target = CycloidId(3, 0b0100)  # differs exactly at bit 2 = start.k - 1
+        result = overlay.lookup(start, target)
+        assert result.path[1] == CycloidId(2, 0b0100)
+
+    def test_descend_hop_when_bit_matches(self):
+        overlay = CycloidOverlay(4)
+        overlay.build_full()
+        start = overlay.node(CycloidId(3, 0b0000))
+        target = CycloidId(0, 0b0001)  # bit 2 matches; must descend first
+        result = overlay.lookup(start, target)
+        assert result.path[1] == CycloidId(2, 0b0000)  # inside-leaf pred
+
+    def test_final_phase_walks_short_direction(self):
+        overlay = CycloidOverlay(6)
+        overlay.build_full()
+        start = overlay.node(CycloidId(1, 9))
+        result = overlay.lookup(start, CycloidId(5, 9))
+        # Short way from k=1 to k=5 on a 6-cycle is backwards (1->0->5).
+        assert result.hops == 2
+        assert result.path == (CycloidId(1, 9), CycloidId(0, 9), CycloidId(5, 9))
+
+    def test_worst_case_bound(self):
+        """Full overlay: every route completes within ~1.5 d + d/2 hops."""
+        overlay = CycloidOverlay(5)
+        overlay.build_full()
+        r = random.Random(0)
+        ids = overlay.node_ids
+        for _ in range(500):
+            start = overlay.node(ids[r.randrange(len(ids))])
+            target = CycloidId(r.randrange(5), r.randrange(32))
+            assert overlay.lookup(start, target).hops <= 2 * 5 + 3
+
+
+class TestFallbacks:
+    def test_routing_with_single_cluster(self):
+        overlay = CycloidOverlay(4)
+        overlay.build([CycloidId(k, 3) for k in range(4)])
+        start = overlay.node(CycloidId(0, 3))
+        result = overlay.lookup(start, CycloidId(2, 9))  # only cluster 3 exists
+        assert result.owner.a == 3
+
+    def test_routing_between_two_singleton_clusters(self):
+        overlay = CycloidOverlay(4)
+        overlay.build([CycloidId(1, 2), CycloidId(3, 11)])
+        a = overlay.node(CycloidId(1, 2))
+        result = overlay.lookup(a, CycloidId(3, 11))
+        assert result.owner.cid == CycloidId(3, 11)
+
+    def test_very_sparse_random_memberships(self):
+        r = random.Random(77)
+        all_ids = [CycloidId(k, a) for a in range(16) for k in range(4)]
+        for trial in range(30):
+            members = r.sample(all_ids, r.randint(2, 8))
+            overlay = CycloidOverlay(4)
+            overlay.build(members)
+            ids = overlay.node_ids
+            start = overlay.node(ids[r.randrange(len(ids))])
+            target = CycloidId(r.randrange(4), r.randrange(16))
+            assert overlay.lookup(start, target).owner is overlay.closest_node(target)
+
+    def test_clockwise_fallback_terminates_after_heavy_failures(self):
+        """Crash half the overlay without stabilizing between crashes;
+        routing must still converge via the deterministic fallback."""
+        overlay = CycloidOverlay(4)
+        overlay.build_full()
+        r = random.Random(5)
+        for _ in range(32):
+            victim = overlay.node_ids[r.randrange(overlay.num_nodes)]
+            overlay.fail(victim)
+        ids = overlay.node_ids
+        for _ in range(200):
+            start = overlay.node(ids[r.randrange(len(ids))])
+            target = CycloidId(r.randrange(4), r.randrange(16))
+            result = overlay.lookup(start, target)
+            assert result.owner is overlay.closest_node(target)
+
+
+class TestWalkClusterBoundaries:
+    def test_full_cyclic_span_visits_whole_cluster(self):
+        overlay = CycloidOverlay(4)
+        overlay.build_full()
+        start = overlay.closest_node(CycloidId(0, 6))
+        walk = overlay.walk_cluster(start, 0, 3)
+        assert len(walk) == 4  # every member of cluster 6
+
+    def test_wrapping_sector_ownership(self):
+        """With members at {1, 2} (d=4), position 0 belongs to node 1 but
+        position 3 belongs to node... the midpoint rule; the walk over the
+        full span must visit both members."""
+        overlay = CycloidOverlay(4)
+        overlay.build([CycloidId(1, 0), CycloidId(2, 0), CycloidId(0, 8)])
+        start = overlay.closest_node(CycloidId(0, 0))
+        walk = overlay.walk_cluster(start, 0, 3)
+        assert {n.k for n in walk} == {1, 2}
+
+    def test_zero_span_stays_home(self):
+        overlay = CycloidOverlay(4)
+        overlay.build_full()
+        start = overlay.closest_node(CycloidId(2, 5))
+        assert overlay.walk_cluster(start, 2, 2) == [start]
+
+    def test_walk_never_leaves_cluster_even_with_vacancies(self):
+        overlay = CycloidOverlay(4)
+        overlay.build(
+            [CycloidId(0, 4), CycloidId(3, 4), CycloidId(1, 5), CycloidId(2, 5)]
+        )
+        start = overlay.closest_node(CycloidId(0, 4))
+        walk = overlay.walk_cluster(start, 0, 3)
+        assert all(n.a == 4 for n in walk)
+
+
+class TestTableEntries:
+    def test_dedup(self):
+        overlay = CycloidOverlay(4)
+        overlay.build([CycloidId(0, 1), CycloidId(2, 1)])
+        node = overlay.node(CycloidId(0, 1))
+        entries = node.table_entries()
+        assert len(entries) == len({e.cid for e in entries})
+
+    def test_never_contains_self_or_dead(self):
+        overlay = CycloidOverlay(4)
+        overlay.build_full()
+        victim_id = CycloidId(2, 7)
+        victim = overlay.node(victim_id)
+        overlay.leave(victim_id)
+        for node in overlay.nodes():
+            entries = node.table_entries()
+            assert node not in entries
+            assert victim not in entries

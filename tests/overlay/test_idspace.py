@@ -1,0 +1,110 @@
+"""Tests for circular ID-space arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.overlay.idspace import IdSpace
+
+SPACE = IdSpace(6)  # 64 identifiers
+ids = st.integers(min_value=0, max_value=SPACE.size - 1)
+
+
+class TestBasics:
+    def test_size(self):
+        assert IdSpace(4).size == 16
+
+    def test_wrap(self):
+        assert SPACE.wrap(65) == 1
+        assert SPACE.wrap(-1) == 63
+
+    @pytest.mark.parametrize("bits", [0, -1, 161])
+    def test_invalid_bits_rejected(self, bits):
+        with pytest.raises(ValueError):
+            IdSpace(bits)
+
+
+class TestDistances:
+    def test_clockwise_wraps(self):
+        assert SPACE.clockwise_distance(60, 4) == 8
+
+    def test_clockwise_zero(self):
+        assert SPACE.clockwise_distance(5, 5) == 0
+
+    def test_ring_distance_symmetric(self):
+        assert SPACE.ring_distance(3, 60) == SPACE.ring_distance(60, 3) == 7
+
+    @given(a=ids, b=ids)
+    def test_ring_distance_at_most_half(self, a, b):
+        assert SPACE.ring_distance(a, b) <= SPACE.size // 2
+
+    @given(a=ids, b=ids)
+    def test_clockwise_distances_complementary(self, a, b):
+        if a != b:
+            assert (
+                SPACE.clockwise_distance(a, b) + SPACE.clockwise_distance(b, a)
+                == SPACE.size
+            )
+
+
+class TestIntervals:
+    def test_half_open_default(self):
+        assert SPACE.in_interval(5, 3, 5)  # right-closed
+        assert not SPACE.in_interval(3, 3, 5)  # left-open
+
+    def test_wrapping_interval(self):
+        assert SPACE.in_interval(1, 60, 5)
+        assert not SPACE.in_interval(30, 60, 5)
+
+    def test_degenerate_open_interval_is_everything_but_point(self):
+        assert SPACE.in_interval(9, 7, 7, closed_left=False, closed_right=False)
+        assert not SPACE.in_interval(7, 7, 7, closed_left=False, closed_right=False)
+
+    def test_degenerate_closed_interval_full_ring(self):
+        assert SPACE.in_interval(7, 7, 7)  # closed_right default
+
+    @given(x=ids, a=ids, b=ids)
+    def test_open_interval_excludes_endpoints(self, x, a, b):
+        inside = SPACE.in_interval(x, a, b, closed_left=False, closed_right=False)
+        if x == a or (x == b and a != b):
+            assert not inside
+
+    @given(x=ids, a=ids, b=ids)
+    def test_interval_membership_matches_walk(self, x, a, b):
+        """(a, b] must equal the set of points reached walking clockwise
+        from a+1 through b."""
+        if a == b:
+            return
+        walk = set()
+        cur = (a + 1) % SPACE.size
+        while True:
+            walk.add(cur)
+            if cur == b:
+                break
+            cur = (cur + 1) % SPACE.size
+        assert SPACE.in_interval(x, a, b) == (x in walk)
+
+
+class TestClosest:
+    def test_exact_match_wins(self):
+        assert SPACE.closest(10, [3, 10, 20]) == 10
+
+    def test_tie_broken_clockwise(self):
+        # 8 and 12 are both distance 2 from 10; clockwise from 10 reaches 12 first.
+        assert SPACE.closest(10, [8, 12]) == 12
+
+    def test_wrapping_closest(self):
+        assert SPACE.closest(63, [0, 55]) == 0
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            SPACE.closest(1, [])
+
+    @given(target=ids, cands=st.lists(ids, min_size=1, max_size=12))
+    def test_closest_minimises_ring_distance(self, target, cands):
+        best = SPACE.closest(target, cands)
+        assert SPACE.ring_distance(target, best) == min(
+            SPACE.ring_distance(target, c) for c in cands
+        )

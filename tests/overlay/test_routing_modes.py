@@ -1,0 +1,91 @@
+"""Tests for the two Cycloid routing disciplines."""
+
+from __future__ import annotations
+
+import random
+import statistics
+
+import pytest
+
+from repro.overlay.cycloid import CycloidId, CycloidOverlay
+
+
+def build(mode: str, d: int = 4, full: bool = True, members=None) -> CycloidOverlay:
+    overlay = CycloidOverlay(d, routing_mode=mode)
+    if full:
+        overlay.build_full()
+    else:
+        overlay.build(members)
+    return overlay
+
+
+class TestModeValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CycloidOverlay(4, routing_mode="teleport")
+
+    def test_default_is_adaptive(self):
+        assert CycloidOverlay(4).routing_mode == "adaptive"
+
+
+class TestBothModesCorrect:
+    @pytest.mark.parametrize("mode", ["adaptive", "msb"])
+    def test_full_overlay_lookups(self, mode):
+        overlay = build(mode)
+        r = random.Random(1)
+        ids = overlay.node_ids
+        for _ in range(300):
+            start = overlay.node(ids[r.randrange(len(ids))])
+            target = CycloidId(r.randrange(4), r.randrange(16))
+            assert overlay.lookup(start, target).owner is overlay.closest_node(target)
+
+    @pytest.mark.parametrize("mode", ["adaptive", "msb"])
+    def test_sparse_overlay_lookups(self, mode):
+        r = random.Random(2)
+        all_ids = [CycloidId(k, a) for a in range(16) for k in range(4)]
+        overlay = build(mode, full=False, members=r.sample(all_ids, 30))
+        ids = overlay.node_ids
+        for _ in range(300):
+            start = overlay.node(ids[r.randrange(len(ids))])
+            target = CycloidId(r.randrange(4), r.randrange(16))
+            assert overlay.lookup(start, target).owner is overlay.closest_node(target)
+
+    @pytest.mark.parametrize("mode", ["adaptive", "msb"])
+    def test_under_churn(self, mode):
+        overlay = build(mode, d=4)
+        r = random.Random(3)
+        for _ in range(20):
+            overlay.leave(overlay.node_ids[r.randrange(overlay.num_nodes)])
+        ids = overlay.node_ids
+        for _ in range(200):
+            start = overlay.node(ids[r.randrange(len(ids))])
+            target = CycloidId(r.randrange(4), r.randrange(16))
+            assert overlay.lookup(start, target).owner is overlay.closest_node(target)
+
+
+class TestModeCostDifference:
+    def test_msb_pays_the_ascending_phase(self):
+        r = random.Random(4)
+        targets = [
+            (r.randrange(64), CycloidId(r.randrange(4), r.randrange(16)))
+            for _ in range(600)
+        ]
+        means = {}
+        for mode in ("adaptive", "msb"):
+            overlay = build(mode)
+            ids = overlay.node_ids
+            hops = [
+                overlay.lookup(overlay.node(ids[i]), t).hops for i, t in targets
+            ]
+            means[mode] = statistics.mean(hops)
+        assert means["adaptive"] < means["msb"]
+
+    def test_msb_path_includes_ascent(self):
+        """From a low cyclic level with a high differing bit, MSB routing
+        must ascend first (k increases along the path)."""
+        overlay = build("msb")
+        start = overlay.node(CycloidId(0, 0b0000))
+        target = CycloidId(0, 0b1000)  # differing bit 3 needs level 3
+        result = overlay.lookup(start, target)
+        ks = [cid.k for cid in result.path]
+        assert max(ks) > ks[0]  # ascended before flipping

@@ -1,0 +1,93 @@
+"""Hypothesis properties of the range-walk primitives.
+
+The range-query correctness of Mercury/MAAN (``walk_arc``) and LORM
+(``walk_cluster``) reduces to one statement each:
+
+* the walk visits **exactly** the nodes owning at least one key of the
+  queried arc/sector — no owner missed (completeness, Proposition 3.1's
+  content) and no extra nodes billed (the paper's visited-node accounting).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.chord import ChordRing
+from repro.overlay.cycloid import CycloidId, CycloidOverlay
+
+slow = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+ring_members = st.sets(st.integers(0, 63), min_size=1, max_size=30)
+cycloid_members = st.sets(
+    st.builds(CycloidId, st.integers(0, 3), st.integers(0, 15)),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestWalkArcProperties:
+    @slow
+    @given(members=ring_members, k1=st.integers(0, 63), span=st.integers(0, 63))
+    def test_walk_visits_exactly_the_arc_owners(self, members, k1, span):
+        ring = ChordRing(6)
+        ring.build(members)
+        k2 = (k1 + span) % 64
+        start = ring.successor_of(k1)
+        walked = {n.node_id for n in ring.walk_arc(start, k1, k2)}
+        owners = {
+            ring.successor_of((k1 + offset) % 64).node_id
+            for offset in range(span + 1)
+        }
+        assert walked == owners
+
+    @slow
+    @given(members=ring_members, k1=st.integers(0, 63), span=st.integers(0, 63))
+    def test_walk_is_contiguous_clockwise(self, members, k1, span):
+        ring = ChordRing(6)
+        ring.build(members)
+        start = ring.successor_of(k1)
+        walk = ring.walk_arc(start, k1, (k1 + span) % 64)
+        ids = ring.node_ids
+        positions = [ids.index(n.node_id) for n in walk]
+        for a, b in zip(positions, positions[1:]):
+            assert b == (a + 1) % len(ids)
+
+
+class TestWalkClusterProperties:
+    @slow
+    @given(
+        members=cycloid_members,
+        k1=st.integers(0, 3),
+        span=st.integers(0, 3),
+        cluster_hint=st.integers(0, 15),
+    )
+    def test_walk_visits_exactly_the_sector_owners(
+        self, members, k1, span, cluster_hint
+    ):
+        overlay = CycloidOverlay(4)
+        overlay.build(members)
+        cluster = overlay.nearest_cluster(cluster_hint)
+        k2 = (k1 + span) % 4
+        start = overlay.closest_node(CycloidId(k1, cluster))
+        # Guard: the walk API contract requires start in the key's cluster.
+        if start.a != cluster:
+            return
+        walked = {n.cid for n in overlay.walk_cluster(start, k1, k2)}
+        owners = {
+            overlay.closest_node(CycloidId((k1 + o) % 4, cluster)).cid
+            for o in range(span + 1)
+        }
+        assert walked == owners
+
+    @slow
+    @given(members=cycloid_members, k1=st.integers(0, 3), span=st.integers(0, 3))
+    def test_walk_stays_in_start_cluster(self, members, k1, span):
+        overlay = CycloidOverlay(4)
+        overlay.build(members)
+        some_cluster = overlay.node_ids[0].a
+        start = overlay.closest_node(CycloidId(k1, some_cluster))
+        walk = overlay.walk_cluster(start, k1, (k1 + span) % 4)
+        assert all(n.a == start.a for n in walk)

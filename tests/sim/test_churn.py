@@ -1,0 +1,84 @@
+"""Tests for the Poisson churn process (Section V-C)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.sim.churn import ChurnEvent, ChurnEventKind, ChurnProcess
+from repro.sim.engine import Simulator
+
+
+def make_process(rate: float = 0.4, seed: int = 0) -> ChurnProcess:
+    return ChurnProcess(rate=rate, rng=np.random.default_rng(seed))
+
+
+class TestEventGeneration:
+    def test_events_time_ordered(self):
+        events = make_process().events_until(200.0)
+        times = [e.time for e in events]
+        assert times == sorted(times)
+
+    def test_events_within_horizon(self):
+        events = make_process().events_until(50.0)
+        assert all(0 < e.time < 50.0 for e in events)
+
+    def test_rate_matches_poisson_expectation(self):
+        """At R=0.4 over 2000s, each stream fires ~800 times (±5 sigma)."""
+        events = make_process(rate=0.4, seed=1).events_until(2000.0)
+        joins = sum(1 for e in events if e.kind is ChurnEventKind.JOIN)
+        leaves = len(events) - joins
+        for count in (joins, leaves):
+            assert abs(count - 800) < 5 * np.sqrt(800)
+
+    def test_paper_example_rate(self):
+        """R=0.4 means ~one join AND one leave every 2.5 s, the paper's
+        example."""
+        events = make_process(rate=0.4, seed=2).events_until(1000.0)
+        joins = [e for e in events if e.kind is ChurnEventKind.JOIN]
+        mean_gap = np.mean(np.diff([0.0] + [e.time for e in joins]))
+        assert 2.0 < mean_gap < 3.1
+
+    def test_reproducible(self):
+        a = make_process(seed=7).events_until(100.0)
+        b = make_process(seed=7).events_until(100.0)
+        assert a == b
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            make_process(rate=0.0)
+
+
+class TestStream:
+    def test_stream_matches_kind_mix(self):
+        stream = make_process(seed=3).stream()
+        first = list(itertools.islice(stream, 200))
+        kinds = {e.kind for e in first}
+        assert kinds == {ChurnEventKind.JOIN, ChurnEventKind.LEAVE}
+
+    def test_stream_time_ordered(self):
+        stream = make_process(seed=4).stream()
+        times = [e.time for e in itertools.islice(stream, 300)]
+        assert times == sorted(times)
+
+
+class TestInstall:
+    def test_installs_all_events_on_simulator(self):
+        sim = Simulator()
+        joins, leaves = [], []
+        process = make_process(rate=1.0, seed=5)
+        count = process.install(
+            sim, 100.0, on_join=lambda: joins.append(sim.now),
+            on_leave=lambda: leaves.append(sim.now),
+        )
+        fired = sim.run()
+        assert fired == count
+        assert len(joins) + len(leaves) == count
+        assert joins and leaves
+
+    def test_event_dataclass_fields(self):
+        e = ChurnEvent(1.5, ChurnEventKind.LEAVE)
+        assert e.time == 1.5
+        assert e.kind.value == "leave"

@@ -1,0 +1,94 @@
+"""Tests for metric collection and percentile summaries."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.metrics import MetricsRegistry, summarize
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        s = summarize([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1
+        assert s.maximum == 4
+        assert s.total == 10
+
+    def test_percentiles_match_numpy(self):
+        data = list(range(100))
+        s = summarize(data)
+        assert s.p01 == pytest.approx(np.percentile(data, 1))
+        assert s.p99 == pytest.approx(np.percentile(data, 99))
+        assert s.median == pytest.approx(49.5)
+
+    def test_empty_sample(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+        assert s.total == 0.0
+
+    def test_single_sample(self):
+        s = summarize([7.0])
+        assert s.mean == s.p01 == s.p99 == 7.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60))
+    def test_ordering_invariants(self, data):
+        s = summarize(data)
+        assert s.minimum <= s.p01 <= s.median <= s.p99 <= s.maximum
+        # The mean can exceed min/max by a rounding ulp when all samples
+        # are equal; allow that float slack.
+        slack = 1e-9 * max(1.0, abs(s.maximum))
+        assert s.minimum - slack <= s.mean <= s.maximum + slack
+
+    def test_as_dict_keys(self):
+        d = summarize([1, 2]).as_dict()
+        assert set(d) == {
+            "count", "mean", "std", "min", "p01", "median", "p99", "max", "total"
+        }
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        m = MetricsRegistry()
+        m.incr("msgs")
+        m.incr("msgs", 2.5)
+        assert m.counter("msgs") == 3.5
+
+    def test_unknown_counter_is_zero(self):
+        assert MetricsRegistry().counter("nope") == 0.0
+
+    def test_samples_recorded_and_summarized(self):
+        m = MetricsRegistry()
+        for v in (1, 2, 3):
+            m.record("hops", v)
+        assert m.samples("hops") == [1.0, 2.0, 3.0]
+        assert m.summary("hops").mean == 2.0
+
+    def test_reset_single_series(self):
+        m = MetricsRegistry()
+        m.record("a", 1)
+        m.incr("c")
+        m.reset("a")
+        assert m.samples("a") == []
+        assert m.counter("c") == 1.0
+
+    def test_reset_all(self):
+        m = MetricsRegistry()
+        m.record("a", 1)
+        m.incr("c")
+        m.reset()
+        assert m.series_names == ()
+        assert m.counter_names == ()
+
+    def test_samples_returns_copy(self):
+        m = MetricsRegistry()
+        m.record("x", 1)
+        m.samples("x").append(99.0)
+        assert m.samples("x") == [1.0]

@@ -1,0 +1,66 @@
+"""Tests for message/hop accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.network import MessageStats, SimulatedNetwork
+
+
+class TestCounting:
+    def test_hops_count_as_messages(self):
+        net = SimulatedNetwork()
+        net.count_hop(3)
+        assert net.stats.routing_hops == 3
+        assert net.stats.messages == 3
+
+    def test_directory_checks_are_not_messages(self):
+        net = SimulatedNetwork()
+        net.count_directory_check(5)
+        assert net.stats.directory_checks == 5
+        assert net.stats.messages == 0
+
+    def test_maintenance_counts_as_messages(self):
+        net = SimulatedNetwork()
+        net.count_maintenance(4)
+        assert net.stats.maintenance_messages == 4
+        assert net.stats.messages == 4
+
+    def test_reset(self):
+        net = SimulatedNetwork()
+        net.count_hop()
+        net.reset()
+        assert net.stats.messages == 0
+
+
+class TestSnapshots:
+    def test_snapshot_is_independent(self):
+        net = SimulatedNetwork()
+        net.count_hop()
+        snap = net.stats.snapshot()
+        net.count_hop()
+        assert snap.routing_hops == 1
+        assert net.stats.routing_hops == 2
+
+    def test_delta_since(self):
+        net = SimulatedNetwork()
+        net.count_hop(2)
+        before = net.stats.snapshot()
+        net.count_hop(3)
+        net.count_maintenance(1)
+        delta = net.stats.delta_since(before)
+        assert delta.routing_hops == 3
+        assert delta.maintenance_messages == 1
+
+    def test_default_stats_zero(self):
+        assert MessageStats().messages == 0
+
+
+class TestLatency:
+    def test_latency_linear_in_hops(self):
+        net = SimulatedNetwork(hop_latency=0.1)
+        assert net.latency_of(5) == pytest.approx(0.5)
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedNetwork(hop_latency=0.0)

@@ -1,0 +1,91 @@
+"""Tests for the trace recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
+
+
+class TestRecording:
+    def test_record_and_retrieve(self):
+        tracer = TraceRecorder()
+        tracer.record("lookup", "node-1", hops=5)
+        [event] = tracer.events("lookup")
+        assert event.subject == "node-1"
+        assert event.detail == {"hops": 5}
+
+    def test_kind_accepts_enum_and_string(self):
+        tracer = TraceRecorder()
+        tracer.record(TraceEventKind.JOIN, "a")
+        tracer.record("join", "b")
+        assert len(tracer.events("join")) == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record("teleport", "x")
+
+    def test_clock_integration(self):
+        sim = Simulator()
+        tracer = TraceRecorder(clock=lambda: sim.now)
+        sim.schedule(2.5, lambda: tracer.record("query", "q1"))
+        sim.run()
+        assert tracer.last("query").time == 2.5
+
+    def test_len_and_iter(self):
+        tracer = TraceRecorder()
+        for i in range(4):
+            tracer.record("store", f"k{i}")
+        assert len(tracer) == 4
+        assert [e.subject for e in tracer] == ["k0", "k1", "k2", "k3"]
+
+
+class TestBounding:
+    def test_ring_buffer_drops_oldest(self):
+        tracer = TraceRecorder(capacity=3)
+        for i in range(5):
+            tracer.record("store", f"k{i}")
+        assert [e.subject for e in tracer] == ["k2", "k3", "k4"]
+        assert tracer.dropped == 2
+
+    def test_counts_include_dropped(self):
+        tracer = TraceRecorder(capacity=2)
+        for _ in range(5):
+            tracer.record("leave", "x")
+        assert tracer.count("leave") == 5
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+
+class TestFiltering:
+    def test_filter_by_subject(self):
+        tracer = TraceRecorder()
+        tracer.record("lookup", "a")
+        tracer.record("lookup", "b")
+        assert len(tracer.events(subject="a")) == 1
+
+    def test_last_none_when_empty(self):
+        assert TraceRecorder().last() is None
+
+    def test_clear_keeps_counts(self):
+        tracer = TraceRecorder()
+        tracer.record("fail", "n")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.count("fail") == 1
+
+
+class TestFormatting:
+    def test_format_line(self):
+        event = TraceEvent(TraceEventKind.LOOKUP, 1.5, "n3", {"hops": 7})
+        line = event.format()
+        assert "lookup" in line and "n3" in line and "hops=7" in line
+
+    def test_dump_multiline(self):
+        tracer = TraceRecorder()
+        tracer.record("join", "a")
+        tracer.record("leave", "b")
+        assert len(tracer.dump().splitlines()) == 2

@@ -1,0 +1,30 @@
+"""Every docstring example in the library must execute as written.
+
+The public API's docstrings carry runnable examples (Chord/Cycloid lookup,
+hashing, the LORM quickstart, …); this module runs them all as doctests so
+documentation cannot drift from behaviour.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules() -> list[str]:
+    names = ["repro"]
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(module.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{module_name}: {results.failed} doctest failures"
