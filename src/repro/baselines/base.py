@@ -103,7 +103,25 @@ class DiscoveryService(ABC):
         self.metrics.record(
             "multi_query.total_visited", sum(r.visited_nodes for r in sub_results)
         )
-        return MultiQueryResult(providers=providers, sub_results=sub_results)
+        result = MultiQueryResult(providers=providers, sub_results=sub_results)
+        if not result.complete:
+            self.metrics.incr("multi_query.incomplete")
+        if result.retries:
+            self.metrics.record("multi_query.retries", result.retries)
+        return result
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def configure_faults(self, injector: Any, policy: Any | None = None) -> None:
+        """Attach a fault injector (and optional lookup policy) to the
+        service's overlay network; ``injector=None`` detaches it.
+
+        Subclasses bind this to their overlay.  While an injector is
+        active, lookups run without oracle assistance and can return
+        ``complete=False`` results.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no overlay binding")
 
     # ------------------------------------------------------------------
     # Structure metrics (Figure 3)
@@ -264,6 +282,20 @@ class ChordBackedService(DiscoveryService):
 
     def _resolve_start(self, start: ChordNode | None) -> ChordNode:
         return start if start is not None else self.random_node()
+
+    def _failed_result(self, lookup: Any) -> QueryResult:
+        """A lookup that never reached an owner: honest empty partial."""
+        self.metrics.record("query.hops", lookup.hops)
+        self.metrics.record("query.visited", 0)
+        return QueryResult(
+            matches=(), hops=lookup.hops, visited_nodes=0,
+            complete=False, retries=lookup.retries, timed_out=lookup.timed_out,
+        )
+
+    def configure_faults(self, injector: Any, policy: Any | None = None) -> None:
+        self.ring.network.faults = injector
+        if policy is not None:
+            self.ring.lookup_policy = policy
 
     # ------------------------------------------------------------------
     # Churn

@@ -68,26 +68,47 @@ class MaanService(ChordBackedService):
         # Lookup 1: the attribute root (checks its directory).
         attr_key = self.attr_key(q.attribute)
         attr_lookup = self.ring.lookup(start, attr_key)
+        if not attr_lookup.complete:
+            return self._failed_result(attr_lookup)
         self.ring.network.count_directory_check(1)
 
         if not q.is_range:
             # Lookup 2: the value root answers the point query.
             value_key = vh(constraint.low)
             value_lookup = self.ring.lookup(start, value_key)
+            hops = attr_lookup.hops + value_lookup.hops
+            retries = attr_lookup.retries + value_lookup.retries
+            if not value_lookup.complete:
+                self._record(hops, 1)
+                return QueryResult(
+                    matches=(), hops=hops, visited_nodes=1,
+                    complete=False, retries=retries,
+                    timed_out=value_lookup.timed_out,
+                )
             matches = tuple(
                 info
                 for info in value_lookup.owner.items_at(_VALUE_NS, value_key)
                 if info.attribute == q.attribute and constraint.matches(info.value)
             )
             self.ring.network.count_directory_check(1)
-            hops = attr_lookup.hops + value_lookup.hops
             self._record(hops, 2)
-            return QueryResult(matches=matches, hops=hops, visited_nodes=2)
+            return QueryResult(
+                matches=matches, hops=hops, visited_nodes=2, retries=retries
+            )
 
         # Lookup 2 + walk: value roots across the queried arc.
         low, high = constraint.bounds_within(spec.lo, spec.hi)
         k1, k2 = vh.hash_range(low, high)
         value_lookup = self.ring.lookup(start, k1)
+        if not value_lookup.complete:
+            hops = attr_lookup.hops + value_lookup.hops
+            self._record(hops, 1)
+            return QueryResult(
+                matches=(), hops=hops, visited_nodes=1,
+                complete=False,
+                retries=attr_lookup.retries + value_lookup.retries,
+                timed_out=value_lookup.timed_out,
+            )
         walk = self.ring.walk_arc(value_lookup.owner, k1, k2)
         matches: tuple = ()
         if self.collect_matches:
@@ -102,7 +123,12 @@ class MaanService(ChordBackedService):
         self.ring.network.count_hop(len(walk) - 1)
         self.ring.network.count_directory_check(len(walk))
         self._record(hops, visited)
-        return QueryResult(matches=matches, hops=hops, visited_nodes=visited)
+        return QueryResult(
+            matches=matches, hops=hops, visited_nodes=visited,
+            complete=not walk.truncated,
+            retries=attr_lookup.retries + value_lookup.retries + walk.retries,
+            timed_out=walk.timed_out,
+        )
 
     def _record(self, hops: int, visited: int) -> None:
         self.metrics.record("query.hops", hops)

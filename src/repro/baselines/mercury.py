@@ -70,6 +70,8 @@ class MercuryService(ChordBackedService):
         if not q.is_range:
             key = vh(constraint.low)  # point: low == high
             lookup = self.ring.lookup(start, key)
+            if not lookup.complete:
+                return self._failed_result(lookup)
             matches = tuple(
                 info
                 for info in lookup.owner.items_at(namespace, key)
@@ -77,11 +79,16 @@ class MercuryService(ChordBackedService):
             )
             self.ring.network.count_directory_check(1)
             self._record(lookup.hops, 1)
-            return QueryResult(matches=matches, hops=lookup.hops, visited_nodes=1)
+            return QueryResult(
+                matches=matches, hops=lookup.hops, visited_nodes=1,
+                retries=lookup.retries,
+            )
 
         low, high = constraint.bounds_within(spec.lo, spec.hi)
         k1, k2 = vh.hash_range(low, high)
         lookup = self.ring.lookup(start, k1)
+        if not lookup.complete:
+            return self._failed_result(lookup)
         walk = self.ring.walk_arc(lookup.owner, k1, k2)
         matches: tuple = ()
         if self.collect_matches:
@@ -95,7 +102,12 @@ class MercuryService(ChordBackedService):
         self.ring.network.count_hop(len(walk) - 1)
         self.ring.network.count_directory_check(len(walk))
         self._record(hops, len(walk))
-        return QueryResult(matches=matches, hops=hops, visited_nodes=len(walk))
+        return QueryResult(
+            matches=matches, hops=hops, visited_nodes=len(walk),
+            complete=not walk.truncated,
+            retries=lookup.retries + walk.retries,
+            timed_out=walk.timed_out,
+        )
 
     def _record(self, hops: int, visited: int) -> None:
         self.metrics.record("query.hops", hops)

@@ -154,6 +154,8 @@ class PointerMercuryService(MercuryService):
         low, high = constraint.bounds_within(spec.lo, spec.hi)
         k1, k2 = vh.hash_range(low, high)
         lookup = self.ring.lookup(start, k1)
+        if not lookup.complete:
+            return self._failed_result(lookup)
         walk = (
             [lookup.owner]
             if not q.is_range
@@ -162,6 +164,8 @@ class PointerMercuryService(MercuryService):
 
         matches: list[ResourceInfo] = []
         chase_hops = 0
+        chase_retries = 0
+        chase_incomplete = False
         for node in walk:
             items = (
                 node.items_at(namespace, k1) if not q.is_range
@@ -177,6 +181,12 @@ class PointerMercuryService(MercuryService):
                         continue
                     chased = self.ring.lookup(start, item.home_key)
                     chase_hops += chased.hops
+                    chase_retries += chased.retries
+                    if not chased.complete:
+                        # The pointed-at record is unreachable: this match
+                        # is silently missing unless flagged.
+                        chase_incomplete = True
+                        continue
                     for envelope in chased.owner.items_at(
                         self._hub(item.home_attribute), item.home_key
                     ):
@@ -190,11 +200,16 @@ class PointerMercuryService(MercuryService):
                             break
 
         hops = lookup.hops + (len(walk) - 1) + chase_hops
+        walk_truncated = getattr(walk, "truncated", False)
+        walk_retries = getattr(walk, "retries", 0)
         self.ring.network.count_hop(len(walk) - 1)
         self.ring.network.count_directory_check(len(walk))
         self._record(hops, len(walk))
         return QueryResult(
-            matches=tuple(matches), hops=hops, visited_nodes=len(walk)
+            matches=tuple(matches), hops=hops, visited_nodes=len(walk),
+            complete=not (walk_truncated or chase_incomplete),
+            retries=lookup.retries + walk_retries + chase_retries,
+            timed_out=getattr(walk, "timed_out", False),
         )
 
     # ------------------------------------------------------------------

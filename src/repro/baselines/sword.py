@@ -54,6 +54,8 @@ class SwordService(ChordBackedService):
         constraint = q.constraint
         key = self.attr_key(q.attribute)
         lookup = self.ring.lookup(start, key)
+        if not lookup.complete:
+            return self._failed_result(lookup)
         matches = tuple(
             info
             for info in lookup.owner.items_at(_NAMESPACE, key)
@@ -62,4 +64,7 @@ class SwordService(ChordBackedService):
         self.ring.network.count_directory_check(1)
         self.metrics.record("query.hops", lookup.hops)
         self.metrics.record("query.visited", 1)
-        return QueryResult(matches=matches, hops=lookup.hops, visited_nodes=1)
+        return QueryResult(
+            matches=matches, hops=lookup.hops, visited_nodes=1,
+            retries=lookup.retries,
+        )

@@ -8,6 +8,7 @@ Examples
     repro run fig4a --scale smoke
     repro run fig3a fig3b --scale paper --out results/
     repro all --scale smoke
+    repro availability --scale smoke --loss 0 0.05 --replication 1 2
 """
 
 from __future__ import annotations
@@ -44,6 +45,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     all_p = sub.add_parser("all", help="run every figure")
     _add_common(all_p)
+
+    avail_p = sub.add_parser(
+        "availability",
+        help="query completeness under message loss x replication",
+    )
+    _add_common(avail_p)
+    avail_p.add_argument(
+        "--loss",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="RATE",
+        help="message-loss rates to sweep (e.g. --loss 0 0.05 0.1)",
+    )
+    avail_p.add_argument(
+        "--replication",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="R",
+        help="replication factors to sweep (e.g. --replication 1 2 3)",
+    )
+    avail_p.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="multi-attribute queries per (loss, replication) cell",
+    )
 
     report_p = sub.add_parser(
         "report", help="assemble results/REPORT.md from existing artifacts"
@@ -101,7 +130,20 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     config = _config_from(args)
     started = time.perf_counter()
-    if args.command == "all":
+    if args.command == "availability":
+        overrides = {}
+        if args.loss is not None:
+            overrides["loss_rates"] = tuple(args.loss)
+        if args.replication is not None:
+            overrides["availability_replications"] = tuple(args.replication)
+        if args.queries is not None:
+            overrides["num_availability_queries"] = args.queries
+        if overrides:
+            config = config.scaled(**overrides)
+        result = run_figure("availability", config, save_dir=args.out)
+        print(result.render())
+        print()
+    elif args.command == "all":
         results = run_all_figures(config, save_dir=args.out)
         for figure_id in sorted(results):
             print(results[figure_id].render())  # type: ignore[attr-defined]

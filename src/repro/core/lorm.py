@@ -163,6 +163,8 @@ class LormService(DiscoveryService):
         if not q.is_range:
             key = CycloidId(vh(constraint.low), cluster)
             lookup = self.overlay.lookup(start, key)
+            if not lookup.complete:
+                return self._failed_result(lookup)
             matches = tuple(
                 info
                 for info in lookup.owner.items_at(
@@ -172,11 +174,16 @@ class LormService(DiscoveryService):
             )
             self.overlay.network.count_directory_check(1)
             self._record(lookup.hops, 1)
-            return QueryResult(matches=matches, hops=lookup.hops, visited_nodes=1)
+            return QueryResult(
+                matches=matches, hops=lookup.hops, visited_nodes=1,
+                retries=lookup.retries,
+            )
 
         low, high = constraint.bounds_within(spec.lo, spec.hi)
         k1, k2 = vh.hash_range(low, high)
         lookup = self.overlay.lookup(start, CycloidId(k1, cluster))
+        if not lookup.complete:
+            return self._failed_result(lookup)
         walk = self.overlay.walk_cluster(lookup.owner, k1, k2)
         matches: tuple = ()
         if self.collect_matches:
@@ -190,7 +197,20 @@ class LormService(DiscoveryService):
         self.overlay.network.count_hop(len(walk) - 1)
         self.overlay.network.count_directory_check(len(walk))
         self._record(hops, len(walk))
-        return QueryResult(matches=matches, hops=hops, visited_nodes=len(walk))
+        return QueryResult(
+            matches=matches, hops=hops, visited_nodes=len(walk),
+            complete=not walk.truncated,
+            retries=lookup.retries + walk.retries,
+            timed_out=walk.timed_out,
+        )
+
+    def _failed_result(self, lookup: Any) -> QueryResult:
+        """A lookup that never reached an owner: honest empty partial."""
+        self._record(lookup.hops, 0)
+        return QueryResult(
+            matches=(), hops=lookup.hops, visited_nodes=0,
+            complete=False, retries=lookup.retries, timed_out=lookup.timed_out,
+        )
 
     def _record(self, hops: int, visited: int) -> None:
         self.metrics.record("query.hops", hops)
@@ -214,6 +234,11 @@ class LormService(DiscoveryService):
 
     def _resolve_start(self, start: CycloidNode | None) -> CycloidNode:
         return start if start is not None else self.random_node()
+
+    def configure_faults(self, injector: Any, policy: Any | None = None) -> None:
+        self.overlay.network.faults = injector
+        if policy is not None:
+            self.overlay.lookup_policy = policy
 
     # ------------------------------------------------------------------
     # Churn

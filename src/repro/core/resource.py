@@ -170,11 +170,20 @@ class QueryResult:
     ``hops`` is the paper's logical-hop metric (routing messages);
     ``visited_nodes`` counts nodes that received the query and checked
     their directory (the Figure 5/6b metric).
+
+    Under fault injection a query can come back *degraded*:
+    ``complete=False`` flags that the lookup failed or the range walk was
+    truncated, so ``matches`` is an honest partial answer rather than the
+    full result set.  ``retries`` counts retransmission rounds spent and
+    ``timed_out`` whether the route died waiting on unreachable nodes.
     """
 
     matches: tuple[ResourceInfo, ...]
     hops: int
     visited_nodes: int
+    complete: bool = True
+    retries: int = 0
+    timed_out: bool = False
 
     @property
     def providers(self) -> frozenset[str]:
@@ -214,6 +223,26 @@ class MultiQueryResult:
     def num_matches(self) -> int:
         """Number of providers satisfying every constraint."""
         return len(self.providers)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every sub-query came back complete.
+
+        An incomplete sub-result makes the join an *under*-approximation
+        (providers may be missing, never spurious), so requesters can
+        decide whether a partial answer is acceptable.
+        """
+        return all(r.complete for r in self.sub_results)
+
+    @property
+    def retries(self) -> int:
+        """Total retransmission rounds spent across sub-queries."""
+        return sum(r.retries for r in self.sub_results)
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether any sub-query died waiting on unreachable nodes."""
+        return any(r.timed_out for r in self.sub_results)
 
 
 def effective_span_fraction(

@@ -63,6 +63,7 @@ def build_services(
     register: bool = True,
     routed_registration: bool = False,
     seed_offset: int = 0,
+    replication: int = 1,
 ) -> ServiceBundle:
     """Build all four services at ``config`` scale and load the workload.
 
@@ -70,12 +71,16 @@ def build_services(
     directly — byte-identical placement without paying 400k routed inserts;
     the registration-cost benchmarks flip it on.  ``seed_offset``
     de-correlates repeated builds (used by the churn sweep).
+    ``replication`` sets every overlay's per-key copy count (1 = the
+    paper's model; >= 2 makes data survive crash failures, the axis swept
+    by the availability experiment).
     """
     seed = config.seed + seed_offset
     workload = build_workload(config)
     schema = workload.schema
     lorm = LormService.build_full(
-        config.dimension, schema, seed=seed, lph_kind=config.lph_kind
+        config.dimension, schema, seed=seed, lph_kind=config.lph_kind,
+        replication=replication,
     )
 
     # The paper runs every DHT with the same population ("each DHT had 2048
@@ -84,7 +89,8 @@ def build_services(
     def chord_service(cls):
         if config.population == (1 << config.chord_bits):
             return cls.build_full(
-                config.chord_bits, schema, seed=seed, lph_kind=config.lph_kind
+                config.chord_bits, schema, seed=seed, lph_kind=config.lph_kind,
+                replication=replication,
             )
         return cls.build(
             config.chord_bits,
@@ -92,6 +98,7 @@ def build_services(
             schema,
             seed=seed,
             lph_kind=config.lph_kind,
+            replication=replication,
         )
 
     mercury = chord_service(MercuryService)

@@ -58,6 +58,14 @@ class ExperimentConfig:
     seed: int = 2009
     #: Network sizes (Cycloid dimensions) swept in Figure 3(a).
     fig3a_dimensions: tuple[int, ...] = (5, 6, 7, 8, 9)
+    #: Availability experiment: per-message loss rates swept.
+    loss_rates: tuple[float, ...] = (0.0, 0.02, 0.05, 0.1)
+    #: Availability experiment: replication factors swept.
+    availability_replications: tuple[int, ...] = (1, 2, 3)
+    #: Availability experiment: multi-attribute queries per cell.
+    num_availability_queries: int = 120
+    #: Availability experiment: fraction of nodes crashed before querying.
+    availability_crash_fraction: float = 0.05
 
     def __post_init__(self) -> None:
         require(self.dimension >= 2, "dimension must be >= 2")
@@ -122,4 +130,7 @@ SMOKE_CONFIG = ExperimentConfig(
     num_range_queries=100,
     num_churn_requests=300,
     churn_rates=(0.1, 0.3, 0.5),
+    loss_rates=(0.0, 0.05),
+    availability_replications=(1, 2),
+    num_availability_queries=40,
 )

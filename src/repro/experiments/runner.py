@@ -13,6 +13,7 @@ from collections.abc import Callable
 from pathlib import Path
 
 from repro.experiments import figure3, figure4, figure5, figure6
+from repro.experiments.availability import run_availability
 from repro.experiments.common import build_services
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.latency import run_latency
@@ -39,6 +40,7 @@ FIGURES: dict[str, Callable] = {
     "latency": run_latency,  # extension figure, see module docstring
     "staleness": run_staleness,  # extension figure: provider churn x leases
     "maintenance": run_maintenance,  # extension figure: repair traffic vs R
+    "availability": run_availability,  # extension: completeness vs loss x r
 }
 
 
@@ -86,6 +88,7 @@ def run_all_figures(
     results["latency"] = run_latency(config, bundle)
     results["staleness"] = run_staleness(config)
     results["maintenance"] = run_maintenance(config)
+    results["availability"] = run_availability(config)
     results["fig6a"], results["fig6b"] = figure6.run_fig6(config)
 
     if save_dir is not None:

@@ -10,7 +10,7 @@ join/leave with key transfer, and routing-state repair under churn.
 from repro.overlay.chord import ChordNode, ChordRing
 from repro.overlay.cycloid import CycloidId, CycloidNode, CycloidOverlay
 from repro.overlay.idspace import IdSpace
-from repro.overlay.node import LookupResult, OverlayNode
+from repro.overlay.node import LookupResult, OverlayNode, WalkResult
 
 __all__ = [
     "ChordNode",
@@ -21,4 +21,5 @@ __all__ = [
     "IdSpace",
     "LookupResult",
     "OverlayNode",
+    "WalkResult",
 ]

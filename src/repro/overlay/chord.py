@@ -25,11 +25,13 @@ only ever follows per-node links, so hop counts are honest.
 from __future__ import annotations
 
 import bisect
+import warnings
 from collections.abc import Iterable
 from typing import Any
 
 from repro.overlay.idspace import IdSpace
-from repro.overlay.node import LookupResult, OverlayNode
+from repro.overlay.node import LookupResult, OverlayNode, WalkResult
+from repro.sim.faults import DEFAULT_POLICY, LookupPolicy, deliver_first
 from repro.sim.network import SimulatedNetwork
 from repro.utils.validation import require
 
@@ -126,6 +128,10 @@ class ChordRing:
         #: default of 1 behaviour matches the paper exactly; higher values
         #: make data survive *crash* failures (see :meth:`fail`).
         self.replication = replication
+        #: Requester behaviour under injected faults (retries, timeouts,
+        #: failover).  Irrelevant — and never consulted — while the network
+        #: has no active fault injector.
+        self.lookup_policy: LookupPolicy = DEFAULT_POLICY
         self._nodes: dict[int, ChordNode] = {}
         self._sorted_ids: list[int] = []
 
@@ -214,14 +220,30 @@ class ChordRing:
     # ------------------------------------------------------------------
     # Routed lookup
     # ------------------------------------------------------------------
-    def lookup(self, start: ChordNode, key: int) -> LookupResult:
+    @property
+    def faults_active(self) -> bool:
+        """Whether the shared network currently injects faults."""
+        return self.network.faults_active
+
+    def lookup(
+        self, start: ChordNode, key: int, policy: LookupPolicy | None = None
+    ) -> LookupResult:
         """Route from ``start`` to the owner of ``key`` using only links.
 
         Greedy closest-preceding-finger routing; stale (dead) fingers are
         skipped, and the successor list is the fallback, so lookups remain
         correct between stabilization rounds under graceful churn.
+
+        With a fault injector active the route runs under ``policy``
+        (default :attr:`lookup_policy`): every hop message can be lost,
+        retries and successor/finger failover apply, the membership oracle
+        is never consulted, and an unfinishable route returns a
+        ``complete=False`` result instead of raising or silently
+        succeeding.
         """
         key = self.space.wrap(key)
+        if self.faults_active:
+            return self._lookup_faulty(start, key, policy or self.lookup_policy)
         cur = start
         hops = 0
         path = [cur.node_id]
@@ -242,12 +264,120 @@ class ChordRing:
             self.network.count_hop()
         return LookupResult(owner=cur, hops=hops, path=tuple(path))
 
+    def _lookup_faulty(
+        self, start: ChordNode, key: int, policy: LookupPolicy
+    ) -> LookupResult:
+        """The fault-path route: local stop test, lossy hops, failover.
+
+        Never touches the membership oracle — ownership is judged from the
+        (possibly stale) predecessor pointer alone, and when no next hop
+        answers within the policy's retry budget the lookup *fails* with
+        ``complete=False``.
+        """
+        cur = start
+        hops = 0
+        retries = 0
+        path = [cur.node_id]
+        budget = policy.hop_budget or 8 * self.bits + self.num_nodes
+        while True:
+            if self._owns_local(cur, key):
+                return LookupResult(
+                    owner=cur, hops=hops, path=tuple(path), retries=retries
+                )
+            if hops >= budget:
+                # Hop budget exhausted: the requester gives up.
+                return LookupResult(
+                    owner=cur, hops=hops, path=tuple(path),
+                    complete=False, retries=retries,
+                )
+            candidates = self._hop_candidates(cur, key, policy)
+            nxt, used, _skipped = deliver_first(
+                self.network, cur.node_id, candidates, policy
+            )
+            retries += used
+            if nxt is None or nxt is cur:
+                # Every candidate timed out (or none exist): the route is
+                # stuck and the lookup honestly fails.
+                return LookupResult(
+                    owner=cur, hops=hops, path=tuple(path),
+                    complete=False, retries=retries, timed_out=True,
+                )
+            cur = nxt
+            hops += 1
+            path.append(cur.node_id)
+            self.network.count_hop()
+
     def _owns(self, node: ChordNode, key: int) -> bool:
         pred = node.predecessor
         if pred is None or not pred.alive:
             # Degenerate/repairing state: fall back to the oracle check.
             return self.successor_of(key) is node
         return self.space.in_interval(key, pred.node_id, node.node_id)
+
+    def _owns_local(self, node: ChordNode, key: int) -> bool:
+        """Ownership judged purely from local state — no oracle.
+
+        Uses the predecessor pointer even when it is stale (dead): that is
+        exactly the information a real Chord node would have between
+        stabilization rounds.  With no predecessor at all the node claims
+        the key only when it believes it is alone on the ring.
+        """
+        pred = node.predecessor
+        if pred is None:
+            succ = node.successor
+            return succ is None or succ is node
+        return self.space.in_interval(key, pred.node_id, node.node_id)
+
+    def _hop_candidates(
+        self, cur: ChordNode, key: int, policy: LookupPolicy
+    ) -> list[tuple[int, ChordNode]]:
+        """Ordered next-hop preference list for the fault-path route.
+
+        The first entry always matches the fault-free greedy choice; the
+        rest are the policy-gated failover alternatives (further
+        successor-list entries, lower fingers).
+        """
+        out: list[tuple[int, ChordNode]] = []
+        seen = {cur.node_id}
+
+        def add(candidate: ChordNode | None) -> None:
+            if (
+                candidate is not None
+                and candidate.alive
+                and candidate.node_id not in seen
+            ):
+                seen.add(candidate.node_id)
+                out.append((candidate.node_id, candidate))
+
+        succ = cur.successor
+        if (
+            succ is not None
+            and succ is not cur
+            and self.space.in_interval(key, cur.node_id, succ.node_id)
+        ):
+            entries = [n for n in cur.successor_list if n.alive]
+            for entry in entries if policy.successor_failover else entries[:1]:
+                add(entry)
+            return out
+        fingers = [
+            finger
+            for finger in reversed(cur.fingers)
+            if finger is not None
+            and finger.alive
+            and finger is not cur
+            and self.space.in_interval(
+                finger.node_id, cur.node_id, key,
+                closed_left=False, closed_right=False,
+            )
+        ]
+        if not policy.finger_fallback:
+            # Exactly the fault-free greedy choice, nothing else.
+            add(fingers[0] if fingers else succ)
+            return out
+        for finger in fingers:
+            add(finger)
+        add(succ)
+        return out
 
     def _closest_preceding(self, node: ChordNode, key: int) -> ChordNode:
         """Best live next hop: highest finger in ``(node, key)``."""
@@ -268,7 +398,13 @@ class ChordRing:
     # ------------------------------------------------------------------
     # Successor walk (range-query primitive)
     # ------------------------------------------------------------------
-    def walk_arc(self, start: ChordNode, from_key: int, until_key: int) -> list[ChordNode]:
+    def walk_arc(
+        self,
+        start: ChordNode,
+        from_key: int,
+        until_key: int,
+        policy: LookupPolicy | None = None,
+    ) -> WalkResult:
         """All live nodes owning keys on the clockwise arc
         ``[from_key, until_key]``, starting at ``start = successor(from_key)``.
 
@@ -282,21 +418,78 @@ class ChordRing:
         wrap most of the ring — Theorem 4.10's worst case — are walked in
         full instead of terminating at the first node, whose sector can
         contain ``until_key`` *behind* the arc start.
+
+        Returns a :class:`WalkResult` (a ``list`` of nodes): walks cut
+        short by a dead successor chain, by the ring-corruption safety
+        valve, or — under an active fault injector — by unreachable
+        successors are marked ``truncated`` with a ``reason`` and counted
+        in ``MessageStats.walk_truncations`` instead of silently returning
+        a short visit list.
         """
+        policy = policy or self.lookup_policy
+        fault_mode = self.faults_active
         span = self.space.clockwise_distance(from_key, until_key)
-        visited = [start]
+        result = WalkResult([start])
         cur = start
         # cur covers keys up to cur.node_id; continue while that falls
         # short of the arc end.
         while self.space.clockwise_distance(from_key, cur.node_id) < span:
-            nxt = cur.successor
-            if nxt is None or nxt is start:
+            if fault_mode:
+                nxt, skipped = self._walk_step_faulty(cur, policy, result)
+                if nxt is None:
+                    self._truncate_walk(result, "unreachable successor chain")
+                    result.timed_out = True
+                    break
+                if skipped:
+                    # Failed over past a live node without checking its
+                    # directory — the visit list has a hole in the arc.
+                    self._truncate_walk(
+                        result, "failed over past unreachable successor"
+                    )
+            else:
+                nxt = cur.successor
+                if nxt is None:
+                    self._truncate_walk(result, "dead successor chain")
+                    break
+            if nxt is start:
                 break
             cur = nxt
-            visited.append(cur)
-            if len(visited) > self.num_nodes:  # safety: ring corrupted
+            result.append(cur)
+            if len(result) > self.num_nodes:  # safety: ring corrupted
+                self._truncate_walk(result, "ring corruption safety valve")
+                warnings.warn(
+                    "walk_arc visited more nodes than the ring holds; "
+                    "successor links are corrupted",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 break
-        return visited
+        return result
+
+    def _walk_step_faulty(
+        self, cur: ChordNode, policy: LookupPolicy, result: WalkResult
+    ) -> tuple[ChordNode | None, int]:
+        """One lossy walk step: deliver to the nearest reachable successor."""
+        entries: list[tuple[int, ChordNode]] = []
+        seen = {cur.node_id}
+        for entry in cur.successor_list:
+            if entry.alive and entry.node_id not in seen:
+                seen.add(entry.node_id)
+                entries.append((entry.node_id, entry))
+        if not policy.successor_failover:
+            entries = entries[:1]
+        nxt, retries, skipped = deliver_first(
+            self.network, cur.node_id, entries, policy
+        )
+        result.retries += retries
+        return nxt, skipped
+
+    def _truncate_walk(self, result: WalkResult, reason: str) -> None:
+        """Flag ``result`` truncated (first reason wins) and count it."""
+        if not result.truncated:
+            result.truncated = True
+            result.reason = reason
+        self.network.count_walk_truncation()
 
     # ------------------------------------------------------------------
     # Key storage (routed through the overlay)

@@ -44,7 +44,8 @@ from collections.abc import Iterable
 from typing import Any, NamedTuple
 
 from repro.overlay.idspace import IdSpace
-from repro.overlay.node import LookupResult, OverlayNode
+from repro.overlay.node import LookupResult, OverlayNode, WalkResult
+from repro.sim.faults import DEFAULT_POLICY, LookupPolicy, deliver_first
 from repro.sim.network import SimulatedNetwork
 from repro.utils.validation import require
 
@@ -161,6 +162,9 @@ class CycloidOverlay:
         #: intra-cluster range walk still sees every key).  Default 1
         #: matches the paper; >= 2 survives crash failures (:meth:`fail`).
         self.replication = replication
+        #: Requester behaviour under injected faults; never consulted while
+        #: the network has no active fault injector.
+        self.lookup_policy: LookupPolicy = DEFAULT_POLICY
         self._nodes: dict[CycloidId, CycloidNode] = {}
         #: cluster -> sorted list of present cyclic indices
         self._clusters: dict[int, list[int]] = {}
@@ -322,7 +326,17 @@ class CycloidOverlay:
     # ------------------------------------------------------------------
     # Routed lookup
     # ------------------------------------------------------------------
-    def lookup(self, start: CycloidNode, target: CycloidId) -> LookupResult:
+    @property
+    def faults_active(self) -> bool:
+        """Whether the shared network currently injects faults."""
+        return self.network.faults_active
+
+    def lookup(
+        self,
+        start: CycloidNode,
+        target: CycloidId,
+        policy: LookupPolicy | None = None,
+    ) -> LookupResult:
         """Route from ``start`` to the owner of key ``target``.
 
         Cube-connected-cycles emulation: while the cubical index disagrees
@@ -331,7 +345,16 @@ class CycloidOverlay:
         inside leaf set otherwise — then walk the final cluster's small
         cycle to the owner.  Every hop follows a maintained routing-table
         link; the membership oracle is used only to know when to stop.
+
+        With a fault injector active the route instead runs under
+        ``policy`` (default :attr:`lookup_policy`): greedy strictly-
+        improving routing with a purely local stop test, lossy hops,
+        retries and alternate-entry failover — the oracle is never
+        consulted and an unfinishable route returns ``complete=False``
+        rather than raising.
         """
+        if self.faults_active:
+            return self._lookup_faulty(start, target, policy or self.lookup_policy)
         owner = self.closest_node(target)
         cur = start
         hops = 0
@@ -365,6 +388,77 @@ class CycloidOverlay:
                 f"stopped at {cur.cid} (owner {owner.cid}) after {hops} hops"
             )
         return LookupResult(owner=cur, hops=hops, path=tuple(path))
+
+    def _key_badness(self, node: CycloidNode, tk: int, ta: int) -> tuple[int, int]:
+        """Cluster-first distance of ``node`` to the raw key ``(tk, ta)``.
+
+        The local analogue of :meth:`closest_node`'s closeness, computable
+        without the membership oracle: large-cycle distance of the cubical
+        indices first, cyclic distance second.
+        """
+        cluster_dist = self.cubical_space.ring_distance(node.a, ta)
+        cyclic_dist = min((node.k - tk) % self.dimension,
+                          (tk - node.k) % self.dimension)
+        return (cluster_dist, cyclic_dist)
+
+    def _lookup_faulty(
+        self, start: CycloidNode, target: CycloidId, policy: LookupPolicy
+    ) -> LookupResult:
+        """The fault-path route: greedy descent with a local stop test.
+
+        Each node forwards to its strictly key-closer routing-table
+        entries, nearest first; a node with no closer live entry believes
+        it owns the key and answers.  Strict improvement bounds the route
+        without any oracle termination check, and the believed owner can
+        legitimately differ from the true one while routing state is
+        degraded — the caller sees that as missing matches, not as a wrong
+        "complete" claim from the oracle.
+        """
+        tk = target.k % self.dimension
+        ta = target.a % self.cubical_space.size
+        cur = start
+        hops = 0
+        retries = 0
+        path = [cur.cid]
+        budget = (
+            policy.hop_budget
+            or 10 * self.dimension + 3 * self.cubical_space.size + 4
+        )
+        while True:
+            own = self._key_badness(cur, tk, ta)
+            improving = sorted(
+                (n for n in cur.table_entries()
+                 if self._key_badness(n, tk, ta) < own),
+                key=lambda n: self._key_badness(n, tk, ta),
+            )
+            if not improving:
+                # Local minimum: cur believes it owns the key.
+                return LookupResult(
+                    owner=cur, hops=hops, path=tuple(path), retries=retries
+                )
+            if hops >= budget:
+                return LookupResult(
+                    owner=cur, hops=hops, path=tuple(path),
+                    complete=False, retries=retries,
+                )
+            if not policy.finger_fallback:
+                improving = improving[:1]
+            nxt, used, _skipped = deliver_first(
+                self.network,
+                self.linearize(cur.cid),
+                [(self.linearize(n.cid), n) for n in improving],
+                policy,
+            )
+            retries += used
+            if nxt is None:
+                return LookupResult(
+                    owner=cur, hops=hops, path=tuple(path),
+                    complete=False, retries=retries, timed_out=True,
+                )
+            cur = nxt
+            hops += 1
+            path.append(cur.cid)
+            self.network.count_hop()
 
     def _next_hop(self, cur: CycloidNode, owner: CycloidNode) -> CycloidNode | None:
         d = self.dimension
@@ -467,8 +561,12 @@ class CycloidOverlay:
     # Intra-cluster walk (LORM's range-query primitive)
     # ------------------------------------------------------------------
     def walk_cluster(
-        self, start: CycloidNode, k_from: int, k_to: int
-    ) -> list[CycloidNode]:
+        self,
+        start: CycloidNode,
+        k_from: int,
+        k_to: int,
+        policy: LookupPolicy | None = None,
+    ) -> WalkResult:
         """Nodes of ``start``'s cluster covering cyclic sector [k_from, k_to].
 
         LORM's range query routes to the root of the lower bound and then
@@ -484,17 +582,29 @@ class CycloidOverlay:
         member's first owned position still lies within the queried span —
         which also handles ranges covering (almost) the whole cluster,
         where the end owner can wrap behind the start.
+
+        Returns a :class:`WalkResult` (a ``list`` of nodes): a walk cut
+        short by a broken leaf chain — or, under an active fault injector,
+        by an unreachable cluster successor — is marked ``truncated`` and
+        counted in ``MessageStats.walk_truncations``.
         """
+        policy = policy or self.lookup_policy
+        fault_mode = self.faults_active
         d = self.dimension
         k_from %= d
         k_to %= d
         span = (k_to - k_from) % d
         members = self.cluster_members(start.a)
-        visited = [start]
+        result = WalkResult([start])
         cur = start
-        while len(visited) < len(members):
+        while len(result) < len(members):
             succ = cur.inside_leaf[1]
-            if succ is None or not succ.alive or succ is start:
+            if succ is None or not succ.alive:
+                # Mid-repair leaf chain: the rest of the sector is
+                # unreachable from here.
+                self._truncate_walk(result, "broken cluster leaf chain")
+                break
+            if succ is start:
                 break
             # First cyclic position owned by succ, clockwise from cur:
             # the midpoint of the gap (ties go clockwise, i.e. to succ).
@@ -502,9 +612,28 @@ class CycloidOverlay:
             first_of_succ = (cur.k + (gap + 1) // 2) % d
             if (first_of_succ - k_from) % d > span:
                 break
+            if fault_mode:
+                nxt, retries, _skipped = deliver_first(
+                    self.network,
+                    self.linearize(cur.cid),
+                    [(self.linearize(succ.cid), succ)],
+                    policy,
+                )
+                result.retries += retries
+                if nxt is None:
+                    self._truncate_walk(result, "unreachable cluster successor")
+                    result.timed_out = True
+                    break
             cur = succ
-            visited.append(cur)
-        return visited
+            result.append(cur)
+        return result
+
+    def _truncate_walk(self, result: WalkResult, reason: str) -> None:
+        """Flag ``result`` truncated (first reason wins) and count it."""
+        if not result.truncated:
+            result.truncated = True
+            result.reason = reason
+        self.network.count_walk_truncation()
 
     # ------------------------------------------------------------------
     # Key storage

@@ -13,7 +13,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["LookupResult", "OverlayNode"]
+__all__ = ["LookupResult", "OverlayNode", "WalkResult"]
 
 
 @dataclass(frozen=True)
@@ -23,17 +23,61 @@ class LookupResult:
     Attributes
     ----------
     owner:
-        The node responsible for the looked-up key.
+        The node responsible for the looked-up key — or, when the lookup
+        failed (``complete=False``), the last node the route reached.
     hops:
         Logical hops (overlay messages) traversed from the requester to the
         owner — the paper's Figure 4 metric.
     path:
         Identifiers of every node on the route, requester first.
+    complete:
+        ``False`` when the route could not be finished under the active
+        fault plan — the owner field then names the stall point, not a
+        responsible node, and its answer must not be trusted.
+    retries:
+        Retransmission rounds spent along the route.
+    timed_out:
+        Whether the route died waiting on unreachable next hops (as
+        opposed to exhausting its hop budget).
     """
 
     owner: "OverlayNode"
     hops: int
     path: tuple[Any, ...]
+    complete: bool = True
+    retries: int = 0
+    timed_out: bool = False
+
+
+class WalkResult(list):
+    """Nodes visited by a range walk, plus truncation diagnostics.
+
+    A ``list`` subclass so every existing consumer (iteration, ``len``,
+    indexing, equality with plain lists) keeps working; walks cut short by
+    dead successor chains or the ring-corruption safety valve set
+    ``truncated`` with a ``reason`` instead of silently returning fewer
+    nodes.
+    """
+
+    def __init__(
+        self,
+        nodes: Any = (),
+        *,
+        truncated: bool = False,
+        reason: str = "",
+        retries: int = 0,
+        timed_out: bool = False,
+    ) -> None:
+        super().__init__(nodes)
+        self.truncated = truncated
+        self.reason = reason
+        self.retries = retries
+        self.timed_out = timed_out
+
+    @property
+    def complete(self) -> bool:
+        """Whether the walk covered its full arc."""
+        return not self.truncated
 
 
 class OverlayNode:

@@ -10,16 +10,32 @@ summaries used throughout Figure 3 (:mod:`~repro.sim.metrics`).
 
 from repro.sim.churn import ChurnEvent, ChurnProcess
 from repro.sim.engine import Event, Simulator
+from repro.sim.faults import (
+    DEFAULT_POLICY,
+    NO_RETRY_POLICY,
+    ArcPartition,
+    CrashStorm,
+    FaultInjector,
+    FaultPlan,
+    LookupPolicy,
+)
 from repro.sim.metrics import MetricsRegistry, SummaryStats, summarize
 from repro.sim.network import MessageStats, SimulatedNetwork
 from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
 
 __all__ = [
+    "ArcPartition",
     "ChurnEvent",
     "ChurnProcess",
+    "CrashStorm",
+    "DEFAULT_POLICY",
     "Event",
+    "FaultInjector",
+    "FaultPlan",
+    "LookupPolicy",
     "MessageStats",
     "MetricsRegistry",
+    "NO_RETRY_POLICY",
     "SimulatedNetwork",
     "Simulator",
     "SummaryStats",

@@ -59,13 +59,18 @@ class ChurnProcess:
         require_positive(self.rate, "rate")
 
     def events_until(self, horizon: float) -> list[ChurnEvent]:
-        """All churn events in ``[0, horizon)``, time-ordered."""
-        events = [
-            ChurnEvent(t, kind)
-            for kind in (ChurnEventKind.JOIN, ChurnEventKind.LEAVE)
-            for t in self._arrivals(horizon)
-        ]
-        events.sort(key=lambda e: e.time)
+        """All churn events in ``[0, horizon)``, time-ordered.
+
+        Implemented as a bounded prefix of :meth:`stream`, so both entry
+        points consume the RNG identically and produce the *same* event
+        sequence for the same seed — a batch caller and a streaming caller
+        of one seeded process see one reality.
+        """
+        events: list[ChurnEvent] = []
+        for event in self.stream():
+            if event.time >= horizon:
+                break
+            events.append(event)
         return events
 
     def stream(self) -> Iterator[ChurnEvent]:
@@ -99,11 +104,3 @@ class ChurnProcess:
 
     def _expovariate(self) -> float:
         return float(self.rng.exponential(1.0 / self.rate))
-
-    def _arrivals(self, horizon: float) -> list[float]:
-        times: list[float] = []
-        t = self._expovariate()
-        while t < horizon:
-            times.append(t)
-            t += self._expovariate()
-        return times

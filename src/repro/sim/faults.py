@@ -1,0 +1,289 @@
+"""Fault injection: message loss, crash storms, ID-arc partitions.
+
+The paper's churn study (Section V-C) models only *graceful* joins and
+departures on a perfectly reliable network.  This module adds the missing
+failure modes so the query path can be exercised under adversity:
+
+* **per-message loss** — every overlay message consults the injector and is
+  dropped with a seeded probability (the sender observes a timeout);
+* **ID-arc partitions** — a contiguous arc of the identifier space is cut
+  off from the rest; messages crossing the cut are dropped
+  deterministically while the partition is armed;
+* **crash storms** — batches of crash failures scheduled at simulated
+  times, to be bound to an overlay's ``fail``/``churn_fail`` by the
+  experiment harness.
+
+:class:`FaultPlan` is the immutable, seedable description of a fault
+scenario; :class:`FaultInjector` is its runtime form, consulted by
+:class:`~repro.sim.network.SimulatedNetwork` on every message.  A ``None``
+injector (the default everywhere) — or a null plan — is a *strict
+identity*: no randomness is drawn and no behaviour changes, so every
+existing figure reproduces unchanged.
+
+:class:`LookupPolicy` describes how a requester copes with the injected
+faults: how many retransmission rounds it attempts per hop, its timeout and
+backoff accounting, and whether it fails over across successor-list entries
+and alternate fingers.  The overlays thread it through ``lookup`` and the
+range-walk primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports us)
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "ArcPartition",
+    "CrashStorm",
+    "FaultPlan",
+    "FaultInjector",
+    "LookupPolicy",
+    "DEFAULT_POLICY",
+    "NO_RETRY_POLICY",
+    "deliver_first",
+]
+
+
+@dataclass(frozen=True)
+class ArcPartition:
+    """A contiguous identifier arc cut off from the rest of the overlay.
+
+    Nodes whose (wrapped) integer ID lies on the clockwise arc
+    ``[lo, hi]`` cannot exchange messages with nodes outside it.  ``space``
+    is the identifier-space size used for wrapping; Cycloid overlays pass
+    their linearized ``(k, a)`` IDs.
+    """
+
+    lo: int
+    hi: int
+    space: int
+
+    def __post_init__(self) -> None:
+        require(self.space >= 1, "partition space must be >= 1")
+
+    def contains(self, node_id: int) -> bool:
+        """Whether ``node_id`` falls inside the partitioned arc."""
+        nid = node_id % self.space
+        lo, hi = self.lo % self.space, self.hi % self.space
+        if lo <= hi:
+            return lo <= nid <= hi
+        return nid >= lo or nid <= hi
+
+    def severs(self, src: int | None, dst: int | None) -> bool:
+        """Whether a ``src → dst`` message crosses the cut."""
+        if src is None or dst is None:
+            return False
+        return self.contains(src) != self.contains(dst)
+
+
+@dataclass(frozen=True)
+class CrashStorm:
+    """``count`` crash failures striking at simulated time ``at``."""
+
+    at: float
+    count: int
+
+    def __post_init__(self) -> None:
+        require(self.count >= 1, "a crash storm needs at least one crash")
+        require(self.at >= 0, "storms cannot strike before t=0")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Immutable, seedable description of a fault scenario.
+
+    ``loss_rate`` is the per-message drop probability; ``partitions`` and
+    ``crash_storms`` are the deterministic components.  ``seed`` pins the
+    loss stream, so a plan + seed reproduces the exact same drop pattern.
+    """
+
+    loss_rate: float = 0.0
+    partitions: tuple[ArcPartition, ...] = ()
+    crash_storms: tuple[CrashStorm, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require(0.0 <= self.loss_rate < 1.0, "loss_rate must be in [0, 1)")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan injects nothing (the identity plan)."""
+        return not (self.loss_rate > 0.0 or self.partitions or self.crash_storms)
+
+
+class FaultInjector:
+    """Runtime form of a :class:`FaultPlan`.
+
+    ``delivered(src, dst)`` is the single question the network asks; it is
+    answered from the armed partitions first (deterministic) and the seeded
+    loss stream second.  Partitions can be armed/disarmed mid-run to model
+    transient splits; ``enabled`` gates the whole injector.
+    """
+
+    def __init__(self, plan: FaultPlan | None = None, *,
+                 rng: np.random.Generator | None = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self._rng = rng if rng is not None else np.random.default_rng(self.plan.seed)
+        self.enabled = True
+        self._partitions: list[ArcPartition] = list(self.plan.partitions)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether any fault source is currently live."""
+        return self.enabled and (
+            self.plan.loss_rate > 0.0
+            or bool(self._partitions)
+            or bool(self.plan.crash_storms)
+        )
+
+    @property
+    def partitions(self) -> tuple[ArcPartition, ...]:
+        """Currently armed partitions."""
+        return tuple(self._partitions)
+
+    def arm_partition(self, partition: ArcPartition) -> None:
+        """Activate an additional ID-arc partition."""
+        self._partitions.append(partition)
+
+    def heal_partitions(self) -> None:
+        """Disarm every partition (the split heals)."""
+        self._partitions.clear()
+
+    # ------------------------------------------------------------------
+    # The per-message question
+    # ------------------------------------------------------------------
+    def delivered(self, src: int | None = None, dst: int | None = None) -> bool:
+        """Whether one ``src → dst`` message survives the fault plan."""
+        if not self.enabled:
+            return True
+        for partition in self._partitions:
+            if partition.severs(src, dst):
+                return False
+        if self.plan.loss_rate > 0.0:
+            return float(self._rng.random()) >= self.plan.loss_rate
+        return True
+
+    # ------------------------------------------------------------------
+    # Crash storms
+    # ------------------------------------------------------------------
+    def install_storms(
+        self, sim: "Simulator", crash_one: Callable[[], Any]
+    ) -> int:
+        """Schedule every planned crash storm on ``sim``.
+
+        ``crash_one`` is invoked once per crash (typically bound to the
+        service's ``churn_fail``).  Returns the number of crashes scheduled.
+        """
+        scheduled = 0
+        for storm in self.plan.crash_storms:
+            for _ in range(storm.count):
+                sim.schedule_at(storm.at, crash_one, name="crash-storm")
+                scheduled += 1
+        return scheduled
+
+
+@dataclass(frozen=True)
+class LookupPolicy:
+    """How a requester tolerates message loss and dead routing entries.
+
+    Parameters
+    ----------
+    max_retries:
+        Retransmission rounds per hop after the first attempt.  Within one
+        round every failover candidate is tried once.
+    timeout:
+        Simulated seconds the sender waits before declaring one message
+        lost (accounting only; accumulated in ``MessageStats``).
+    backoff_base / backoff_factor:
+        Exponential backoff accounting between retransmission rounds:
+        round ``i`` waits ``backoff_base * backoff_factor**(i-1)`` seconds.
+    successor_failover:
+        Fail over across successor-list entries (Chord) when the preferred
+        next hop is unreachable — with replication ``r >= 2`` the failover
+        target holds the data, keeping queries complete.
+    finger_fallback:
+        Try alternate (lower) fingers / alternate routing-table entries
+        when the best one is unreachable.
+    hop_budget:
+        Per-lookup hop ceiling before the attempt is declared timed out;
+        ``None`` uses the overlay's structural bound.
+    """
+
+    max_retries: int = 2
+    timeout: float = 0.5
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    successor_failover: bool = True
+    finger_fallback: bool = True
+    hop_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        require(self.max_retries >= 0, "max_retries must be >= 0")
+        require(self.timeout > 0, "timeout must be positive")
+        require(self.backoff_base >= 0, "backoff_base must be >= 0")
+        require(self.backoff_factor >= 1.0, "backoff_factor must be >= 1")
+        require(
+            self.hop_budget is None or self.hop_budget >= 1,
+            "hop_budget must be >= 1 when given",
+        )
+
+    def backoff_for(self, round_index: int) -> float:
+        """Backoff seconds before retransmission round ``round_index >= 1``."""
+        return self.backoff_base * self.backoff_factor ** (round_index - 1)
+
+
+#: The default requester behaviour: 2 retransmission rounds, full failover.
+DEFAULT_POLICY = LookupPolicy()
+
+#: A brittle requester: one shot per hop, no failover — the ablation
+#: baseline showing what retry + failover buy.
+NO_RETRY_POLICY = LookupPolicy(
+    max_retries=0, successor_failover=False, finger_fallback=False
+)
+
+
+def deliver_first(
+    network: Any,
+    src_id: int,
+    candidates: Sequence[tuple[int, Any]],
+    policy: LookupPolicy,
+) -> tuple[Any, int, int]:
+    """Deliver one message to the first reachable candidate.
+
+    ``candidates`` is an ordered ``(dst_id, node)`` preference list.  The
+    preferred candidate is retried up to ``max_retries`` times (with
+    backoff accounting) before the requester fails over to the next one —
+    transient loss is absorbed by retransmission, persistent
+    unreachability by failover.  Dropped messages count as timeouts.
+
+    Returns ``(node, retries_used, skipped)`` where ``skipped`` is the
+    number of candidates given up on before ``node`` answered, or
+    ``(None, retries_used, len(candidates))`` when every candidate failed.
+
+    With no injector active this is exact-identity: the first candidate
+    wins, nothing is counted, no randomness is drawn.
+    """
+    if not candidates:
+        return None, 0, 0
+    if not network.faults_active:
+        return candidates[0][1], 0, 0
+    retries_used = 0
+    for position, (dst_id, node) in enumerate(candidates):
+        for attempt in range(policy.max_retries + 1):
+            if attempt:
+                retries_used += 1
+                network.count_retry(backoff=policy.backoff_for(attempt))
+            if network.try_deliver(src_id, dst_id):
+                return node, retries_used, position
+            network.count_timeout(policy.timeout)
+    return None, retries_used, len(candidates)

@@ -9,12 +9,19 @@ totals without each overlay keeping its own books.
 A simple latency model (constant per-hop delay) is included for the
 event-driven churn experiments; the static experiments only use the
 counters.
+
+Fault injection plugs in here: when a :class:`~repro.sim.faults.FaultInjector`
+is attached, ``try_deliver`` consults it per message and the drop/timeout/
+retry counters record what the requesters experienced.  With no injector
+attached (the default) nothing changes — the network stays perfectly
+reliable and the extra counters stay zero.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.sim.faults import FaultInjector
 from repro.utils.validation import require_positive
 
 __all__ = ["MessageStats", "SimulatedNetwork"]
@@ -28,6 +35,12 @@ class MessageStats:
     routing_hops: int = 0
     directory_checks: int = 0
     maintenance_messages: int = 0
+    dropped: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    walk_truncations: int = 0
+    timeout_seconds: float = 0.0
+    backoff_seconds: float = 0.0
 
     def snapshot(self) -> "MessageStats":
         """An independent copy of the current totals."""
@@ -36,6 +49,12 @@ class MessageStats:
             routing_hops=self.routing_hops,
             directory_checks=self.directory_checks,
             maintenance_messages=self.maintenance_messages,
+            dropped=self.dropped,
+            timeouts=self.timeouts,
+            retries=self.retries,
+            walk_truncations=self.walk_truncations,
+            timeout_seconds=self.timeout_seconds,
+            backoff_seconds=self.backoff_seconds,
         )
 
     def delta_since(self, earlier: "MessageStats") -> "MessageStats":
@@ -45,6 +64,12 @@ class MessageStats:
             routing_hops=self.routing_hops - earlier.routing_hops,
             directory_checks=self.directory_checks - earlier.directory_checks,
             maintenance_messages=self.maintenance_messages - earlier.maintenance_messages,
+            dropped=self.dropped - earlier.dropped,
+            timeouts=self.timeouts - earlier.timeouts,
+            retries=self.retries - earlier.retries,
+            walk_truncations=self.walk_truncations - earlier.walk_truncations,
+            timeout_seconds=self.timeout_seconds - earlier.timeout_seconds,
+            backoff_seconds=self.backoff_seconds - earlier.backoff_seconds,
         )
 
 
@@ -57,13 +82,52 @@ class SimulatedNetwork:
     hop_latency:
         Simulated one-way latency of a single overlay hop, in seconds.
         Only consumed by the event-driven churn harness.
+    faults:
+        Optional :class:`~repro.sim.faults.FaultInjector` consulted per
+        message by ``try_deliver``.  ``None`` (the default) keeps the
+        network perfectly reliable.
     """
 
     hop_latency: float = 0.05
     stats: MessageStats = field(default_factory=MessageStats)
+    faults: FaultInjector | None = None
 
     def __post_init__(self) -> None:
         require_positive(self.hop_latency, "hop_latency")
+
+    @property
+    def faults_active(self) -> bool:
+        """Whether an attached injector is currently injecting anything."""
+        return self.faults is not None and self.faults.active
+
+    def try_deliver(self, src: int | None = None, dst: int | None = None) -> bool:
+        """Attempt one ``src → dst`` message against the fault injector.
+
+        Returns ``True`` when the message gets through (always, with no
+        injector attached).  Drops are counted but hops are not — hop
+        accounting stays with the actual routing movement so successful
+        paths cost exactly what they did before faults existed.
+        """
+        if not self.faults_active:
+            return True
+        if self.faults.delivered(src, dst):
+            return True
+        self.stats.dropped += 1
+        return False
+
+    def count_timeout(self, seconds: float = 0.0) -> None:
+        """Record one requester-observed timeout (a message never answered)."""
+        self.stats.timeouts += 1
+        self.stats.timeout_seconds += seconds
+
+    def count_retry(self, backoff: float = 0.0) -> None:
+        """Record one retransmission round and its backoff wait."""
+        self.stats.retries += 1
+        self.stats.backoff_seconds += backoff
+
+    def count_walk_truncation(self, n: int = 1) -> None:
+        """Record ``n`` range walks cut short (dead chain / safety valve)."""
+        self.stats.walk_truncations += n
 
     def count_hop(self, n: int = 1) -> None:
         """Record ``n`` routing hops (each hop is one message)."""

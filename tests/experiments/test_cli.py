@@ -30,6 +30,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_availability_command_flags(self):
+        args = build_parser().parse_args(
+            ["availability", "--loss", "0", "0.05", "--replication", "1", "2",
+             "--queries", "30"]
+        )
+        assert args.command == "availability"
+        assert args.loss == [0.0, 0.05]
+        assert args.replication == [1, 2]
+        assert args.queries == 30
+
 
 class TestMain:
     def test_list_prints_all_figures(self, capsys):
@@ -56,6 +66,22 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Outlinks per node" in out
         assert "Theorems 4.1-4.10" in out
+
+    def test_availability_command(self, capsys, tmp_path, monkeypatch):
+        import repro.cli as cli
+
+        small = cli._SCALES["smoke"].scaled(
+            num_attributes=6, infos_per_attribute=20,
+        )
+        monkeypatch.setitem(cli._SCALES, "smoke", small)
+        code = main(
+            ["availability", "--scale", "smoke", "--loss", "0", "0.05",
+             "--replication", "1", "--queries", "10", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Query completeness" in out
+        assert (tmp_path / "availability.csv").exists()
 
     def test_all_command(self, capsys, tmp_path, tiny_config, monkeypatch):
         import repro.cli as cli

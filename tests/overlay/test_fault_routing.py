@@ -1,0 +1,298 @@
+"""Fault-path routing: zero-loss parity, honest failure, walk truncation.
+
+The contract under test: with an *active but lossless* injector the fault
+path routes exactly like the legacy path (Chord) or lands on the true owner
+(Cycloid); with real loss the membership oracle is never consulted, every
+unfinishable route surfaces as a ``complete=False`` result instead of an
+exception, and cut-short range walks come back flagged ``truncated``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.overlay.chord import ChordRing
+from repro.overlay.cycloid import CycloidId, CycloidOverlay
+from repro.overlay.node import WalkResult
+from repro.sim.faults import (
+    DEFAULT_POLICY,
+    NO_RETRY_POLICY,
+    ArcPartition,
+    CrashStorm,
+    FaultInjector,
+    FaultPlan,
+)
+
+
+def storm_only_injector() -> FaultInjector:
+    """Active (a storm is planned) but lossless: every message delivers,
+    yet ``faults_active`` is True so the fault code path runs."""
+    return FaultInjector(FaultPlan(crash_storms=(CrashStorm(1e9, 1),)))
+
+
+def lossy_injector(rate: float, seed: int = 0) -> FaultInjector:
+    return FaultInjector(FaultPlan(loss_rate=rate, seed=seed))
+
+
+class TestChordParity:
+    """The fault path at zero loss reproduces the legacy route exactly."""
+
+    def test_lookup_identical_to_legacy(self, full_ring):
+        r = random.Random(1)
+        cases = [
+            (full_ring.node(r.randrange(64)), r.randrange(64))
+            for _ in range(80)
+        ]
+        full_ring.network.faults = storm_only_injector()
+        faulty = [full_ring.lookup(s, k) for s, k in cases]
+        full_ring.network.faults = None
+        legacy = [full_ring.lookup(s, k) for s, k in cases]
+        for f, l in zip(faulty, legacy):
+            assert f.owner is l.owner
+            assert f.hops == l.hops
+            assert f.path == l.path
+            assert f.complete and f.retries == 0 and not f.timed_out
+
+    def test_lookup_identical_on_sparse_ring(self, sparse_ring):
+        r = random.Random(2)
+        cases = [
+            (sparse_ring.node(r.choice(sparse_ring.node_ids)), r.randrange(128))
+            for _ in range(80)
+        ]
+        sparse_ring.network.faults = storm_only_injector()
+        faulty = [sparse_ring.lookup(s, k) for s, k in cases]
+        sparse_ring.network.faults = None
+        legacy = [sparse_ring.lookup(s, k) for s, k in cases]
+        for f, l in zip(faulty, legacy):
+            assert (f.owner, f.hops, f.path) == (l.owner, l.hops, l.path)
+
+    def test_walk_identical_to_legacy(self, full_ring):
+        full_ring.network.faults = storm_only_injector()
+        faulty = full_ring.walk_arc(full_ring.node(10), 10, 30)
+        full_ring.network.faults = None
+        legacy = full_ring.walk_arc(full_ring.node(10), 10, 30)
+        assert list(faulty) == list(legacy)
+        assert isinstance(faulty, WalkResult)
+        assert not faulty.truncated and faulty.complete
+
+    def test_null_plan_keeps_legacy_path_and_counters(self, full_ring):
+        """A null-plan injector is a strict identity: same results, and the
+        fault counters never move."""
+        full_ring.network.faults = FaultInjector(FaultPlan())
+        assert not full_ring.faults_active
+        result = full_ring.lookup(full_ring.node(0), 40)
+        assert result.complete
+        stats = full_ring.network.stats
+        assert stats.dropped == 0 and stats.retries == 0
+        assert stats.timeouts == 0 and stats.walk_truncations == 0
+        full_ring.network.faults = None
+
+
+class TestCycloidParity:
+    def test_greedy_fault_route_finds_true_owner(self, full_overlay):
+        r = random.Random(3)
+        full_overlay.network.faults = storm_only_injector()
+        try:
+            for _ in range(80):
+                start = full_overlay.node(
+                    CycloidId(r.randrange(4), r.randrange(16))
+                )
+                target = CycloidId(r.randrange(4), r.randrange(16))
+                result = full_overlay.lookup(start, target)
+                assert result.complete and not result.timed_out
+                assert result.owner is full_overlay.closest_node(target)
+        finally:
+            full_overlay.network.faults = None
+
+    def test_sparse_overlay_reaches_equally_close_owner(self, sparse_overlay):
+        """On a sparse overlay ties exist; the believed owner must be
+        exactly as close to the key as the oracle's choice."""
+        r = random.Random(4)
+        sparse_overlay.network.faults = storm_only_injector()
+        try:
+            for _ in range(80):
+                start = sparse_overlay.node(r.choice(sparse_overlay.node_ids))
+                target = CycloidId(r.randrange(4), r.randrange(16))
+                result = sparse_overlay.lookup(start, target)
+                assert result.complete
+                tk, ta = target.k % 4, target.a % 16
+                oracle = sparse_overlay.closest_node(target)
+                assert sparse_overlay._key_badness(
+                    result.owner, tk, ta
+                ) == sparse_overlay._key_badness(oracle, tk, ta)
+        finally:
+            sparse_overlay.network.faults = None
+
+    def test_walk_identical_to_legacy(self, full_overlay):
+        start = full_overlay.node(CycloidId(0, 5))
+        full_overlay.network.faults = storm_only_injector()
+        faulty = full_overlay.walk_cluster(start, 0, 3)
+        full_overlay.network.faults = None
+        legacy = full_overlay.walk_cluster(start, 0, 3)
+        assert list(faulty) == list(legacy)
+        assert not faulty.truncated
+
+
+class TestOracleIndependence:
+    """With faults active the membership oracle must never be consulted."""
+
+    def test_chord_fault_lookup_never_calls_oracle(self, full_ring, monkeypatch):
+        def forbidden(key):  # pragma: no cover - must not run
+            raise AssertionError("oracle consulted on the fault path")
+
+        full_ring.network.faults = lossy_injector(0.3, seed=11)
+        monkeypatch.setattr(full_ring, "successor_of", forbidden)
+        try:
+            r = random.Random(5)
+            for _ in range(40):
+                start = full_ring.node(r.randrange(64))
+                result = full_ring.lookup(start, r.randrange(64))
+                assert isinstance(result.complete, bool)  # never raises
+        finally:
+            full_ring.network.faults = None
+
+    def test_cycloid_fault_lookup_never_calls_oracle(
+        self, full_overlay, monkeypatch
+    ):
+        def forbidden(target):  # pragma: no cover - must not run
+            raise AssertionError("oracle consulted on the fault path")
+
+        full_overlay.network.faults = lossy_injector(0.3, seed=12)
+        monkeypatch.setattr(full_overlay, "closest_node", forbidden)
+        try:
+            r = random.Random(6)
+            for _ in range(40):
+                start = full_overlay.node(
+                    CycloidId(r.randrange(4), r.randrange(16))
+                )
+                target = CycloidId(r.randrange(4), r.randrange(16))
+                result = full_overlay.lookup(start, target)
+                assert isinstance(result.complete, bool)
+        finally:
+            full_overlay.network.faults = None
+
+
+class TestHonestFailure:
+    def test_partition_makes_lookup_fail_not_raise(self):
+        ring = ChordRing(6)
+        ring.build_full()
+        ring.network.faults = FaultInjector(
+            FaultPlan(partitions=(ArcPartition(32, 63, space=64),))
+        )
+        result = ring.lookup(ring.node(0), 40)
+        assert not result.complete
+        assert result.timed_out
+        assert result.owner is not None  # last node reached, not the owner
+        assert ring.network.stats.dropped > 0
+        # Same-side keys still resolve completely.
+        ok = ring.lookup(ring.node(0), 10)
+        assert ok.complete and ok.owner.node_id == 10
+
+    def test_retries_absorb_moderate_loss(self):
+        ring = ChordRing(6)
+        ring.build_full()
+        ring.network.faults = lossy_injector(0.1, seed=13)
+        r = random.Random(7)
+        results = [
+            ring.lookup(ring.node(r.randrange(64)), r.randrange(64))
+            for _ in range(50)
+        ]
+        # Retry + failover masks 10% loss: every lookup still completes...
+        assert all(res.complete for res in results)
+        # ...but not for free: retransmissions happened and were counted.
+        assert sum(res.retries for res in results) > 0
+        assert ring.network.stats.retries > 0
+        assert ring.network.stats.backoff_seconds > 0
+
+    def test_no_retry_policy_fails_honestly_under_loss(self):
+        ring = ChordRing(6)
+        ring.build_full()
+        ring.lookup_policy = NO_RETRY_POLICY
+        ring.network.faults = lossy_injector(0.3, seed=14)
+        r = random.Random(8)
+        results = [
+            ring.lookup(ring.node(r.randrange(64)), r.randrange(64))
+            for _ in range(100)
+        ]
+        failed = [res for res in results if not res.complete]
+        assert failed, "30% loss with no retries must kill some lookups"
+        assert all(res.timed_out for res in failed)
+        assert all(res.retries == 0 for res in results)
+        assert ring.network.stats.timeouts > 0
+
+    def test_cycloid_partition_fails_honestly(self):
+        overlay = CycloidOverlay(4)
+        overlay.build_full()
+        # Cut off clusters 8..15 (linearized ids 32..63).
+        overlay.network.faults = FaultInjector(
+            FaultPlan(partitions=(ArcPartition(32, 63, space=64),))
+        )
+        result = overlay.lookup(overlay.node(CycloidId(0, 0)), CycloidId(2, 10))
+        assert not result.complete
+        assert result.timed_out
+
+
+class TestWalkTruncation:
+    def test_chord_walk_truncates_at_partition(self):
+        ring = ChordRing(6)
+        ring.build_full()
+        before = ring.network.stats.walk_truncations
+        ring.network.faults = FaultInjector(
+            FaultPlan(partitions=(ArcPartition(32, 63, space=64),))
+        )
+        walk = ring.walk_arc(ring.node(20), 20, 40)
+        assert walk.truncated and not walk.complete
+        assert walk.reason == "unreachable successor chain"
+        assert walk.timed_out
+        assert [n.node_id for n in walk] == list(range(20, 32))
+        assert ring.network.stats.walk_truncations == before + 1
+
+    def test_cycloid_walk_truncates_at_partition(self):
+        overlay = CycloidOverlay(4)
+        overlay.build_full()
+        before = overlay.network.stats.walk_truncations
+        # Sever cyclic positions 2..3 of cluster 0 (linearized ids 2..3).
+        overlay.network.faults = FaultInjector(
+            FaultPlan(partitions=(ArcPartition(2, 3, space=64),))
+        )
+        walk = overlay.walk_cluster(overlay.node(CycloidId(0, 0)), 0, 3)
+        assert walk.truncated
+        assert walk.reason == "unreachable cluster successor"
+        assert walk.timed_out
+        assert [n.cid for n in walk] == [CycloidId(0, 0), CycloidId(1, 0)]
+        assert overlay.network.stats.walk_truncations == before + 1
+
+    def test_walk_result_is_a_list(self):
+        walk = WalkResult(["a", "b"], truncated=True, reason="test", retries=2)
+        assert list(walk) == ["a", "b"]
+        assert len(walk) == 2
+        assert not walk.complete
+        assert walk.retries == 2
+        assert WalkResult().complete
+
+
+class TestDegradedResultAggregation:
+    def test_query_result_defaults_complete(self):
+        from repro.core.resource import QueryResult
+
+        result = QueryResult(matches=(), hops=3, visited_nodes=1)
+        assert result.complete and result.retries == 0 and not result.timed_out
+
+    def test_multi_query_join_is_under_approximation(self):
+        from repro.core.resource import MultiQueryResult, QueryResult
+
+        ok = QueryResult(matches=(), hops=2, visited_nodes=1, retries=1)
+        bad = QueryResult(
+            matches=(), hops=5, visited_nodes=0,
+            complete=False, retries=3, timed_out=True,
+        )
+        joined = MultiQueryResult(
+            providers=frozenset(), sub_results=(ok, bad)
+        )
+        assert not joined.complete
+        assert joined.retries == 4
+        assert joined.timed_out
+        all_ok = MultiQueryResult(providers=frozenset(), sub_results=(ok, ok))
+        assert all_ok.complete and not all_ok.timed_out

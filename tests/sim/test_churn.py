@@ -82,3 +82,37 @@ class TestInstall:
         e = ChurnEvent(1.5, ChurnEventKind.LEAVE)
         assert e.time == 1.5
         assert e.kind.value == "leave"
+
+
+class TestDeterminism:
+    """One seeded process is one reality, whichever way it is consumed."""
+
+    def test_stream_and_events_until_agree(self):
+        """events_until must be exactly a bounded prefix of stream() —
+        both entry points consume the RNG identically."""
+        horizon = 150.0
+        batched = make_process(seed=11).events_until(horizon)
+        streamed = []
+        for event in make_process(seed=11).stream():
+            if event.time >= horizon:
+                break
+            streamed.append(event)
+        assert batched == streamed
+
+    def test_events_until_is_prefix_of_longer_horizon(self):
+        short = make_process(seed=12).events_until(50.0)
+        long = make_process(seed=12).events_until(200.0)
+        assert long[: len(short)] == short
+
+    def test_install_schedules_in_event_order(self):
+        sim = Simulator()
+        fired: list[tuple[float, ChurnEventKind]] = []
+        process = make_process(rate=1.0, seed=13)
+        expected = make_process(rate=1.0, seed=13).events_until(80.0)
+        process.install(
+            sim, 80.0,
+            on_join=lambda: fired.append((sim.now, ChurnEventKind.JOIN)),
+            on_leave=lambda: fired.append((sim.now, ChurnEventKind.LEAVE)),
+        )
+        sim.run()
+        assert fired == [(e.time, e.kind) for e in expected]

@@ -1,0 +1,220 @@
+"""Tests for the fault-injection layer (plans, injector, delivery policy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.faults import (
+    DEFAULT_POLICY,
+    NO_RETRY_POLICY,
+    ArcPartition,
+    CrashStorm,
+    FaultInjector,
+    FaultPlan,
+    LookupPolicy,
+    deliver_first,
+)
+from repro.sim.network import SimulatedNetwork
+
+
+class TestArcPartition:
+    def test_contains_plain_arc(self):
+        p = ArcPartition(10, 20, space=64)
+        assert p.contains(10) and p.contains(15) and p.contains(20)
+        assert not p.contains(9) and not p.contains(21)
+
+    def test_contains_wrapping_arc(self):
+        p = ArcPartition(60, 4, space=64)
+        assert p.contains(62) and p.contains(0) and p.contains(4)
+        assert not p.contains(5) and not p.contains(59)
+
+    def test_ids_wrap_into_space(self):
+        p = ArcPartition(10, 20, space=64)
+        assert p.contains(64 + 15)
+
+    def test_severs_only_across_the_cut(self):
+        p = ArcPartition(10, 20, space=64)
+        assert p.severs(15, 40) and p.severs(40, 15)
+        assert not p.severs(12, 18)  # both inside
+        assert not p.severs(30, 50)  # both outside
+
+    def test_unknown_endpoints_never_sever(self):
+        p = ArcPartition(10, 20, space=64)
+        assert not p.severs(None, 40)
+        assert not p.severs(15, None)
+
+    def test_invalid_space_rejected(self):
+        with pytest.raises(ValueError):
+            ArcPartition(0, 1, space=0)
+
+
+class TestFaultPlan:
+    def test_null_plan_is_identity(self):
+        assert FaultPlan().is_null
+
+    def test_any_fault_source_breaks_nullness(self):
+        assert not FaultPlan(loss_rate=0.1).is_null
+        assert not FaultPlan(partitions=(ArcPartition(0, 1, 8),)).is_null
+        assert not FaultPlan(crash_storms=(CrashStorm(1.0, 2),)).is_null
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FaultPlan(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(loss_rate=-0.1)
+
+    def test_storm_validation(self):
+        with pytest.raises(ValueError):
+            CrashStorm(at=1.0, count=0)
+        with pytest.raises(ValueError):
+            CrashStorm(at=-1.0, count=1)
+
+
+class TestFaultInjector:
+    def test_null_plan_inactive(self):
+        injector = FaultInjector(FaultPlan())
+        assert not injector.active
+        assert injector.delivered(1, 2)
+
+    def test_disabled_injector_delivers_everything(self):
+        injector = FaultInjector(FaultPlan(loss_rate=0.9))
+        injector.enabled = False
+        assert not injector.active
+        assert all(injector.delivered(1, 2) for _ in range(100))
+
+    def test_loss_stream_reproducible(self):
+        """Fresh injectors from one plan replay the identical drop pattern."""
+        plan = FaultPlan(loss_rate=0.3, seed=42)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        assert [a.delivered(0, 1) for _ in range(200)] == [
+            b.delivered(0, 1) for _ in range(200)
+        ]
+
+    def test_loss_rate_statistics(self):
+        injector = FaultInjector(FaultPlan(loss_rate=0.25, seed=7))
+        n = 4000
+        delivered = sum(injector.delivered(0, 1) for _ in range(n))
+        assert delivered / n == pytest.approx(0.75, abs=0.03)
+
+    def test_partition_deterministic_and_healable(self):
+        injector = FaultInjector(FaultPlan())
+        assert not injector.active
+        injector.arm_partition(ArcPartition(0, 31, space=256))
+        assert injector.active
+        assert not injector.delivered(10, 100)
+        assert injector.delivered(10, 20)
+        assert injector.delivered(100, 200)
+        injector.heal_partitions()
+        assert not injector.active
+        assert injector.delivered(10, 100)
+
+    def test_external_rng_accepted(self):
+        injector = FaultInjector(
+            FaultPlan(loss_rate=0.5), rng=np.random.default_rng(5)
+        )
+        reference = np.random.default_rng(5)
+        got = [injector.delivered(0, 1) for _ in range(50)]
+        want = [float(reference.random()) >= 0.5 for _ in range(50)]
+        assert got == want
+
+    def test_install_storms(self):
+        injector = FaultInjector(
+            FaultPlan(crash_storms=(CrashStorm(1.0, 3), CrashStorm(2.5, 2)))
+        )
+        sim = Simulator()
+        crashed = []
+        scheduled = injector.install_storms(sim, lambda: crashed.append(sim.now))
+        assert scheduled == 5
+        sim.run()
+        assert crashed == [1.0, 1.0, 1.0, 2.5, 2.5]
+
+
+class TestLookupPolicy:
+    def test_defaults(self):
+        assert DEFAULT_POLICY.max_retries == 2
+        assert DEFAULT_POLICY.successor_failover
+        assert DEFAULT_POLICY.finger_fallback
+
+    def test_no_retry_policy_is_brittle(self):
+        assert NO_RETRY_POLICY.max_retries == 0
+        assert not NO_RETRY_POLICY.successor_failover
+        assert not NO_RETRY_POLICY.finger_fallback
+
+    def test_backoff_schedule(self):
+        policy = LookupPolicy(backoff_base=0.1, backoff_factor=2.0)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.2)
+        assert policy.backoff_for(3) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LookupPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            LookupPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            LookupPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            LookupPolicy(hop_budget=0)
+
+
+class TestDeliverFirst:
+    def _network(self, injector=None) -> SimulatedNetwork:
+        return SimulatedNetwork(faults=injector)
+
+    def test_no_faults_is_exact_identity(self):
+        network = self._network()
+        node, retries, skipped = deliver_first(
+            network, 0, [(1, "a"), (2, "b")], DEFAULT_POLICY
+        )
+        assert (node, retries, skipped) == ("a", 0, 0)
+        assert network.stats == SimulatedNetwork().stats  # nothing counted
+
+    def test_empty_candidates(self):
+        assert deliver_first(self._network(), 0, [], DEFAULT_POLICY) == (None, 0, 0)
+
+    def test_partition_forces_failover(self):
+        injector = FaultInjector(
+            FaultPlan(partitions=(ArcPartition(100, 120, space=256),))
+        )
+        network = self._network(injector)
+        # First candidate is across the cut, second is on our side.
+        node, retries, skipped = deliver_first(
+            network, 10, [(110, "cut"), (50, "near")], DEFAULT_POLICY
+        )
+        assert node == "near"
+        assert skipped == 1
+        assert retries == DEFAULT_POLICY.max_retries  # burnt on the cut one
+        assert network.stats.dropped == DEFAULT_POLICY.max_retries + 1
+        assert network.stats.timeouts == DEFAULT_POLICY.max_retries + 1
+        assert network.stats.routing_hops == 0  # hops belong to movement
+
+    def test_all_candidates_unreachable(self):
+        injector = FaultInjector(
+            FaultPlan(partitions=(ArcPartition(100, 120, space=256),))
+        )
+        network = self._network(injector)
+        node, retries, skipped = deliver_first(
+            network, 10, [(110, "a"), (115, "b")], NO_RETRY_POLICY
+        )
+        assert node is None
+        assert retries == 0
+        assert skipped == 2
+        assert network.stats.timeouts == 2
+
+    def test_retry_absorbs_transient_loss(self):
+        # Seed 8 is pinned so the first draw drops and the second delivers.
+        plan = FaultPlan(loss_rate=0.5, seed=8)
+        probe = FaultInjector(plan)
+        assert [probe.delivered(0, 1) for _ in range(2)] == [False, True]
+        network = self._network(FaultInjector(plan))
+        node, retries, skipped = deliver_first(
+            network, 0, [(1, "a")], DEFAULT_POLICY
+        )
+        assert node == "a"
+        assert retries == 1
+        assert skipped == 0
+        assert network.stats.backoff_seconds == pytest.approx(
+            DEFAULT_POLICY.backoff_for(1)
+        )
