@@ -53,6 +53,7 @@ def _sweep():
     no_retry = {}
     dropped = {}
     flagged_ok = {}
+    conserved = {}
     for service in bundle.all():
         network = (
             service.overlay.network
@@ -79,7 +80,11 @@ def _sweep():
         no_retry[service.name] = exact / len(cases)
         dropped[service.name] = delta.dropped
         flagged_ok[service.name] = honest
-    return figure, no_retry, dropped, flagged_ok
+        conserved[service.name] = (
+            delta.messages,
+            delta.routing_hops + delta.maintenance_messages + delta.dropped,
+        )
+    return figure, no_retry, dropped, flagged_ok, conserved
 
 
 @pytest.fixture(scope="module")
@@ -88,7 +93,7 @@ def sweep():
 
 
 def test_availability_loss(benchmark, sweep, results_dir):
-    figure, no_retry, dropped, flagged_ok = run_once(benchmark, lambda: sweep)
+    figure, no_retry, dropped, flagged_ok, conserved = run_once(benchmark, lambda: sweep)
     figure.save(results_dir)
 
     def completeness(name: str, r: int, loss: float) -> float:
@@ -141,12 +146,16 @@ def test_availability_loss(benchmark, sweep, results_dir):
         # cell, and every miss was an honest under-approximation.
         assert dropped[name] > 0, name
         assert flagged_ok[name], name
+        # Message conservation: every sent message is a routing hop, a
+        # maintenance message, or a drop — nothing uncounted.
+        messages, accounted = conserved[name]
+        assert messages == accounted, (name, messages, accounted)
 
 
 def test_default_policy_masks_loss(sweep):
     """With the default retry/failover policy, 5% loss costs (almost) no
     completeness relative to the lossless network at the same replication."""
-    figure, _, _, _ = sweep
+    figure, _, _, _, _ = sweep
     for curve in figure.curves:
         cells = dict(zip(curve.x, curve.y))
         assert cells[LOSS] >= cells[0.0] - 0.02, (curve.name, cells)

@@ -50,6 +50,10 @@ class DiscoveryService(ABC):
     #: Human-readable approach name used in reports ("LORM", "Mercury"…).
     name: ClassVar[str] = "abstract"
 
+    #: Routed lookups per attribute sub-query (MAAN's dual attribute+value
+    #: registration needs two; everyone else needs one — Theorem 4.2).
+    lookups_per_attribute: ClassVar[int] = 1
+
     metrics: MetricsRegistry
     schema: AttributeSchema
 
@@ -146,6 +150,29 @@ class DiscoveryService(ABC):
     def total_info_pieces(self) -> int:
         """System-wide stored pieces (MAAN stores 2 per info, Theorem 4.2)."""
         return sum(self.directory_sizes())
+
+    # ------------------------------------------------------------------
+    # Structural bounds (differential-harness support)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def structural_hop_bound(self) -> int:
+        """Worst-case hops of one routed lookup on the *stabilized*,
+        fault-free overlay at its current population.  A hard structural
+        ceiling (not the theorem average) — any fault-free lookup
+        exceeding it indicates corrupted routing state."""
+
+    @abstractmethod
+    def max_visited_per_subquery(self) -> int:
+        """Worst-case visited nodes of one attribute sub-query (point or
+        range) at the current population."""
+
+    def subquery_hop_bound(self) -> int:
+        """Worst-case hops of one attribute sub-query: its routed
+        lookup(s) plus at most one forwarding hop per visited node."""
+        return (
+            self.lookups_per_attribute * self.structural_hop_bound()
+            + self.max_visited_per_subquery()
+        )
 
     # ------------------------------------------------------------------
     # Churn (Section V-C)
@@ -278,6 +305,16 @@ class ChordBackedService(DiscoveryService):
         return self.ring.outlink_counts()
 
     def num_nodes(self) -> int:
+        return self.ring.num_nodes
+
+    def structural_hop_bound(self) -> int:
+        # Closest-preceding-finger routing at least halves the clockwise
+        # distance per hop, so ``bits`` hops reach the key's predecessor
+        # and one more lands on the owner.
+        return self.ring.bits + 1
+
+    def max_visited_per_subquery(self) -> int:
+        # A range walk can cover the whole ring (Theorem 4.10's worst case).
         return self.ring.num_nodes
 
     def _resolve_start(self, start: ChordNode | None) -> ChordNode:

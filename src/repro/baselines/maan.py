@@ -29,6 +29,14 @@ class MaanService(ChordBackedService):
 
     name: ClassVar[str] = "MAAN"
 
+    #: Attribute root first, then the value root (Theorems 4.7/4.8).
+    lookups_per_attribute: ClassVar[int] = 2
+
+    def max_visited_per_subquery(self) -> int:
+        # Range: the attribute root plus a value-arc walk that can span
+        # the whole ring (Theorem 4.9).
+        return self.ring.num_nodes + 1
+
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------

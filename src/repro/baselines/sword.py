@@ -27,6 +27,10 @@ class SwordService(ChordBackedService):
 
     name: ClassVar[str] = "SWORD"
 
+    def max_visited_per_subquery(self) -> int:
+        # The attribute root answers alone, point or range (Theorem 4.9).
+        return 1
+
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------

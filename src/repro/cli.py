@@ -7,8 +7,10 @@ Examples
     repro list
     repro run fig4a --scale smoke
     repro run fig3a fig3b --scale paper --out results/
+    repro run fig6a --invariants
     repro all --scale smoke
     repro availability --scale smoke --loss 0 0.05 --replication 1 2
+    repro check --systems all --seed 0
 """
 
 from __future__ import annotations
@@ -80,6 +82,31 @@ def build_parser() -> argparse.ArgumentParser:
     report_p.add_argument(
         "--out", default="results", help="results directory (default: results/)"
     )
+
+    check_p = sub.add_parser(
+        "check",
+        help="differential/invariant correctness check (oracle replay + "
+        "guarded churn storm); exits non-zero on any divergence",
+    )
+    check_p.add_argument(
+        "--systems",
+        nargs="+",
+        default=["all"],
+        choices=["all", "LORM", "Mercury", "SWORD", "MAAN"],
+        metavar="SYSTEM",
+        help="systems to check: all (default) or any of LORM Mercury SWORD MAAN",
+    )
+    check_p.add_argument(
+        "--seed", type=int, default=0, help="harness seed (default: 0)"
+    )
+    check_p.add_argument(
+        "--queries", type=int, default=45,
+        help="queries in the fault-free differential replay",
+    )
+    check_p.add_argument(
+        "--churn-events", type=int, default=40,
+        help="events in the guarded churn storm",
+    )
     return parser
 
 
@@ -99,6 +126,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         default=None,
         help="override the locality-preserving hash flavour",
     )
+    p.add_argument(
+        "--invariants",
+        action="store_true",
+        help="validate overlay invariants and directory conservation after "
+        "every churn event (aborts at the first violation)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -108,6 +141,8 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
         overrides["seed"] = args.seed
     if args.lph is not None:
         overrides["lph_kind"] = args.lph
+    if getattr(args, "invariants", False):
+        overrides["validate_invariants"] = True
     return config.scaled(**overrides) if overrides else config
 
 
@@ -127,6 +162,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         path = write_report(args.out)
         print(f"wrote {path}")
         return 0
+
+    if args.command == "check":
+        from repro.testing.differential import ALL_SYSTEMS, run_check
+
+        systems = (
+            ALL_SYSTEMS
+            if "all" in args.systems
+            else tuple(dict.fromkeys(args.systems))
+        )
+        started = time.perf_counter()
+        report = run_check(
+            systems=systems,
+            seed=args.seed,
+            num_queries=args.queries,
+            churn_events=args.churn_events,
+        )
+        print(report.render())
+        elapsed = time.perf_counter() - started
+        print(f"[seed {args.seed}] checked in {elapsed:.1f}s", file=sys.stderr)
+        return 0 if report.ok else 1
 
     config = _config_from(args)
     started = time.perf_counter()

@@ -232,6 +232,17 @@ class LormService(DiscoveryService):
     def num_nodes(self) -> int:
         return self.overlay.num_nodes
 
+    def structural_hop_bound(self) -> int:
+        # Cycloid's lookup termination ceiling: the adaptive descend plus
+        # the deterministic fallback sweep never exceed this on a live,
+        # stabilized overlay.
+        return 10 * self.overlay.dimension + 3 * self.overlay.num_clusters + 4
+
+    def max_visited_per_subquery(self) -> int:
+        # A range walk stays inside one cluster (Proposition 3.1), and a
+        # cluster holds at most ``d`` nodes.
+        return self.overlay.dimension
+
     def _resolve_start(self, start: CycloidNode | None) -> CycloidNode:
         return start if start is not None else self.random_node()
 

@@ -14,6 +14,7 @@ from repro.baselines.mercury import MercuryService
 from repro.baselines.sword import SwordService
 from repro.core.lorm import LormService
 from repro.experiments.config import ExperimentConfig
+from repro.sim.invariants import install_churn_guards
 from repro.workloads.generator import GridWorkload
 
 __all__ = ["ServiceBundle", "build_services", "build_workload"]
@@ -74,6 +75,14 @@ def build_services(
     ``replication`` sets every overlay's per-key copy count (1 = the
     paper's model; >= 2 makes data survive crash failures, the axis swept
     by the availability experiment).
+
+    With ``config.validate_invariants`` set, every service's churn entry
+    points (and its overlay's ``repair_replication``) are wrapped by a
+    :class:`~repro.sim.invariants.ChurnGuard`, so structural invariants
+    and directory conservation are validated after every churn event —
+    any violation raises
+    :class:`~repro.sim.invariants.InvariantViolation` at the offending
+    event instead of silently skewing the figures.
     """
     seed = config.seed + seed_offset
     workload = build_workload(config)
@@ -112,6 +121,9 @@ def build_services(
         sword=sword,
         maan=maan,
     )
+    if config.validate_invariants:
+        for service in bundle.all():
+            install_churn_guards(service)
     if register:
         for info in workload.resource_infos():
             for service in bundle.all():

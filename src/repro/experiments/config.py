@@ -66,6 +66,10 @@ class ExperimentConfig:
     num_availability_queries: int = 120
     #: Availability experiment: fraction of nodes crashed before querying.
     availability_crash_fraction: float = 0.05
+    #: Install :class:`~repro.sim.invariants.ChurnGuard` on every built
+    #: service, validating overlay invariants and directory conservation
+    #: after each churn event (the runner's ``--invariants`` flag).
+    validate_invariants: bool = False
 
     def __post_init__(self) -> None:
         require(self.dimension >= 2, "dimension must be >= 2")

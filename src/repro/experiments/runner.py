@@ -49,14 +49,24 @@ def run_figure(
     config: ExperimentConfig,
     *,
     save_dir: str | Path | None = None,
+    invariants: bool = False,
 ):
-    """Run one figure; optionally persist CSV/text under ``save_dir``."""
+    """Run one figure; optionally persist CSV/text under ``save_dir``.
+
+    ``invariants=True`` (the CLI's ``--invariants`` flag) sets
+    ``config.validate_invariants``, so every churn event in the figure's
+    simulation is validated by a
+    :class:`~repro.sim.invariants.ChurnGuard` — a violation aborts the
+    run at the offending event instead of skewing the figure.
+    """
     try:
         runner = FIGURES[figure_id]
     except KeyError:
         raise KeyError(
             f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
         ) from None
+    if invariants and not config.validate_invariants:
+        config = config.scaled(validate_invariants=True)
     result = runner(config)
     if save_dir is not None:
         result.save(save_dir)
@@ -67,6 +77,7 @@ def run_all_figures(
     config: ExperimentConfig,
     *,
     save_dir: str | Path | None = None,
+    invariants: bool = False,
 ) -> dict[str, object]:
     """Run every figure, sharing expensive state where possible.
 
@@ -74,6 +85,8 @@ def run_all_figures(
     figures 4 and 5 each produce both panels from a single sweep; figure 6
     produces both panels from one churn sweep.
     """
+    if invariants and not config.validate_invariants:
+        config = config.scaled(validate_invariants=True)
     results: dict[str, object] = {}
     results["fig3a"] = figure3.run_fig3a(config)
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import bisect
 import warnings
+from collections import Counter
 from collections.abc import Iterable
 from typing import Any
 
@@ -579,17 +580,22 @@ class ChordRing:
         Matches the paper's churn model, in which "there were no failures in
         all test cases" — departures hand their state off before leaving.
         """
+        require(len(self._sorted_ids) > 1, "cannot remove the last ring node")
         node = self._nodes.pop(node_id)
         self._sorted_ids.remove(node_id)
-        require(bool(self._sorted_ids), "cannot remove the last ring node")
         node.alive = False
         successor = self.successor_of(node_id)
+        outgoing: dict[tuple[str, int], Counter] = {}
         for namespace, key_id, item in node.stored_entries():
-            # With replication the successor usually holds the copy already
-            # (it was replica #2); avoid duplicating it.  Without
-            # replication identical items are distinct pieces and all move.
-            if self.replication == 1 or not successor.has_item(namespace, key_id, item):
-                successor.store(namespace, key_id, item)
+            outgoing.setdefault((namespace, key_id), Counter())[item] += 1
+        for (namespace, key_id), pieces in outgoing.items():
+            # With replication the successor (replica #2) usually holds
+            # copies already; top up to the departing node's count instead
+            # of duplicating, so identical items stay distinct pieces.
+            held = Counter(successor.items_at(namespace, key_id))
+            for item, count in pieces.items():
+                for _ in range(count - held[item]):
+                    successor.store(namespace, key_id, item)
         node.clear_storage()
         self.network.count_maintenance(2)  # departure notifications
         self._repair_neighbourhood(node_id)
@@ -602,9 +608,9 @@ class ChordRing:
         surviving successor-list replicas keep every key readable, and the
         next :meth:`repair_replication` restores the full replica count.
         """
+        require(len(self._sorted_ids) > 1, "cannot remove the last ring node")
         node = self._nodes.pop(node_id)
         self._sorted_ids.remove(node_id)
-        require(bool(self._sorted_ids), "cannot remove the last ring node")
         node.alive = False
         node.clear_storage()  # the crashed node's memory is gone
         # Neighbours detect the failure via timeouts and repair locally.
@@ -616,22 +622,30 @@ class ChordRing:
         Models the periodic replica-maintenance pass of successor-list
         replication: after joins/leaves/failures, each surviving copy is
         re-homed so the owner plus ``replication - 1`` successors hold it
-        (and nobody else does).
+        (and nobody else does).  A node's own copy count is a piece's true
+        multiplicity — replicas mirror it — so surviving counts merge with
+        ``max``: identical items stay distinct pieces without replica
+        copies multiplying back in.
         """
-        # Collect surviving copies with multiplicity per (ns, key, item).
-        surviving: dict[tuple[str, int], dict[Any, int]] = {}
-        for node in self.nodes():
+        surviving: dict[tuple[str, int], Counter] = {}
+        for node in list(self.nodes()):
+            held: dict[tuple[str, int], Counter] = {}
             for namespace, key_id, item in node.stored_entries():
-                bucket = surviving.setdefault((namespace, key_id), {})
-                bucket[item] = max(bucket.get(item, 0), 1)
+                held.setdefault((namespace, key_id), Counter())[item] += 1
             node.clear_storage()
+            for bucket_key, pieces in held.items():
+                bucket = surviving.setdefault(bucket_key, Counter())
+                for item, count in pieces.items():
+                    if count > bucket[item]:
+                        bucket[item] = count
         moved = 0
-        for (namespace, key_id), items in surviving.items():
+        for (namespace, key_id), pieces in surviving.items():
             replicas = self.replica_set(key_id)
-            for item in items:
+            for item, count in pieces.items():
                 for holder in replicas:
-                    holder.store(namespace, key_id, item)
-                    moved += 1
+                    for _ in range(count):
+                        holder.store(namespace, key_id, item)
+                    moved += count
         if moved:
             self.network.count_maintenance(moved)
         return moved

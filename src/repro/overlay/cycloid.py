@@ -40,6 +40,7 @@ behind Proposition 3.1's intra-cluster range walk.
 from __future__ import annotations
 
 import bisect
+from collections import Counter
 from collections.abc import Iterable
 from typing import Any, NamedTuple
 
@@ -183,6 +184,11 @@ class CycloidOverlay:
     def num_nodes(self) -> int:
         """Current live population."""
         return len(self._nodes)
+
+    @property
+    def num_clusters(self) -> int:
+        """Current number of non-empty clusters."""
+        return len(self._cluster_ids)
 
     @property
     def node_ids(self) -> list[CycloidId]:
@@ -720,10 +726,24 @@ class CycloidOverlay:
                 if adjacent is not None and adjacent != cid.a:
                     donors.extend(self.cluster_members(adjacent))
             moved = 0
+            incoming: dict[tuple[str, int], Counter] = {}
             for donor in donors:
+                donated: dict[tuple[str, int], Counter] = {}
                 for namespace, key_id, item in donor.stored_entries():
                     if self.closest_node(self.delinearize(key_id)) is node:
-                        donor.remove_items(namespace, key_id)
+                        donated.setdefault((namespace, key_id), Counter())[item] += 1
+                for bucket_key, pieces in donated.items():
+                    donor.remove_items(bucket_key[0], bucket_key[1])
+                    # Several donors can hold replica copies of the same
+                    # piece; merge with max so the newcomer receives each
+                    # piece's true multiplicity, not the sum over replicas.
+                    bucket = incoming.setdefault(bucket_key, Counter())
+                    for item, count in pieces.items():
+                        if count > bucket[item]:
+                            bucket[item] = count
+            for (namespace, key_id), pieces in incoming.items():
+                for item, count in pieces.items():
+                    for _ in range(count):
                         node.store(namespace, key_id, item)
                         moved += 1
             if moved:
@@ -741,11 +761,18 @@ class CycloidOverlay:
             del self._clusters[cid.a]
             self._cluster_ids.remove(cid.a)
         node.alive = False
+        outgoing: dict[tuple[str, int], Counter] = {}
         for namespace, key_id, item in node.stored_entries():
+            outgoing.setdefault((namespace, key_id), Counter())[item] += 1
+        for (namespace, key_id), pieces in outgoing.items():
             new_owner = self.closest_node(self.delinearize(key_id))
-            # See ChordRing.leave: dedup only applies under replication.
-            if self.replication == 1 or not new_owner.has_item(namespace, key_id, item):
-                new_owner.store(namespace, key_id, item)
+            # See ChordRing.leave: the new owner may already hold replica
+            # copies — top up to the departing node's count so identical
+            # items stay distinct pieces without duplicating replicas.
+            held = Counter(new_owner.items_at(namespace, key_id))
+            for item, count in pieces.items():
+                for _ in range(count - held[item]):
+                    new_owner.store(namespace, key_id, item)
         node.clear_storage()
         self.network.count_maintenance(2)
         self._repair_neighbourhood(node)
@@ -769,20 +796,31 @@ class CycloidOverlay:
         self._repair_neighbourhood(node)
 
     def repair_replication(self) -> int:
-        """Restore every key to exactly its replica set; returns copies moved."""
-        surviving: dict[tuple[str, int], dict[Any, int]] = {}
+        """Restore every key to exactly its replica set; returns copies moved.
+
+        See :meth:`ChordRing.repair_replication`: per-node copy counts
+        merge with ``max`` so identical items keep their multiplicity
+        while replica copies count once.
+        """
+        surviving: dict[tuple[str, int], Counter] = {}
         for node in list(self.nodes()):
+            held: dict[tuple[str, int], Counter] = {}
             for namespace, key_id, item in node.stored_entries():
-                bucket = surviving.setdefault((namespace, key_id), {})
-                bucket[item] = max(bucket.get(item, 0), 1)
+                held.setdefault((namespace, key_id), Counter())[item] += 1
             node.clear_storage()
+            for bucket_key, pieces in held.items():
+                bucket = surviving.setdefault(bucket_key, Counter())
+                for item, count in pieces.items():
+                    if count > bucket[item]:
+                        bucket[item] = count
         moved = 0
-        for (namespace, key_id), items in surviving.items():
+        for (namespace, key_id), pieces in surviving.items():
             replicas = self.replica_set(self.delinearize(key_id))
-            for item in items:
+            for item, count in pieces.items():
                 for holder in replicas:
-                    holder.store(namespace, key_id, item)
-                    moved += 1
+                    for _ in range(count):
+                        holder.store(namespace, key_id, item)
+                    moved += count
         if moved:
             self.network.count_maintenance(moved)
         return moved

@@ -19,6 +19,14 @@ from repro.sim.faults import (
     FaultPlan,
     LookupPolicy,
 )
+from repro.sim.invariants import (
+    ChurnGuard,
+    InvariantViolation,
+    check_overlay,
+    check_replica_placement,
+    directory_census,
+    install_churn_guards,
+)
 from repro.sim.metrics import MetricsRegistry, SummaryStats, summarize
 from repro.sim.network import MessageStats, SimulatedNetwork
 from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
@@ -26,12 +34,18 @@ from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
 __all__ = [
     "ArcPartition",
     "ChurnEvent",
+    "ChurnGuard",
     "ChurnProcess",
     "CrashStorm",
+    "check_overlay",
+    "check_replica_placement",
     "DEFAULT_POLICY",
+    "directory_census",
     "Event",
     "FaultInjector",
     "FaultPlan",
+    "install_churn_guards",
+    "InvariantViolation",
     "LookupPolicy",
     "MessageStats",
     "MetricsRegistry",

@@ -1,0 +1,283 @@
+"""Simulation-wide correctness invariants for the DHT overlays.
+
+The paper's efficiency and availability numbers are only meaningful while
+the simulator's bookkeeping is exact, so this module centralises the
+checkable invariants and makes them cheap to run after every churn event:
+
+* **structural** — membership indexes agree with the node objects, and the
+  successor/predecessor (Chord) or leaf-set (Cycloid) links form the
+  unique ring over the live population;
+* **directory conservation** — a *census* of every stored
+  ``(namespace, key, item)`` piece, taken before and after a churn event:
+  joins, graceful leaves, stabilization rounds and replica repair must
+  conserve every piece exactly, while a crash may only lose pieces, never
+  invent them;
+* **replica placement** — immediately after ``repair_replication`` every
+  piece sits on exactly its replica set, with identical per-key contents
+  on every holder.
+
+Census semantics: the multiplicity of a piece is the *maximum* per-node
+copy count.  Replicas of one piece therefore count once, while genuinely
+distinct identical pieces stored under the same key (``leave``'s
+"identical items are distinct pieces" contract) keep their multiplicity.
+
+:class:`ChurnGuard` wires the checks into a service: it wraps the
+service's churn entry points (``churn_join`` / ``churn_leave`` /
+``churn_fail`` / ``stabilize``) and the overlay's ``repair_replication``
+so every event is validated as it happens.  The experiment runner's
+``--invariants`` flag and the ``repro check`` CLI subcommand both install
+guards this way.
+
+The checkers deliberately duck-type the two overlays (anything with
+``check_ring_invariants`` is treated as a Chord ring, anything with
+``delinearize`` as a Cycloid overlay) so this module imports nothing from
+:mod:`repro.overlay` and stays cycle-free.
+"""
+
+from __future__ import annotations
+
+import functools
+from collections import Counter
+from typing import Any, Callable
+
+__all__ = [
+    "InvariantViolation",
+    "ChurnGuard",
+    "check_chord_ring",
+    "check_cycloid_overlay",
+    "check_overlay",
+    "check_replica_placement",
+    "directory_census",
+    "install_churn_guards",
+    "overlay_of",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A structural or accounting invariant of the simulation failed."""
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise InvariantViolation(message)
+
+
+def _describe(diff: Counter, limit: int = 4) -> str:
+    """A short human-readable sample of a census difference."""
+    shown = ", ".join(
+        f"{ns}:{key}:{item!r}×{count}"
+        for (ns, key, item), count in list(diff.items())[:limit]
+    )
+    more = len(diff) - limit
+    return shown + (f" (+{more} more)" if more > 0 else "")
+
+
+# ----------------------------------------------------------------------
+# Directory census
+# ----------------------------------------------------------------------
+def directory_census(overlay: Any) -> Counter:
+    """Logical directory contents: ``(namespace, key, item) -> multiplicity``.
+
+    Multiplicity is the maximum per-node copy count, so the replicas of a
+    piece count once while distinct identical pieces stored under the same
+    key keep their count.  Conserved exactly by joins, graceful leaves,
+    stabilization and replica repair; crashes may only decrease it.
+    """
+    census: Counter = Counter()
+    for node in list(overlay.nodes()):
+        per_node: Counter = Counter(node.stored_entries())
+        for entry, count in per_node.items():
+            if count > census[entry]:
+                census[entry] = count
+    return census
+
+
+# ----------------------------------------------------------------------
+# Structural checks
+# ----------------------------------------------------------------------
+def check_chord_ring(ring: Any) -> None:
+    """Membership-index consistency plus successor/predecessor ring links."""
+    ids = ring.node_ids
+    _check(bool(ids), "chord: ring has no members")
+    _check(ids == sorted(ids), f"chord: node index not sorted: {ids}")
+    _check(len(ids) == len(set(ids)), f"chord: duplicate node IDs: {ids}")
+    _check(
+        ring.num_nodes == len(ids),
+        f"chord: num_nodes {ring.num_nodes} != index size {len(ids)}",
+    )
+    for nid in ids:
+        try:
+            node = ring.node(nid)
+        except KeyError:
+            raise InvariantViolation(
+                f"chord: id {nid} indexed but absent from the node map"
+            ) from None
+        _check(node.alive, f"chord: dead node {nid} still indexed as live")
+        _check(
+            node.node_id == nid,
+            f"chord: node map inconsistent at {nid} (object says {node.node_id})",
+        )
+    try:
+        ring.check_ring_invariants()
+    except InvariantViolation:
+        raise
+    except AssertionError as exc:
+        raise InvariantViolation(f"chord ring links: {exc}") from exc
+
+
+def check_cycloid_overlay(overlay: Any) -> None:
+    """Cluster-index consistency plus Cycloid leaf-set mutuality."""
+    ids = overlay.node_ids
+    _check(bool(ids), "cycloid: overlay has no members")
+    _check(len(ids) == len(set(ids)), f"cycloid: duplicate node IDs: {ids}")
+    _check(
+        overlay.num_nodes == len(ids),
+        f"cycloid: num_nodes {overlay.num_nodes} != index size {len(ids)}",
+    )
+    clusters = sorted({cid.a for cid in ids})
+    _check(
+        overlay.num_clusters == len(clusters),
+        f"cycloid: num_clusters {overlay.num_clusters} != {len(clusters)} "
+        "non-empty clusters in the index",
+    )
+    for cid in ids:
+        try:
+            node = overlay.node(cid)
+        except KeyError:
+            raise InvariantViolation(
+                f"cycloid: id {cid} indexed but absent from the node map"
+            ) from None
+        _check(node.alive, f"cycloid: dead node {cid} still indexed as live")
+        _check(
+            node.cid == cid,
+            f"cycloid: node map inconsistent at {cid} (object says {node.cid})",
+        )
+    try:
+        overlay.check_invariants()
+    except InvariantViolation:
+        raise
+    except AssertionError as exc:
+        raise InvariantViolation(f"cycloid leaf sets: {exc}") from exc
+
+
+def check_overlay(overlay: Any) -> None:
+    """Dispatch to the overlay-appropriate structural check."""
+    if hasattr(overlay, "check_ring_invariants"):
+        check_chord_ring(overlay)
+    else:
+        check_cycloid_overlay(overlay)
+
+
+def overlay_of(service: Any) -> Any:
+    """The overlay substrate behind a discovery service (ring or Cycloid)."""
+    overlay = getattr(service, "overlay", None)
+    if overlay is None:
+        overlay = getattr(service, "ring", None)
+    if overlay is None:
+        raise TypeError(f"{type(service).__name__} exposes no overlay substrate")
+    return overlay
+
+
+# ----------------------------------------------------------------------
+# Replica placement (strict; valid immediately after repair_replication)
+# ----------------------------------------------------------------------
+def _replicas_for(overlay: Any, key_id: int) -> list:
+    if hasattr(overlay, "delinearize"):
+        return overlay.replica_set(overlay.delinearize(key_id))
+    return overlay.replica_set(key_id)
+
+
+def check_replica_placement(overlay: Any) -> None:
+    """Every stored key sits on exactly its replica set, identically.
+
+    Only guaranteed immediately after ``repair_replication`` — between
+    repairs, churn legitimately leaves copies on stale holders.
+    """
+    holders: dict[tuple[str, int], dict[Any, Counter]] = {}
+    for node in list(overlay.nodes()):
+        for namespace, key_id, item in node.stored_entries():
+            per_key = holders.setdefault((namespace, key_id), {})
+            per_key.setdefault(node.uid, Counter())[item] += 1
+    for (namespace, key_id), per_key in holders.items():
+        expected = {n.uid for n in _replicas_for(overlay, key_id)}
+        actual = set(per_key)
+        _check(
+            actual == expected,
+            f"replica drift at {namespace}:{key_id}: held by {sorted(map(str, actual))}, "
+            f"replica set is {sorted(map(str, expected))}",
+        )
+        contents = list(per_key.values())
+        _check(
+            all(c == contents[0] for c in contents[1:]),
+            f"replica divergence at {namespace}:{key_id}: holders disagree "
+            "on the key's contents",
+        )
+
+
+# ----------------------------------------------------------------------
+# Churn guard
+# ----------------------------------------------------------------------
+class ChurnGuard:
+    """Validates a service's overlay after every churn event.
+
+    Wraps ``churn_join`` / ``churn_leave`` / ``churn_fail`` / ``stabilize``
+    on the service and ``repair_replication`` on its overlay (as instance
+    attributes, so later callers — including the event-driven churn
+    harness, which captures the bound methods — go through the guard).
+
+    Each wrapped call re-runs the structural checks and compares the
+    directory census across the event: joins, leaves, stabilization and
+    repair must conserve it exactly; a crash may only lose pieces.  Repair
+    additionally asserts strict replica placement.  Violations raise
+    :class:`InvariantViolation` at the offending event.
+    """
+
+    #: Events that must conserve the directory census exactly.
+    _CONSERVING = ("churn_join", "churn_leave", "stabilize")
+
+    def __init__(self, service: Any) -> None:
+        self.service = service
+        self.overlay = overlay_of(service)
+        #: Number of churn events validated so far.
+        self.events = 0
+        for name in self._CONSERVING:
+            setattr(service, name, self._guarded(getattr(service, name), exact=True))
+        service.churn_fail = self._guarded(service.churn_fail, exact=False)
+        self.overlay.repair_replication = self._guarded(
+            self.overlay.repair_replication, exact=True, placement=True
+        )
+
+    def _guarded(
+        self, fn: Callable, *, exact: bool, placement: bool = False
+    ) -> Callable:
+        @functools.wraps(fn)
+        def checked(*args: Any, **kwargs: Any) -> Any:
+            before = directory_census(self.overlay)
+            out = fn(*args, **kwargs)
+            self.events += 1
+            check_overlay(self.overlay)
+            after = directory_census(self.overlay)
+            if exact:
+                _check(
+                    after == before,
+                    f"{fn.__name__} did not conserve the directory: "
+                    f"lost [{_describe(before - after)}], "
+                    f"invented [{_describe(after - before)}]",
+                )
+            else:
+                invented = after - before
+                _check(
+                    not invented,
+                    f"{fn.__name__} invented directory entries: "
+                    f"[{_describe(invented)}]",
+                )
+            if placement:
+                check_replica_placement(self.overlay)
+            return out
+
+        return checked
+
+
+def install_churn_guards(service: Any) -> ChurnGuard:
+    """Attach a :class:`ChurnGuard` to ``service``; returns the guard."""
+    return ChurnGuard(service)

@@ -104,14 +104,17 @@ class SimulatedNetwork:
         """Attempt one ``src → dst`` message against the fault injector.
 
         Returns ``True`` when the message gets through (always, with no
-        injector attached).  Drops are counted but hops are not — hop
-        accounting stays with the actual routing movement so successful
-        paths cost exactly what they did before faults existed.
+        injector attached).  A dropped message counts toward ``messages``
+        (it was sent and cost bandwidth) and toward ``dropped``, but not
+        toward ``routing_hops`` — hop accounting stays with the actual
+        routing movement so successful paths cost exactly what they did
+        before faults existed.
         """
         if not self.faults_active:
             return True
         if self.faults.delivered(src, dst):
             return True
+        self.stats.messages += 1
         self.stats.dropped += 1
         return False
 

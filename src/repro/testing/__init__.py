@@ -1,0 +1,27 @@
+"""Correctness-harness utilities shared by the CLI, CI and the test tree.
+
+:mod:`repro.testing.differential` replays one seeded workload through all
+four discovery systems against the brute-force oracle;
+:mod:`repro.sim.invariants` supplies the per-event overlay checks it (and
+the experiment runner's ``--invariants`` flag) relies on.
+"""
+
+from repro.testing.differential import (
+    ALL_SYSTEMS,
+    CHECK_CONFIG,
+    CheckReport,
+    DifferentialReport,
+    Divergence,
+    run_check,
+    run_differential,
+)
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "CHECK_CONFIG",
+    "CheckReport",
+    "DifferentialReport",
+    "Divergence",
+    "run_check",
+    "run_differential",
+]

@@ -1,0 +1,441 @@
+"""Differential correctness harness over the four discovery systems.
+
+One seeded workload is replayed through LORM, Mercury, SWORD and MAAN and
+every answer is compared against the brute-force oracle
+(:meth:`~repro.workloads.generator.GridWorkload.matching_providers_bruteforce`):
+
+* **exactness** — fault-free, every routed point / range /
+  multi-attribute query must return exactly the oracle's provider set
+  (after graceful churn too); under crashes answers may only
+  *under*-approximate, never invent providers;
+* **hop/visited bounds** — every sub-query stays within the service's
+  structural ceilings (:meth:`DiscoveryService.subquery_hop_bound`), and
+  the mean point-query hop count stays within 2x the theorem average
+  (Theorems 4.7/4.8 closed forms);
+* **invariants** — churn runs under :class:`~repro.sim.invariants.ChurnGuard`,
+  so ring/link state, directory conservation and replica placement are
+  validated at every event.
+
+:func:`run_check` is the ``repro check`` CLI entry point: a fault-free
+differential replay, a graceful-churn replay, and a guarded churn storm
+(leave/join/fail/stabilize plus replica repair at replication 2, with a
+deliberately duplicated piece so multiplicity handling is exercised).
+Any divergence makes the report ``not ok`` and the CLI exit non-zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.theorems import nonrange_query_hops_avg
+from repro.core.resource import ResourceInfo
+from repro.experiments.common import ServiceBundle, build_services
+from repro.experiments.config import ExperimentConfig, SMOKE_CONFIG
+from repro.sim.invariants import (
+    InvariantViolation,
+    check_overlay,
+    install_churn_guards,
+    overlay_of,
+)
+from repro.workloads.generator import QueryKind
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "CHECK_CONFIG",
+    "CheckReport",
+    "DifferentialReport",
+    "Divergence",
+    "run_check",
+    "run_differential",
+]
+
+#: Report order, matching the rest of the harness.
+ALL_SYSTEMS = ("LORM", "Mercury", "SWORD", "MAAN")
+
+#: Scale for ``repro check``: big enough to exercise a sparse ring, range
+#: walks and replica repair; small enough for a few seconds in CI.
+CHECK_CONFIG = SMOKE_CONFIG.scaled(
+    dimension=4,
+    chord_bits=7,
+    num_attributes=8,
+    infos_per_attribute=25,
+    max_query_attributes=3,
+)
+
+#: Mean point-query hops may exceed the theorem average by this factor
+#: before the harness flags it (small populations are noisy).
+MEAN_HOPS_SLACK = 2.0
+
+_GRACEFUL_OPS = ("leave", "join", "stabilize")
+_ALL_OPS = ("leave", "join", "fail", "stabilize")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed disagreement between a system and the oracle/bounds."""
+
+    system: str
+    kind: str  # result-set | spurious-provider | incomplete | hop-bound |
+    #            visited-bound | mean-hops | invariant
+    detail: str
+    query_index: int = -1
+
+    def render(self) -> str:
+        where = f" (query #{self.query_index})" if self.query_index >= 0 else ""
+        return f"{self.system}: [{self.kind}]{where} {self.detail}"
+
+
+@dataclass
+class _SystemStats:
+    queries: int = 0
+    point_queries: int = 0
+    point_hops: float = 0.0
+    point_hops_expected: float = 0.0
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential replay."""
+
+    systems: tuple[str, ...]
+    num_queries: int
+    churn_ops: tuple[str, ...]
+    replication: int
+    divergences: list[Divergence] = field(default_factory=list)
+    stats: dict[str, _SystemStats] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def render(self) -> str:
+        lines = [
+            f"differential replay: {self.num_queries} queries x "
+            f"{len(self.systems)} systems, {len(self.churn_ops)} churn ops, "
+            f"replication {self.replication}"
+        ]
+        for name in self.systems:
+            st = self.stats.get(name, _SystemStats())
+            mean = st.point_hops / st.point_queries if st.point_queries else 0.0
+            expected = (
+                st.point_hops_expected / st.point_queries if st.point_queries else 0.0
+            )
+            bad = sum(1 for d in self.divergences if d.system == name)
+            verdict = "ok" if not bad else f"{bad} divergence(s)"
+            lines.append(
+                f"  {name:8s} {st.queries:4d} queries  "
+                f"mean point hops {mean:5.2f} (theorem avg {expected:5.2f})  "
+                f"{verdict}"
+            )
+        for d in self.divergences:
+            lines.append(f"  !! {d.render()}")
+        return "\n".join(lines)
+
+
+def _apply_op(service, op: str) -> None:
+    if op == "leave":
+        service.churn_leave()
+    elif op == "join":
+        service.churn_join()
+    elif op == "fail":
+        service.churn_fail()
+    elif op == "stabilize":
+        service.stabilize()
+    else:
+        raise ValueError(f"unknown churn op {op!r}")
+
+
+def _query_mix(workload, num_queries: int, config: ExperimentConfig, label: str):
+    """A deterministic mix of point / range / at-least multi-queries."""
+    kinds = (QueryKind.POINT, QueryKind.RANGE, QueryKind.AT_LEAST)
+    max_m = min(config.max_query_attributes, len(workload.schema))
+    queries = []
+    per_cell = num_queries // (len(kinds) * max_m) + 1
+    for kind in kinds:
+        for m in range(1, max_m + 1):
+            queries.extend(
+                workload.query_stream(per_cell, m, kind, label=f"{label}:{kind.value}")
+            )
+    # Interleave kinds/widths instead of running them in blocks.
+    queries.sort(key=lambda q: q.requester)
+    return queries[:num_queries]
+
+
+def run_differential(
+    config: ExperimentConfig | None = None,
+    *,
+    systems: tuple[str, ...] = ALL_SYSTEMS,
+    seed: int | None = None,
+    num_queries: int = 60,
+    churn_ops: tuple[str, ...] = (),
+    replication: int = 1,
+    expect: str = "exact",
+    guard: bool = True,
+    label: str = "differential",
+) -> DifferentialReport:
+    """Replay one seeded workload through ``systems`` against the oracle.
+
+    ``churn_ops`` (names from leave/join/fail/stabilize) run before the
+    replay, followed by a stabilization round (plus replica repair when
+    ``replication > 1``).  ``expect='exact'`` requires every answer to
+    equal the oracle set — correct for fault-free runs and graceful churn;
+    ``expect='subset'`` (for runs including crashes) only forbids spurious
+    providers.  With ``guard=True`` every churn event is validated by a
+    :class:`~repro.sim.invariants.ChurnGuard`.
+    """
+    if expect not in ("exact", "subset"):
+        raise ValueError(f"expect must be 'exact' or 'subset', got {expect!r}")
+    config = config if config is not None else CHECK_CONFIG
+    if seed is not None:
+        config = config.scaled(seed=seed)
+    bundle: ServiceBundle = build_services(config, replication=replication)
+    services = [bundle.by_name(name) for name in systems]
+    if guard:
+        for service in services:
+            install_churn_guards(service)
+
+    report = DifferentialReport(
+        systems=tuple(systems),
+        num_queries=num_queries,
+        churn_ops=tuple(churn_ops),
+        replication=replication,
+        stats={name: _SystemStats() for name in systems},
+    )
+    dead: set[str] = set()
+
+    def invariant_divergence(service, exc: InvariantViolation) -> None:
+        report.divergences.append(
+            Divergence(system=service.name, kind="invariant", detail=str(exc))
+        )
+        dead.add(service.name)
+
+    for op in churn_ops:
+        for service in services:
+            if service.name in dead:
+                continue
+            try:
+                _apply_op(service, op)
+            except InvariantViolation as exc:
+                invariant_divergence(service, exc)
+    for service in services:
+        if service.name in dead:
+            continue
+        try:
+            service.stabilize()
+            if replication > 1:
+                overlay_of(service).repair_replication()
+        except InvariantViolation as exc:
+            invariant_divergence(service, exc)
+
+    queries = _query_mix(bundle.workload, num_queries, config, label=label)
+    for qi, query in enumerate(queries):
+        truth = bundle.workload.matching_providers_bruteforce(query)
+        is_point = not query.is_range
+        for service in services:
+            if service.name in dead:
+                continue
+            st = report.stats[service.name]
+            result = service.multi_query(query)
+            st.queries += 1
+            if not result.complete:
+                report.divergences.append(
+                    Divergence(
+                        system=service.name, kind="incomplete", query_index=qi,
+                        detail="fault-free query reported complete=False",
+                    )
+                )
+                continue
+            if expect == "exact" and result.providers != truth:
+                missing = sorted(truth - result.providers)[:3]
+                spurious = sorted(result.providers - truth)[:3]
+                report.divergences.append(
+                    Divergence(
+                        system=service.name, kind="result-set", query_index=qi,
+                        detail=f"missing {missing}, spurious {spurious}",
+                    )
+                )
+            elif expect == "subset" and not result.providers <= truth:
+                report.divergences.append(
+                    Divergence(
+                        system=service.name, kind="spurious-provider",
+                        query_index=qi,
+                        detail=f"invented {sorted(result.providers - truth)[:3]}",
+                    )
+                )
+            hop_bound = service.subquery_hop_bound()
+            visited_bound = service.max_visited_per_subquery()
+            for sub in result.sub_results:
+                if sub.hops > hop_bound:
+                    report.divergences.append(
+                        Divergence(
+                            system=service.name, kind="hop-bound", query_index=qi,
+                            detail=f"sub-query took {sub.hops} hops, "
+                            f"structural bound is {hop_bound}",
+                        )
+                    )
+                if sub.visited_nodes > visited_bound:
+                    report.divergences.append(
+                        Divergence(
+                            system=service.name, kind="visited-bound",
+                            query_index=qi,
+                            detail=f"sub-query visited {sub.visited_nodes} nodes, "
+                            f"bound is {visited_bound}",
+                        )
+                    )
+            if is_point:
+                st.point_queries += 1
+                st.point_hops += sum(s.hops for s in result.sub_results)
+                st.point_hops_expected += nonrange_query_hops_avg(
+                    service.name,
+                    service.num_nodes(),
+                    config.dimension,
+                    len(query.constraints),
+                )
+
+    for service in services:
+        if service.name in dead:
+            continue
+        st = report.stats[service.name]
+        if st.point_queries >= 5:
+            mean = st.point_hops / st.point_queries
+            expected = st.point_hops_expected / st.point_queries
+            if mean > MEAN_HOPS_SLACK * expected + MEAN_HOPS_SLACK:
+                report.divergences.append(
+                    Divergence(
+                        system=service.name, kind="mean-hops",
+                        detail=f"mean point-query hops {mean:.2f} exceeds "
+                        f"{MEAN_HOPS_SLACK}x the theorem average {expected:.2f}",
+                    )
+                )
+        try:
+            check_overlay(overlay_of(service))
+        except InvariantViolation as exc:
+            invariant_divergence(service, exc)
+    return report
+
+
+def _churn_storm(
+    config: ExperimentConfig,
+    systems: tuple[str, ...],
+    num_events: int,
+    seed: int,
+) -> tuple[list[Divergence], int]:
+    """A guarded leave/join/fail/stabilize storm at replication 2.
+
+    Every service additionally carries one deliberately *duplicated*
+    piece (the same info registered twice — two distinct pieces under one
+    key), so directory conservation catches any multiplicity collapse in
+    the churn or repair paths.  Returns (divergences, events validated).
+    """
+    bundle = build_services(config, replication=2)
+    services = [bundle.by_name(name) for name in systems]
+    guards = {s.name: install_churn_guards(s) for s in services}
+    spec = bundle.workload.schema.specs[0]
+    dup = ResourceInfo(spec.name, (spec.lo + spec.hi) / 2.0, "dup-provider")
+    for service in services:
+        service.register(dup, routed=False)
+        service.register(dup, routed=False)
+
+    rng = np.random.default_rng(seed)
+    ops = [_ALL_OPS[int(i)] for i in rng.integers(0, len(_ALL_OPS), size=num_events)]
+    divergences: list[Divergence] = []
+    dead: set[str] = set()
+    for op in ops:
+        for service in services:
+            if service.name in dead:
+                continue
+            try:
+                _apply_op(service, op)
+            except InvariantViolation as exc:
+                divergences.append(
+                    Divergence(system=service.name, kind="invariant", detail=str(exc))
+                )
+                dead.add(service.name)
+    for service in services:
+        if service.name in dead:
+            continue
+        try:
+            service.stabilize()
+            overlay_of(service).repair_replication()
+        except InvariantViolation as exc:
+            divergences.append(
+                Divergence(system=service.name, kind="invariant", detail=str(exc))
+            )
+    events = sum(guards[s.name].events for s in services)
+    return divergences, events
+
+
+@dataclass
+class CheckReport:
+    """Outcome of ``repro check``: replay + graceful churn + churn storm."""
+
+    fault_free: DifferentialReport
+    graceful: DifferentialReport
+    storm_divergences: list[Divergence]
+    storm_events: int
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.fault_free.ok and self.graceful.ok and not self.storm_divergences
+        )
+
+    @property
+    def divergences(self) -> list[Divergence]:
+        return (
+            list(self.fault_free.divergences)
+            + list(self.graceful.divergences)
+            + list(self.storm_divergences)
+        )
+
+    def render(self) -> str:
+        lines = ["== fault-free differential replay =="]
+        lines.append(self.fault_free.render())
+        lines.append("== graceful-churn differential replay ==")
+        lines.append(self.graceful.render())
+        lines.append(
+            f"== churn storm (replication 2): {self.storm_events} guarded "
+            f"events =="
+        )
+        if self.storm_divergences:
+            lines.extend(f"  !! {d.render()}" for d in self.storm_divergences)
+        else:
+            lines.append("  all invariants held")
+        lines.append(f"result: {'OK' if self.ok else 'DIVERGED'}")
+        return "\n".join(lines)
+
+
+def run_check(
+    config: ExperimentConfig | None = None,
+    *,
+    systems: tuple[str, ...] = ALL_SYSTEMS,
+    seed: int = 0,
+    num_queries: int = 45,
+    churn_events: int = 40,
+) -> CheckReport:
+    """The full correctness check behind ``repro check``."""
+    config = config if config is not None else CHECK_CONFIG
+    fault_free = run_differential(
+        config, systems=systems, seed=seed, num_queries=num_queries,
+        label="check-fault-free",
+    )
+    rng = np.random.default_rng(seed + 1)
+    graceful_ops = tuple(
+        _GRACEFUL_OPS[int(i)]
+        for i in rng.integers(0, len(_GRACEFUL_OPS), size=max(1, churn_events // 2))
+    )
+    graceful = run_differential(
+        config, systems=systems, seed=seed, num_queries=max(1, num_queries // 3),
+        churn_ops=graceful_ops, label="check-graceful",
+    )
+    storm_divergences, storm_events = _churn_storm(
+        config.scaled(seed=config.seed + seed), systems, churn_events, seed
+    )
+    return CheckReport(
+        fault_free=fault_free,
+        graceful=graceful,
+        storm_divergences=storm_divergences,
+        storm_events=storm_events,
+    )

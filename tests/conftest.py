@@ -6,9 +6,11 @@ construction; paper-scale runs live in ``benchmarks/``.
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.experiments.common import ServiceBundle, build_services
 from repro.experiments.config import SMOKE_CONFIG, ExperimentConfig
@@ -16,6 +18,25 @@ from repro.overlay.chord import ChordRing
 from repro.overlay.cycloid import CycloidId, CycloidOverlay
 from repro.workloads.attributes import AttributeSchema
 from repro.workloads.generator import GridWorkload
+
+# Hypothesis profiles: "dev" keeps property suites laptop-fast; "ci" runs
+# more examples, derandomized for reproducible builds.  Select with
+# HYPOTHESIS_PROFILE=ci (the GitHub Actions workflow does).
+settings.register_profile(
+    "dev",
+    deadline=None,
+    max_examples=15,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    max_examples=60,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture
@@ -99,3 +120,23 @@ def loaded_bundle(tiny_config: ExperimentConfig) -> ServiceBundle:
     build their own bundles).
     """
     return build_services(tiny_config)
+
+
+@pytest.fixture
+def assert_invariants():
+    """Callable validating every service's overlay in a bundle."""
+    from repro.sim.invariants import check_overlay, overlay_of
+
+    def _check(bundle: ServiceBundle) -> None:
+        for service in bundle.all():
+            check_overlay(overlay_of(service))
+
+    return _check
+
+
+@pytest.fixture(scope="session")
+def check_report():
+    """One shared (seed-0, scaled-down) run of the ``repro check`` harness."""
+    from repro.testing.differential import run_check
+
+    return run_check(seed=0, num_queries=24, churn_events=24)

@@ -40,6 +40,31 @@ class TestParser:
         assert args.replication == [1, 2]
         assert args.queries == 30
 
+    def test_invariants_flag(self):
+        args = build_parser().parse_args(["run", "fig6a", "--invariants"])
+        assert args.invariants
+        assert not build_parser().parse_args(["run", "fig6a"]).invariants
+
+    def test_check_command_defaults(self):
+        args = build_parser().parse_args(["check"])
+        assert args.command == "check"
+        assert args.systems == ["all"]
+        assert args.seed == 0
+
+    def test_check_command_flags(self):
+        args = build_parser().parse_args(
+            ["check", "--systems", "LORM", "MAAN", "--seed", "5",
+             "--queries", "12", "--churn-events", "8"]
+        )
+        assert args.systems == ["LORM", "MAAN"]
+        assert args.seed == 5
+        assert args.queries == 12
+        assert args.churn_events == 8
+
+    def test_check_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--systems", "Pastry"])
+
 
 class TestMain:
     def test_list_prints_all_figures(self, capsys):
@@ -82,6 +107,45 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Query completeness" in out
         assert (tmp_path / "availability.csv").exists()
+
+    def test_check_exits_zero_on_clean_run(self, capsys):
+        code = main(
+            ["check", "--systems", "all", "--seed", "0",
+             "--queries", "12", "--churn-events", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "result: OK" in out
+
+    def test_check_single_system(self, capsys):
+        code = main(
+            ["check", "--systems", "SWORD", "--seed", "1",
+             "--queries", "6", "--churn-events", "6"]
+        )
+        assert code == 0
+
+    def test_check_exits_nonzero_on_divergence(self, capsys, monkeypatch):
+        from repro.baselines.maan import MaanService
+
+        # A broken hop bound must turn into a non-zero exit code.
+        monkeypatch.setattr(MaanService, "structural_hop_bound", lambda self: 0)
+        monkeypatch.setattr(
+            MaanService, "max_visited_per_subquery", lambda self: 0
+        )
+        code = main(
+            ["check", "--systems", "MAAN", "--seed", "0",
+             "--queries", "12", "--churn-events", "6"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out or "hop-bound" in out
+
+    def test_run_with_invariants_flag(self, capsys, tiny_config, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setitem(cli._SCALES, "smoke", tiny_config)
+        assert main(["run", "fig6a", "--invariants"]) == 0
+        assert "fig6a" in capsys.readouterr().out
 
     def test_all_command(self, capsys, tmp_path, tiny_config, monkeypatch):
         import repro.cli as cli

@@ -7,6 +7,7 @@ import pytest
 
 from repro.experiments.common import build_services
 from repro.experiments.figure6 import run_churn_trial
+from repro.sim.invariants import install_churn_guards
 from repro.workloads.generator import QueryKind
 
 
@@ -35,10 +36,15 @@ class TestChurnTrial:
 
 
 class TestQueriesDuringManualChurn:
-    def test_every_service_stays_correct_through_churn(self, tiny_config):
+    def test_every_service_stays_correct_through_churn(
+        self, tiny_config, assert_invariants
+    ):
         """Interleave churn and queries; answers must stay brute-force
-        correct for all approaches (info is handed off on departure)."""
+        correct for all approaches (info is handed off on departure).
+        Churn guards validate structural invariants and directory
+        conservation at every event along the way."""
         bundle = build_services(tiny_config)
+        guards = [install_churn_guards(service) for service in bundle.all()]
         wl = bundle.workload
         rng = np.random.default_rng(1)
         queries = list(wl.query_stream(30, 2, QueryKind.RANGE, label="manual-churn"))
@@ -53,6 +59,8 @@ class TestQueriesDuringManualChurn:
                 assert service.multi_query(query).providers == (
                     wl.matching_providers_bruteforce(query)
                 ), f"{service.name} wrong after churn step {i}"
+        assert all(guard.events > 0 for guard in guards)
+        assert_invariants(bundle)
 
     def test_population_recovers_after_balanced_churn(self, tiny_config):
         bundle = build_services(tiny_config, register=False)

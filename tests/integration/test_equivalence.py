@@ -84,3 +84,9 @@ def test_accounting_ordering_between_approaches(loaded_bundle):
     assert totals["SWORD"] <= totals["LORM"]
     assert totals["LORM"] * 5 < totals["Mercury"]
     assert totals["Mercury"] <= totals["MAAN"]
+
+
+def test_loaded_bundle_satisfies_invariants(loaded_bundle, assert_invariants):
+    """The shared bundle's overlays pass every structural invariant after
+    registration and the full battery of queries above."""
+    assert_invariants(loaded_bundle)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.sim.faults import FaultInjector, FaultPlan
 from repro.sim.network import MessageStats, SimulatedNetwork
 
 
@@ -31,6 +32,24 @@ class TestCounting:
         net.count_hop()
         net.reset()
         assert net.stats.messages == 0
+
+    def test_dropped_messages_count_as_messages(self):
+        net = SimulatedNetwork(faults=FaultInjector(FaultPlan(loss_rate=0.5, seed=3)))
+        for _ in range(200):
+            net.try_deliver(0, 1)
+        # A dropped message was sent and cost bandwidth: it counts toward
+        # ``messages`` (and ``dropped``) but never toward ``routing_hops``.
+        assert net.stats.dropped > 0
+        assert net.stats.messages == net.stats.dropped
+        assert net.stats.routing_hops == 0
+
+    def test_delivered_messages_not_counted_by_try_deliver(self):
+        # Successful deliveries are counted by the caller (count_hop /
+        # count_maintenance), so try_deliver itself must not double-count.
+        net = SimulatedNetwork()
+        assert net.try_deliver(0, 1)
+        assert net.stats.messages == 0
+        assert net.stats.dropped == 0
 
 
 class TestSnapshots:
