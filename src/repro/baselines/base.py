@@ -192,8 +192,27 @@ class DiscoveryService(ABC):
         replication factor."""
 
     @abstractmethod
-    def stabilize(self) -> None:
-        """One periodic stabilization round over the whole overlay."""
+    def stabilize(self, budget: Any | None = None) -> Any:
+        """One periodic stabilization round.
+
+        ``budget=None`` is the seed behaviour — a global sweep re-deriving
+        every node's routing state.  A :class:`~repro.sim.maintenance.
+        MaintenanceBudget` instead spends one bounded maintenance round
+        (stabilize / refresh / replica-repair caps) and returns its
+        :class:`~repro.sim.maintenance.MaintenanceReport`.
+        """
+
+    def maintenance_round(self) -> Any:
+        """The service's lazily created budgeted-maintenance round (one
+        round-robin cursor state per service)."""
+        from repro.sim.invariants import overlay_of
+        from repro.sim.maintenance import MaintenanceRound
+
+        round_ = getattr(self, "_maintenance_round", None)
+        if round_ is None:
+            round_ = MaintenanceRound(overlay_of(self))
+            self._maintenance_round = round_
+        return round_
 
 
 class ChordBackedService(DiscoveryService):
@@ -363,5 +382,8 @@ class ChordBackedService(DiscoveryService):
         self._departed.append(victim)
         return True
 
-    def stabilize(self) -> None:
-        self.ring.stabilize_all()
+    def stabilize(self, budget: Any | None = None) -> Any:
+        if budget is None:
+            self.ring.stabilize_all()
+            return None
+        return self.maintenance_round().run(budget)

@@ -10,6 +10,7 @@ Examples
     repro run fig6a --invariants
     repro all --scale smoke
     repro availability --scale smoke --loss 0 0.05 --replication 1 2
+    repro chaos --smoke --seed 0
     repro check --systems all --seed 0
 """
 
@@ -74,6 +75,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="multi-attribute queries per (loss, replication) cell",
+    )
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="seeded chaos-timeline demo: partition heal + crash burst "
+        "under budgeted maintenance; exits non-zero unless every system "
+        "reconverges (and the budget=0 control does NOT)",
+    )
+    _add_common(chaos_p)
+    chaos_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="alias for --scale smoke (deterministic CI entry point)",
     )
 
     report_p = sub.add_parser(
@@ -182,6 +196,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         elapsed = time.perf_counter() - started
         print(f"[seed {args.seed}] checked in {elapsed:.1f}s", file=sys.stderr)
         return 0 if report.ok else 1
+
+    if args.command == "chaos":
+        from repro.experiments.recovery import run_chaos_demo
+
+        if args.smoke:
+            args.scale = "smoke"
+        config = _config_from(args)
+        started = time.perf_counter()
+        result = run_chaos_demo(config)
+        print(result.render())
+        elapsed = time.perf_counter() - started
+        verdict = "RECONVERGED" if result.ok else "FAILED TO RECONVERGE"
+        print(
+            f"[{args.scale} scale, seed {config.seed}] {verdict} in {elapsed:.1f}s",
+            file=sys.stderr,
+        )
+        if args.out:
+            result.save(args.out)
+            print(f"results written to {args.out}/", file=sys.stderr)
+        return 0 if result.ok else 1
 
     config = _config_from(args)
     started = time.perf_counter()

@@ -280,5 +280,8 @@ class LormService(DiscoveryService):
         self._departed.append(victim)
         return True
 
-    def stabilize(self) -> None:
-        self.overlay.stabilize_all()
+    def stabilize(self, budget: Any | None = None) -> Any:
+        if budget is None:
+            self.overlay.stabilize_all()
+            return None
+        return self.maintenance_round().run(budget)

@@ -22,6 +22,7 @@ from repro.experiments.common import ServiceBundle, build_services
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import FigureResult
 from repro.sim.faults import FaultInjector, FaultPlan, LookupPolicy
+from repro.sim.network import publish_stats
 from repro.utils.seeding import SeedFactory
 from repro.workloads.generator import QueryKind
 
@@ -38,10 +39,17 @@ def measure_completeness(
 
     Attaches ``injector`` (and optional ``policy``) to the service for the
     duration of the measurement and always detaches it afterwards, so the
-    service comes back fault-free.
+    service comes back fault-free.  The requester-side fault accounting
+    the measurement produced — retries, timeouts, dropped messages,
+    backoff waits — is published into ``service.metrics`` as ``faults.*``
+    counters (one measurement window per call), so the report tables can
+    show what the lookup policy paid instead of leaving it trapped in the
+    network's :class:`~repro.sim.network.MessageStats`.
     """
     if not cases:
         return 1.0
+    overlay = service.overlay if hasattr(service, "overlay") else service.ring
+    before = overlay.network.stats.snapshot()
     service.configure_faults(injector, policy)
     try:
         exact = sum(
@@ -50,6 +58,10 @@ def measure_completeness(
         )
     finally:
         service.configure_faults(None)
+        publish_stats(
+            overlay.network.stats.delta_since(before), service.metrics,
+            prefix="faults",
+        )
     return exact / len(cases)
 
 
@@ -106,6 +118,7 @@ def run_availability(config: ExperimentConfig) -> FigureResult:
         y_label="Fraction of exactly-answered queries",
     )
     crashes = None
+    bundle = None
     for replication in config.availability_replications:
         bundle = build_services(
             config, register=True, replication=replication, seed_offset=replication
@@ -142,4 +155,15 @@ def run_availability(config: ExperimentConfig) -> FigureResult:
         "killed by message loss (retry/failover axis).  Loss 0 runs the "
         "fault-free code path."
     )
+    if bundle is not None:
+        spend = "; ".join(
+            f"{service.name}: {service.metrics.counter('faults.retries'):.0f} "
+            f"retries, {service.metrics.counter('faults.timeouts'):.0f} timeouts, "
+            f"{service.metrics.counter('faults.dropped'):.0f} drops"
+            for service in bundle.all()
+        )
+        result.notes.append(
+            f"requester fault spend across the r={replication} sweep "
+            f"(faults.* counters): {spend}."
+        )
     return result

@@ -66,6 +66,20 @@ class ExperimentConfig:
     num_availability_queries: int = 120
     #: Availability experiment: fraction of nodes crashed before querying.
     availability_crash_fraction: float = 0.05
+    #: Recovery experiment: maintenance-round intervals (seconds) swept.
+    maintenance_intervals: tuple[float, ...] = (2.0, 5.0, 10.0)
+    #: Recovery experiment: background churn rates R layered under the
+    #: chaos timeline (0.0 = faults only).
+    recovery_churn_rates: tuple[float, ...] = (0.0, 0.1)
+    #: Recovery experiment: simulated horizon of one chaos trial (s).
+    recovery_horizon: float = 60.0
+    #: Recovery experiment: health-sampling cadence (s).
+    recovery_sample_interval: float = 2.0
+    #: Recovery experiment: probe multi-attribute queries per sample.
+    num_recovery_queries: int = 10
+    #: Recovery experiment: replication factor.  Must be >= 2 so crash
+    #: bursts leave surviving copies that witness the replica deficit.
+    recovery_replication: int = 2
     #: Install :class:`~repro.sim.invariants.ChurnGuard` on every built
     #: service, validating overlay invariants and directory conservation
     #: after each churn event (the runner's ``--invariants`` flag).
@@ -137,4 +151,8 @@ SMOKE_CONFIG = ExperimentConfig(
     loss_rates=(0.0, 0.05),
     availability_replications=(1, 2),
     num_availability_queries=40,
+    maintenance_intervals=(2.0, 5.0),
+    recovery_churn_rates=(0.0,),
+    recovery_horizon=60.0,
+    num_recovery_queries=8,
 )

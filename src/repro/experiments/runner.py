@@ -18,6 +18,7 @@ from repro.experiments.common import build_services
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.latency import run_latency
 from repro.experiments.maintenance import run_maintenance
+from repro.experiments.recovery import run_recovery
 from repro.experiments.staleness import run_staleness
 from repro.experiments.theorem_table import run_theorem_table
 
@@ -41,6 +42,7 @@ FIGURES: dict[str, Callable] = {
     "staleness": run_staleness,  # extension figure: provider churn x leases
     "maintenance": run_maintenance,  # extension figure: repair traffic vs R
     "availability": run_availability,  # extension: completeness vs loss x r
+    "recovery": run_recovery,  # extension: time-to-reconverge vs interval
 }
 
 
@@ -102,6 +104,7 @@ def run_all_figures(
     results["staleness"] = run_staleness(config)
     results["maintenance"] = run_maintenance(config)
     results["availability"] = run_availability(config)
+    results["recovery"] = run_recovery(config)
     results["fig6a"], results["fig6b"] = figure6.run_fig6(config)
 
     if save_dir is not None:

@@ -33,6 +33,7 @@ from typing import Any
 from repro.overlay.idspace import IdSpace
 from repro.overlay.node import LookupResult, OverlayNode, WalkResult
 from repro.sim.faults import DEFAULT_POLICY, LookupPolicy, deliver_first
+from repro.sim.maintenance import RepairProgress, repair_buckets
 from repro.sim.network import SimulatedNetwork
 from repro.utils.validation import require
 
@@ -207,16 +208,48 @@ class ChordRing:
 
     def _refresh_routing_state(self, node: ChordNode) -> None:
         """Point ``node``'s fingers/successors/predecessor at true targets."""
+        self._refresh_fingers(node)
+        self._refresh_successors(node)
+
+    def _refresh_fingers(self, node: ChordNode) -> None:
         nid = node.node_id
         node.fingers = [
             self.successor_of(nid + (1 << i)) for i in range(self.bits)
         ]
+
+    def _refresh_successors(self, node: ChordNode) -> None:
+        nid = node.node_id
         node.successor_list = [
             n for n in self._successors_from(nid + 1, self.successor_list_len)
             if n.node_id != nid
         ] or [node]
         pred = self.predecessor_of(nid)
         node.predecessor = pred if pred.node_id != nid else None
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (budgeted-scheduler support)
+    # ------------------------------------------------------------------
+    def stabilize_step(self, node: ChordNode) -> None:
+        """One stabilization step: refresh ``node``'s successor list and
+        predecessor pointer (Chord's ``stabilize``/``notify`` exchange).
+
+        The unit of the maintenance scheduler's *stabilize* budget; a full
+        :meth:`stabilize_all` pass is the budget-unlimited special case.
+        Counts one maintenance message.
+        """
+        if not node.alive:
+            return
+        self._refresh_successors(node)
+        self.network.count_maintenance(1)
+
+    def refresh_routing_step(self, node: ChordNode) -> None:
+        """One routing-refresh step: rebuild ``node``'s finger table
+        (Chord's ``fix_fingers``).  The unit of the scheduler's *refresh*
+        budget; counts one maintenance message."""
+        if not node.alive:
+            return
+        self._refresh_fingers(node)
+        self.network.count_maintenance(1)
 
     # ------------------------------------------------------------------
     # Routed lookup
@@ -649,6 +682,23 @@ class ChordRing:
         if moved:
             self.network.count_maintenance(moved)
         return moved
+
+    def repair_replication_step(
+        self,
+        budget: int | None = None,
+        after: tuple[str, int] | None = None,
+    ) -> RepairProgress:
+        """Anti-entropy replica repair of up to ``budget`` key buckets.
+
+        Buckets are visited in sorted ``(namespace, key)`` order starting
+        strictly after ``after`` (``None`` starts from the beginning); each
+        repaired bucket ends up exactly on its replica set, like one key's
+        worth of :meth:`repair_replication`.  ``budget=None`` repairs every
+        bucket in one call.  Returns a
+        :class:`~repro.sim.maintenance.RepairProgress` whose ``next_after``
+        is the resume cursor (``None`` once the sweep wrapped).
+        """
+        return repair_buckets(self, self.replica_set, budget, after)
 
     def _repair_neighbourhood(self, around_id: int) -> None:
         """Refresh routing state of nodes adjacent to a membership change."""

@@ -47,6 +47,7 @@ from typing import Any, NamedTuple
 from repro.overlay.idspace import IdSpace
 from repro.overlay.node import LookupResult, OverlayNode, WalkResult
 from repro.sim.faults import DEFAULT_POLICY, LookupPolicy, deliver_first
+from repro.sim.maintenance import RepairProgress, repair_buckets
 from repro.sim.network import SimulatedNetwork
 from repro.utils.validation import require
 
@@ -279,9 +280,12 @@ class CycloidOverlay:
 
     def _refresh_routing_state(self, node: CycloidNode) -> None:
         """Derive all seven routing entries from the membership oracle."""
-        d = self.dimension
+        self._refresh_leaf_sets(node)
+        self._refresh_links(node)
+
+    def _refresh_leaf_sets(self, node: CycloidNode) -> None:
+        """Inside and outside leaf sets (the cluster-local entries)."""
         k, a = node.cid
-        j = (k - 1) % d
 
         # Inside leaf set: cyclic predecessor and successor in own cluster.
         ks = self._clusters[a]
@@ -292,6 +296,29 @@ class CycloidOverlay:
             pred = self._nodes[CycloidId(ks[(idx - 1) % len(ks)], a)]
             succ = self._nodes[CycloidId(ks[(idx + 1) % len(ks)], a)]
             node.inside_leaf = (pred, succ)
+
+        # Outside leaf set: top (largest cyclic index) nodes of the adjacent
+        # clusters on the large cycle.
+        prev_cluster = self._cluster_neighbor(a, -1)
+        next_cluster = self._cluster_neighbor(a, +1)
+        out_prev = (
+            self._nodes[CycloidId(self._clusters[prev_cluster][-1], prev_cluster)]
+            if prev_cluster is not None else None
+        )
+        out_next = (
+            self._nodes[CycloidId(self._clusters[next_cluster][-1], next_cluster)]
+            if next_cluster is not None else None
+        )
+        node.outside_leaf = (
+            out_prev if out_prev is not node else None,
+            out_next if out_next is not node else None,
+        )
+
+    def _refresh_links(self, node: CycloidNode) -> None:
+        """Cubical and cyclic neighbours (the long-range routing entries)."""
+        d = self.dimension
+        k, a = node.cid
+        j = (k - 1) % d
 
         # Cubical neighbour: level j in the cluster differing at bit j.
         flipped = a ^ (1 << j)
@@ -314,19 +341,41 @@ class CycloidOverlay:
             cyc_next if cyc_next is not node else None,
         )
 
-        # Outside leaf set: top (largest cyclic index) nodes of the adjacent
-        # clusters on the large cycle.
-        out_prev = (
-            self._nodes[CycloidId(self._clusters[prev_cluster][-1], prev_cluster)]
-            if prev_cluster is not None else None
-        )
-        out_next = (
-            self._nodes[CycloidId(self._clusters[next_cluster][-1], next_cluster)]
-            if next_cluster is not None else None
-        )
-        node.outside_leaf = (
-            out_prev if out_prev is not node else None,
-            out_next if out_next is not node else None,
+    # ------------------------------------------------------------------
+    # Incremental maintenance (budgeted-scheduler support)
+    # ------------------------------------------------------------------
+    def stabilize_step(self, node: CycloidNode) -> None:
+        """One stabilization step: refresh ``node``'s inside and outside
+        leaf sets (the cluster-local links a real Cycloid node exchanges
+        with its cycle neighbours).  The unit of the maintenance
+        scheduler's *stabilize* budget; counts one maintenance message."""
+        if not node.alive or node.a not in self._clusters:
+            return
+        self._refresh_leaf_sets(node)
+        self.network.count_maintenance(1)
+
+    def refresh_routing_step(self, node: CycloidNode) -> None:
+        """One routing-refresh step: rebuild ``node``'s cubical and cyclic
+        neighbours (the long-range entries).  The unit of the scheduler's
+        *refresh* budget; counts one maintenance message."""
+        if not node.alive or node.a not in self._clusters:
+            return
+        self._refresh_links(node)
+        self.network.count_maintenance(1)
+
+    def repair_replication_step(
+        self,
+        budget: int | None = None,
+        after: tuple[str, int] | None = None,
+    ) -> RepairProgress:
+        """Anti-entropy replica repair of up to ``budget`` key buckets.
+
+        See :meth:`ChordRing.repair_replication_step` — identical contract;
+        keys are the linearized ``(k, a)`` storage identifiers.
+        """
+        return repair_buckets(
+            self, lambda key_id: self.replica_set(self.delinearize(key_id)),
+            budget, after,
         )
 
     # ------------------------------------------------------------------

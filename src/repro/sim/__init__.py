@@ -6,8 +6,22 @@ package rebuilds that substrate: a deterministic event engine
 (:mod:`~repro.sim.network`), the Poisson churn process of Section V-C
 (:mod:`~repro.sim.churn`) and metric collection with the 1st/99th-percentile
 summaries used throughout Figure 3 (:mod:`~repro.sim.metrics`).
+
+Robustness extensions past the paper: fault injection
+(:mod:`~repro.sim.faults`), declarative chaos timelines
+(:mod:`~repro.sim.chaos`), budgeted self-healing maintenance
+(:mod:`~repro.sim.maintenance`) and recovery-time SLO metrics
+(:mod:`~repro.sim.recovery`).
 """
 
+from repro.sim.chaos import (
+    DEMO_SCENARIO,
+    ChaosScenario,
+    CrashBurst,
+    LossRamp,
+    NodeFlap,
+    PartitionWindow,
+)
 from repro.sim.churn import ChurnEvent, ChurnProcess
 from repro.sim.engine import Event, Simulator
 from repro.sim.faults import (
@@ -27,19 +41,34 @@ from repro.sim.invariants import (
     directory_census,
     install_churn_guards,
 )
+from repro.sim.maintenance import (
+    DEFAULT_BUDGET,
+    UNLIMITED_BUDGET,
+    ZERO_BUDGET,
+    MaintenanceBudget,
+    MaintenanceReport,
+    MaintenanceRound,
+    MaintenanceScheduler,
+    RepairProgress,
+)
 from repro.sim.metrics import MetricsRegistry, SummaryStats, summarize
-from repro.sim.network import MessageStats, SimulatedNetwork
+from repro.sim.network import MessageStats, SimulatedNetwork, publish_stats
+from repro.sim.recovery import RecoverySample, RecoveryTracker, replica_deficit
 from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
 
 __all__ = [
     "ArcPartition",
+    "ChaosScenario",
     "ChurnEvent",
     "ChurnGuard",
     "ChurnProcess",
+    "CrashBurst",
     "CrashStorm",
     "check_overlay",
     "check_replica_placement",
+    "DEFAULT_BUDGET",
     "DEFAULT_POLICY",
+    "DEMO_SCENARIO",
     "directory_census",
     "Event",
     "FaultInjector",
@@ -47,9 +76,21 @@ __all__ = [
     "install_churn_guards",
     "InvariantViolation",
     "LookupPolicy",
+    "LossRamp",
+    "MaintenanceBudget",
+    "MaintenanceReport",
+    "MaintenanceRound",
+    "MaintenanceScheduler",
     "MessageStats",
     "MetricsRegistry",
     "NO_RETRY_POLICY",
+    "NodeFlap",
+    "PartitionWindow",
+    "publish_stats",
+    "RecoverySample",
+    "RecoveryTracker",
+    "RepairProgress",
+    "replica_deficit",
     "SimulatedNetwork",
     "Simulator",
     "SummaryStats",
@@ -57,4 +98,6 @@ __all__ = [
     "TraceEvent",
     "TraceEventKind",
     "TraceRecorder",
+    "UNLIMITED_BUDGET",
+    "ZERO_BUDGET",
 ]

@@ -52,6 +52,7 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._cancelled: set[int] = set()
+        self._pending: set[int] = set()
         self.events_processed = 0
 
     @property
@@ -70,23 +71,45 @@ class Simulator:
         return self.schedule_at(self._now + delay, action, name)
 
     def schedule_at(self, time: float, action: Callable[[], None], name: str = "") -> Event:
-        """Schedule ``action`` at absolute simulation time ``time``."""
-        require(time >= self._now, f"cannot schedule into the past (t={time}, now={self._now})")
+        """Schedule ``action`` at absolute simulation time ``time``.
+
+        ``time`` strictly before the current clock is rejected (scheduling
+        *at* the current instant is allowed and fires after every earlier-
+        scheduled event of the same timestamp).  NaN is rejected too — a
+        NaN timestamp would silently corrupt the heap ordering.
+        """
+        require(
+            time >= self._now,
+            f"cannot schedule into the past (t={time}, now={self._now})",
+        )
         event = Event(time=time, seq=next(self._seq), action=action, name=name)
         heapq.heappush(self._queue, event)
+        self._pending.add(event.seq)
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a scheduled event (lazy removal)."""
-        self._cancelled.add(event.seq)
+        """Cancel a scheduled event (lazy removal).
+
+        Cancelling an event that already fired — or was already cancelled —
+        is a no-op: tombstones are only kept for events still in the queue,
+        so they cannot accumulate across a long run.
+        """
+        if event.seq in self._pending:
+            self._pending.discard(event.seq)
+            self._cancelled.add(event.seq)
 
     def step(self) -> Event | None:
-        """Fire the next event; returns it, or ``None`` if queue is empty."""
+        """Fire the next event; returns it, or ``None`` if queue is empty.
+
+        Cancelled events are skipped silently: they advance neither the
+        clock nor ``events_processed``.
+        """
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.seq in self._cancelled:
                 self._cancelled.discard(event.seq)
                 continue
+            self._pending.discard(event.seq)
             self._now = event.time
             event.action()
             self.events_processed += 1

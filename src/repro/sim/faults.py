@@ -133,6 +133,7 @@ class FaultInjector:
         self._rng = rng if rng is not None else np.random.default_rng(self.plan.seed)
         self.enabled = True
         self._partitions: list[ArcPartition] = list(self.plan.partitions)
+        self._loss_rate = self.plan.loss_rate
 
     # ------------------------------------------------------------------
     # State
@@ -141,10 +142,28 @@ class FaultInjector:
     def active(self) -> bool:
         """Whether any fault source is currently live."""
         return self.enabled and (
-            self.plan.loss_rate > 0.0
+            self._loss_rate > 0.0
             or bool(self._partitions)
             or bool(self.plan.crash_storms)
         )
+
+    @property
+    def loss_rate(self) -> float:
+        """Current per-message drop probability (plan default, or overridden)."""
+        return self._loss_rate
+
+    def set_loss_rate(self, rate: float) -> None:
+        """Override the per-message drop probability mid-run.
+
+        Loss-rate ramps in a chaos timeline use this; the seeded stream is
+        untouched, so identical scenarios keep identical drop patterns.
+        """
+        require(0.0 <= rate < 1.0, "loss_rate must be in [0, 1)")
+        self._loss_rate = float(rate)
+
+    def reset_loss_rate(self) -> None:
+        """Restore the plan's loss rate after a ramp."""
+        self._loss_rate = self.plan.loss_rate
 
     @property
     def partitions(self) -> tuple[ArcPartition, ...]:
@@ -154,6 +173,17 @@ class FaultInjector:
     def arm_partition(self, partition: ArcPartition) -> None:
         """Activate an additional ID-arc partition."""
         self._partitions.append(partition)
+
+    def disarm_partition(self, partition: ArcPartition) -> bool:
+        """Disarm one armed partition (that split heals); returns whether it
+        was armed.  Scenario timelines heal partitions individually while
+        others stay armed; :meth:`heal_partitions` stays the heal-everything
+        case."""
+        try:
+            self._partitions.remove(partition)
+        except ValueError:
+            return False
+        return True
 
     def heal_partitions(self) -> None:
         """Disarm every partition (the split heals)."""
@@ -169,8 +199,8 @@ class FaultInjector:
         for partition in self._partitions:
             if partition.severs(src, dst):
                 return False
-        if self.plan.loss_rate > 0.0:
-            return float(self._rng.random()) >= self.plan.loss_rate
+        if self._loss_rate > 0.0:
+            return float(self._rng.random()) >= self._loss_rate
         return True
 
     # ------------------------------------------------------------------

@@ -221,9 +221,11 @@ class ChurnGuard:
     """Validates a service's overlay after every churn event.
 
     Wraps ``churn_join`` / ``churn_leave`` / ``churn_fail`` / ``stabilize``
-    on the service and ``repair_replication`` on its overlay (as instance
-    attributes, so later callers — including the event-driven churn
-    harness, which captures the bound methods — go through the guard).
+    on the service and ``repair_replication`` / ``repair_replication_step``
+    on its overlay (as instance attributes, so later callers — including
+    the event-driven churn harness, which captures the bound methods — go
+    through the guard).  ``stabilize`` covers both the seed's global sweep
+    and the budgeted maintenance rounds, which pass through it.
 
     Each wrapped call re-runs the structural checks and compares the
     directory census across the event: joins, leaves, stabilization and
@@ -246,6 +248,13 @@ class ChurnGuard:
         self.overlay.repair_replication = self._guarded(
             self.overlay.repair_replication, exact=True, placement=True
         )
+        if hasattr(self.overlay, "repair_replication_step"):
+            # Incremental anti-entropy must conserve the census exactly,
+            # but a partial pass legitimately leaves unvisited keys
+            # misplaced — no placement assertion here.
+            self.overlay.repair_replication_step = self._guarded(
+                self.overlay.repair_replication_step, exact=True
+            )
 
     def _guarded(
         self, fn: Callable, *, exact: bool, placement: bool = False

@@ -1,0 +1,366 @@
+"""Budgeted self-healing maintenance for the overlay substrates.
+
+The seed repo heals churn damage with *global* sweeps —
+``stabilize_all()`` re-derives every node's routing state and
+``repair_replication()`` restores every key to its replica set in one
+call.  Real DHT maintenance is neither free nor instantaneous: each
+periodic round touches a bounded number of neighbours and keys, so
+recovery time after a fault is governed by the *maintenance budget* and
+the round interval.  This module adds that cost model:
+
+* :class:`MaintenanceBudget` — per-round work caps (stabilize steps,
+  routing-refresh steps, replica-repair key buckets).  ``None`` fields
+  mean unbounded; the all-``None`` :data:`UNLIMITED_BUDGET` reduces a
+  round to the seed's global sweeps, so existing figures reproduce
+  exactly.
+* :class:`MaintenanceRound` — round-robin cursors over one overlay's
+  nodes and key buckets, spending a budget per call.
+* :class:`MaintenanceScheduler` — schedules periodic rounds on a
+  :class:`~repro.sim.engine.Simulator` through a service's
+  ``stabilize(budget)`` entry point (keeping churn-guard wrappers and
+  accounting in the loop).
+* :func:`repair_buckets` — the shared incremental anti-entropy pass
+  both overlays' ``repair_replication_step`` delegates to.
+
+Import discipline: this module is imported *by* ``repro.overlay`` (for
+:class:`RepairProgress` / :func:`repair_buckets`), so it must not import
+anything from ``repro.overlay`` or ``repro.baselines``; overlays and
+services are duck-typed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from repro.utils.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.sim.engine import Event, Simulator
+
+__all__ = [
+    "RepairProgress",
+    "repair_buckets",
+    "MaintenanceBudget",
+    "DEFAULT_BUDGET",
+    "ZERO_BUDGET",
+    "UNLIMITED_BUDGET",
+    "MaintenanceReport",
+    "MaintenanceRound",
+    "MaintenanceScheduler",
+]
+
+
+# ----------------------------------------------------------------------
+# Incremental replica repair (shared by ChordRing and CycloidOverlay)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RepairProgress:
+    """Outcome of one incremental replica-repair pass.
+
+    ``next_after`` is the resume cursor — the last bucket processed, to
+    be passed back as ``after`` on the next call — or ``None`` when the
+    pass reached the end of the key space (the next call starts over).
+    """
+
+    keys_repaired: int
+    copies_moved: int
+    next_after: tuple[str, int] | None
+
+    @property
+    def done(self) -> bool:
+        """Whether the scan completed a full sweep of the key space."""
+        return self.next_after is None
+
+
+def repair_buckets(
+    overlay: Any,
+    replica_set_of: Callable[[int], Sequence[Any]],
+    budget: int | None = None,
+    after: tuple[str, int] | None = None,
+) -> RepairProgress:
+    """Anti-entropy repair of up to ``budget`` key buckets.
+
+    A *bucket* is one ``(namespace, key_id)`` pair.  Buckets are visited
+    in sorted order starting strictly after the ``after`` cursor.  For
+    each visited bucket the surviving per-node copy counts merge with
+    ``max`` (replica copies count once, genuinely distinct identical
+    pieces keep their multiplicity — the census convention of
+    ``repair_replication``), stray copies on nodes outside the current
+    replica set are dropped, and every replica-set member is topped up
+    to the merged multiplicity.  Copies actually added or removed count
+    as maintenance messages; a bucket already in its repaired state
+    costs nothing.
+
+    ``budget=None`` sweeps every bucket from the cursor to the end of
+    the key space in one call; ``budget=0`` is a no-op that keeps the
+    cursor where it was.
+    """
+    require(budget is None or budget >= 0, "repair budget must be >= 0")
+    if budget == 0:
+        return RepairProgress(0, 0, after)
+
+    # Scan surviving copies, bucketed by (namespace, key_id).
+    holders: dict[tuple[str, int], list[tuple[Any, Counter]]] = {}
+    for node in list(overlay.nodes()):
+        per_bucket: dict[tuple[str, int], Counter] = {}
+        for namespace, key_id, item in node.stored_entries():
+            per_bucket.setdefault((namespace, key_id), Counter())[item] += 1
+        for bucket_key, pieces in per_bucket.items():
+            holders.setdefault(bucket_key, []).append((node, pieces))
+
+    ordered = sorted(holders)
+    start = 0 if after is None else bisect.bisect_right(ordered, after)
+    selected = ordered[start:] if budget is None else ordered[start:start + budget]
+
+    moved = 0
+    for namespace, key_id in selected:
+        bucket_holders = holders[(namespace, key_id)]
+        merged: Counter = Counter()
+        for _node, pieces in bucket_holders:
+            for item, count in pieces.items():
+                if count > merged[item]:
+                    merged[item] = count
+        replicas = list(replica_set_of(key_id))
+        replica_ids = {id(r) for r in replicas}
+        # Drop stray copies that live outside the current replica set.
+        for node, pieces in bucket_holders:
+            if id(node) in replica_ids:
+                continue
+            for item, count in pieces.items():
+                for _ in range(count):
+                    node.remove_item(namespace, key_id, item)
+                moved += count
+        # Top every replica member up to the merged multiplicity.
+        held_by = {id(node): pieces for node, pieces in bucket_holders}
+        for holder in replicas:
+            current = held_by.get(id(holder), Counter())
+            for item, target in merged.items():
+                for _ in range(target - current[item]):
+                    holder.store(namespace, key_id, item)
+                moved += max(0, target - current[item])
+    if moved:
+        overlay.network.count_maintenance(moved)
+
+    exhausted = start + len(selected) >= len(ordered)
+    next_after = None if exhausted else selected[-1]
+    return RepairProgress(len(selected), moved, next_after)
+
+
+# ----------------------------------------------------------------------
+# Budgets
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MaintenanceBudget:
+    """Per-round work caps for one maintenance round.
+
+    ``stabilize_nodes`` — successor-list / leaf-set stabilization steps
+    (one node each); ``refresh_nodes`` — finger / long-range routing
+    refresh steps; ``repair_keys`` — replica-repair key buckets.  A
+    ``None`` field is unbounded; all-``None`` delegates the round to the
+    seed's global sweeps (identical accounting and semantics).
+    """
+
+    stabilize_nodes: int | None = 16
+    refresh_nodes: int | None = 16
+    repair_keys: int | None = 128
+
+    def __post_init__(self) -> None:
+        for name in ("stabilize_nodes", "refresh_nodes", "repair_keys"):
+            value = getattr(self, name)
+            require(value is None or value >= 0, f"{name} must be >= 0 or None")
+
+    @property
+    def unbounded(self) -> bool:
+        """Whether every cap is ``None`` (the seed's global-sweep case)."""
+        return (
+            self.stabilize_nodes is None
+            and self.refresh_nodes is None
+            and self.repair_keys is None
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether the round can do no work at all (maintenance disabled)."""
+        return self.stabilize_nodes == 0 and self.refresh_nodes == 0 and self.repair_keys == 0
+
+
+#: Sensible per-round caps for the recovery experiments.
+DEFAULT_BUDGET = MaintenanceBudget()
+
+#: Maintenance disabled — the ablation showing faults never heal.
+ZERO_BUDGET = MaintenanceBudget(stabilize_nodes=0, refresh_nodes=0, repair_keys=0)
+
+#: No caps: one round == the seed's ``stabilize_all`` + ``repair_replication``.
+UNLIMITED_BUDGET = MaintenanceBudget(
+    stabilize_nodes=None, refresh_nodes=None, repair_keys=None
+)
+
+
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """What one maintenance round actually did."""
+
+    stabilized: int = 0
+    refreshed: int = 0
+    keys_repaired: int = 0
+    copies_moved: int = 0
+    #: True when the round ran as an unbounded global sweep (the seed
+    #: path), where per-bucket counts are not individually tracked.
+    full_sweep: bool = False
+
+
+# ----------------------------------------------------------------------
+# The round and its scheduler
+# ----------------------------------------------------------------------
+class MaintenanceRound:
+    """Round-robin budget spender over one overlay.
+
+    Keeps three independent cursors — stabilize position, refresh
+    position, replica-repair bucket — so successive bounded rounds cover
+    the whole overlay fairly.  Cursors are positional and deterministic:
+    the same scenario with the same seed spends its budget on the same
+    nodes every run.
+
+    The overlay is duck-typed; it must provide ``nodes()``,
+    ``stabilize_step(node)``, ``refresh_routing_step(node)``,
+    ``repair_replication_step(budget, after)``, ``stabilize_all()`` and
+    ``repair_replication()``.
+    """
+
+    def __init__(self, overlay: Any) -> None:
+        self.overlay = overlay
+        #: Simulated time of the last round (set by the scheduler before
+        #: each tick; informational — staleness accounting).
+        self.clock = 0.0
+        self._stab_pos = 0
+        self._refresh_pos = 0
+        self._repair_after: tuple[str, int] | None = None
+        #: node uid → clock at its last routing refresh (staleness metric).
+        self._last_refresh: dict[Any, float] = {}
+        self.rounds_run = 0
+
+    # -- helpers -------------------------------------------------------
+    def _take(self, nodes: list[Any], pos: int, count: int | None) -> tuple[list[Any], int]:
+        """Up to ``count`` nodes round-robin from position ``pos``."""
+        if not nodes or count == 0:
+            return [], pos
+        if count is None or count >= len(nodes):
+            return nodes, pos
+        start = pos % len(nodes)
+        picked = [nodes[(start + i) % len(nodes)] for i in range(count)]
+        return picked, start + count
+
+    def max_staleness(self) -> float:
+        """Longest time (vs. :attr:`clock`) any live node has gone without
+        a routing refresh.  Nodes never refreshed since tracking began
+        count from t=0."""
+        ages = [
+            self.clock - self._last_refresh.get(node.uid, 0.0)
+            for node in self.overlay.nodes()
+        ]
+        return max(ages, default=0.0)
+
+    # -- the round -----------------------------------------------------
+    def run(self, budget: MaintenanceBudget = DEFAULT_BUDGET) -> MaintenanceReport:
+        """Spend one round's budget; returns what was done.
+
+        With :data:`UNLIMITED_BUDGET` this is *literally* the seed's
+        global sweeps (``stabilize_all`` + ``repair_replication``), so
+        accounting, churn-guard checks and placement semantics are
+        byte-identical to the pre-budget code path.
+        """
+        self.rounds_run += 1
+        if budget.unbounded:
+            self.overlay.stabilize_all()
+            moved = self.overlay.repair_replication()
+            for node in self.overlay.nodes():
+                self._last_refresh[node.uid] = self.clock
+            n = sum(1 for _ in self.overlay.nodes())
+            return MaintenanceReport(
+                stabilized=n, refreshed=n, copies_moved=moved, full_sweep=True
+            )
+
+        nodes = list(self.overlay.nodes())
+        to_stabilize, self._stab_pos = self._take(
+            nodes, self._stab_pos, budget.stabilize_nodes
+        )
+        for node in to_stabilize:
+            self.overlay.stabilize_step(node)
+        to_refresh, self._refresh_pos = self._take(
+            nodes, self._refresh_pos, budget.refresh_nodes
+        )
+        for node in to_refresh:
+            self.overlay.refresh_routing_step(node)
+            self._last_refresh[node.uid] = self.clock
+
+        progress = self.overlay.repair_replication_step(
+            budget.repair_keys, self._repair_after
+        )
+        self._repair_after = progress.next_after
+        return MaintenanceReport(
+            stabilized=len(to_stabilize),
+            refreshed=len(to_refresh),
+            keys_repaired=progress.keys_repaired,
+            copies_moved=progress.copies_moved,
+        )
+
+
+class MaintenanceScheduler:
+    """Periodic budgeted maintenance on a discovery service.
+
+    Every ``interval`` simulated seconds the scheduler calls
+    ``service.stabilize(budget)`` — the service routes bounded budgets
+    through its :class:`MaintenanceRound` and unbounded ones through the
+    seed's global sweep, and any installed churn-guard wrappers stay in
+    the loop.  Reports are retained for inspection.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        budget: MaintenanceBudget = DEFAULT_BUDGET,
+        interval: float = 30.0,
+    ) -> None:
+        require(interval > 0, "maintenance interval must be positive")
+        self.service = service
+        self.budget = budget
+        self.interval = interval
+        self.reports: list[tuple[float, MaintenanceReport]] = []
+        self._events: list["Event"] = []
+
+    def tick(self, now: float) -> MaintenanceReport:
+        """Run one maintenance round at simulated time ``now``."""
+        round_ = getattr(self.service, "maintenance_round", None)
+        if callable(round_):
+            round_().clock = now
+        report = self.service.stabilize(self.budget)
+        if report is None:  # a service that predates budgeted rounds
+            report = MaintenanceReport(full_sweep=True)
+        self.reports.append((now, report))
+        return report
+
+    def install(self, sim: "Simulator", horizon: float) -> int:
+        """Schedule rounds every :attr:`interval` up to ``horizon``.
+
+        The first round fires one full interval after the current clock
+        (faults striking at t=0 are not healed for free).  Returns the
+        number of rounds scheduled.
+        """
+        self._events = []
+        t = sim.now + self.interval
+        while t <= horizon:
+            event = sim.schedule_at(
+                t, (lambda at=t: self.tick(at)), name="maintenance"
+            )
+            self._events.append(event)
+            t += self.interval
+        return len(self._events)
+
+    def uninstall(self, sim: "Simulator") -> None:
+        """Cancel any rounds still pending on ``sim``."""
+        for event in self._events:
+            sim.cancel(event)
+        self._events = []

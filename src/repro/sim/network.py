@@ -24,7 +24,21 @@ from dataclasses import dataclass, field
 from repro.sim.faults import FaultInjector
 from repro.utils.validation import require_positive
 
-__all__ = ["MessageStats", "SimulatedNetwork"]
+__all__ = ["MessageStats", "SimulatedNetwork", "publish_stats"]
+
+
+def publish_stats(stats: "MessageStats", registry, prefix: str = "network") -> None:
+    """Accumulate ``stats`` into a :class:`~repro.sim.metrics.MetricsRegistry`.
+
+    Each :class:`MessageStats` field becomes the counter ``<prefix>.<field>``.
+    The requester-side fault accounting (retries, timeouts, backoff waits)
+    otherwise stays trapped in the network object; publishing it lets the
+    experiment report tables show what the lookup policy actually paid.
+    Pass a ``delta_since`` result to publish one measurement window.
+    """
+    for field_name, value in stats.as_dict().items():
+        if value:
+            registry.incr(f"{prefix}.{field_name}", value)
 
 
 @dataclass
@@ -41,6 +55,21 @@ class MessageStats:
     walk_truncations: int = 0
     timeout_seconds: float = 0.0
     backoff_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat field → value mapping (counter publication and CSV rows)."""
+        return {
+            "messages": self.messages,
+            "routing_hops": self.routing_hops,
+            "directory_checks": self.directory_checks,
+            "maintenance_messages": self.maintenance_messages,
+            "dropped": self.dropped,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "walk_truncations": self.walk_truncations,
+            "timeout_seconds": self.timeout_seconds,
+            "backoff_seconds": self.backoff_seconds,
+        }
 
     def snapshot(self) -> "MessageStats":
         """An independent copy of the current totals."""
@@ -145,6 +174,11 @@ class SimulatedNetwork:
         """Record ``n`` maintenance messages (stabilize, leaf-set repair…)."""
         self.stats.maintenance_messages += n
         self.stats.messages += n
+
+    def publish_stats(self, registry, prefix: str = "network") -> None:
+        """Publish the running totals into a metrics registry (see
+        :func:`publish_stats`)."""
+        publish_stats(self.stats, registry, prefix)
 
     def latency_of(self, hops: int) -> float:
         """Simulated completion latency of a ``hops``-hop route."""

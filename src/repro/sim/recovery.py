@@ -1,0 +1,236 @@
+"""Recovery-time metrics: how fast an overlay heals after injected chaos.
+
+The availability experiment answers *whether* queries survive a static
+fault level; this module answers the time-domain question the chaos
+timelines pose — after a partition heals or a crash burst strikes, how
+long until the system is whole again, and does it get there at all under
+a bounded maintenance budget?
+
+* :func:`replica_deficit` — copies missing from current replica sets,
+  measured from surviving evidence (a key whose every copy died is
+  invisible; with replication ≥ 2 a crash leaves survivors whose
+  under-replication is countable).
+* :class:`RecoverySample` — one timeline point: lookup availability,
+  replica deficit, structural cleanliness, the requester-side fault
+  accounting spent since the previous sample, and routing staleness.
+* :class:`RecoveryTracker` — periodic sampler + fault log, reduced to
+  the SLO metrics: per-fault time-to-reconverge, overall reconvergence,
+  and replica-deficit area (deficit integrated over time — the "damage ×
+  exposure" of a fault).
+
+Availability is probed through an injected callable so this module stays
+independent of the experiment harness (and of what "a query" means).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.invariants import InvariantViolation, check_overlay, overlay_of
+from repro.utils.validation import require
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.sim.engine import Simulator
+    from repro.sim.maintenance import MaintenanceRound
+
+__all__ = ["replica_deficit", "RecoverySample", "RecoveryTracker"]
+
+
+def replica_deficit(overlay: Any) -> int:
+    """Copies missing from current replica sets, by surviving evidence.
+
+    For every stored ``(namespace, key_id)`` bucket the target content is
+    the max-merge of the surviving holders' copy counts (the census
+    convention); each member of the key's *current* replica set should
+    hold exactly that.  The deficit sums the missing copies across all
+    replica members, so it is zero exactly when every surviving key is
+    fully replicated in the right place — the quantity budgeted
+    anti-entropy repair drives back to zero and ``budget=0`` leaves
+    stuck.  Keys that lost every copy contribute nothing (nothing
+    survives to witness them); stray copies on wrong holders also count
+    nothing here — they are mess, not *missing* data.
+    """
+    holders: dict[tuple[str, int], dict[int, dict[Any, int]]] = {}
+    nodes = list(overlay.nodes())
+    for node in nodes:
+        for namespace, key_id, item in node.stored_entries():
+            per_key = holders.setdefault((namespace, key_id), {})
+            per_item = per_key.setdefault(id(node), {})
+            per_item[item] = per_item.get(item, 0) + 1
+
+    if hasattr(overlay, "delinearize"):
+        def replicas_for(key_id: int):
+            return overlay.replica_set(overlay.delinearize(key_id))
+    else:
+        replicas_for = overlay.replica_set
+
+    deficit = 0
+    for (namespace, key_id), per_holder in holders.items():
+        merged: dict[Any, int] = {}
+        for pieces in per_holder.values():
+            for item, count in pieces.items():
+                if count > merged.get(item, 0):
+                    merged[item] = count
+        for member in replicas_for(key_id):
+            held = per_holder.get(id(member), {})
+            for item, target in merged.items():
+                deficit += max(0, target - held.get(item, 0))
+    return deficit
+
+
+@dataclass(frozen=True)
+class RecoverySample:
+    """One point on the recovery timeline."""
+
+    time: float
+    #: Fraction of probe queries answered exactly right under the faults
+    #: active at sample time.
+    availability: float
+    #: Copies missing from current replica sets (see :func:`replica_deficit`).
+    replica_deficit: int
+    #: Whether the overlay passed its structural invariants.
+    structurally_clean: bool
+    #: Requester-side retransmissions spent since the previous sample.
+    retries: int = 0
+    #: Requester-observed timeouts since the previous sample.
+    timeouts: int = 0
+    #: Longest time any node has gone without a routing refresh.
+    max_staleness: float = 0.0
+
+    def recovered(self, availability_floor: float = 1.0) -> bool:
+        """Whether this sample shows a fully healed system."""
+        return (
+            self.structurally_clean
+            and self.replica_deficit == 0
+            and self.availability >= availability_floor
+        )
+
+
+class RecoveryTracker:
+    """Samples a service's health on a fixed cadence and reduces the
+    timeline to recovery SLO metrics.
+
+    ``availability_probe`` runs the probe workload under whatever faults
+    are live *now* and returns the exactly-answered fraction; the tracker
+    adds replica deficit, structural checks, staleness (when given a
+    :class:`~repro.sim.maintenance.MaintenanceRound`) and the
+    requester-side retry/timeout spend between samples.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        availability_probe: Callable[[], float],
+        *,
+        maintenance_round: "MaintenanceRound | None" = None,
+        availability_floor: float = 1.0,
+    ) -> None:
+        require(0.0 < availability_floor <= 1.0, "availability_floor must be in (0, 1]")
+        self.service = service
+        self.overlay = overlay_of(service)
+        self.availability_probe = availability_probe
+        self.maintenance_round = maintenance_round
+        self.availability_floor = availability_floor
+        self.samples: list[RecoverySample] = []
+        self.fault_times: list[float] = []
+        self._last_stats = self.overlay.network.stats.snapshot()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def note_fault(self, at: float) -> None:
+        """Log a fault onset; each onset gets its own recovery clock."""
+        self.fault_times.append(at)
+        self.fault_times.sort()
+
+    def sample(self, now: float) -> RecoverySample:
+        """Take one timeline sample at simulated time ``now``."""
+        try:
+            check_overlay(self.overlay)
+            clean = True
+        except InvariantViolation:
+            clean = False
+        stats = self.overlay.network.stats
+        before = self._last_stats
+        availability = self.availability_probe()
+        after = stats.snapshot()
+        staleness = (
+            self.maintenance_round.max_staleness()
+            if self.maintenance_round is not None
+            else 0.0
+        )
+        point = RecoverySample(
+            time=now,
+            availability=availability,
+            replica_deficit=replica_deficit(self.overlay),
+            structurally_clean=clean,
+            retries=after.retries - before.retries,
+            timeouts=after.timeouts - before.timeouts,
+            max_staleness=staleness,
+        )
+        self._last_stats = after
+        self.samples.append(point)
+        return point
+
+    def install(self, sim: "Simulator", horizon: float, interval: float) -> int:
+        """Schedule sampling every ``interval`` up to ``horizon`` inclusive.
+
+        Samples are scheduled from the current clock onward, so the t=0
+        baseline sample is included.  Returns the number scheduled.
+        """
+        require(interval > 0, "sample interval must be positive")
+        scheduled = 0
+        t = sim.now
+        while t <= horizon + 1e-9:
+            sim.schedule_at(t, (lambda at=t: self.sample(at)), name="recovery-sample")
+            scheduled += 1
+            t += interval
+        return scheduled
+
+    # ------------------------------------------------------------------
+    # SLO reductions
+    # ------------------------------------------------------------------
+    def recovery_times(self) -> list[float]:
+        """Per fault onset: time until the first *subsequent* recovered
+        sample, or ``inf`` when the timeline never heals after it."""
+        times: list[float] = []
+        for onset in self.fault_times:
+            healed = math.inf
+            for point in self.samples:
+                if point.time <= onset:
+                    continue
+                if point.recovered(self.availability_floor):
+                    healed = point.time - onset
+                    break
+            times.append(healed)
+        return times
+
+    @property
+    def reconverged(self) -> bool:
+        """Whether every logged fault eventually healed (finite TTR) and
+        the final sample is itself healthy."""
+        if not self.samples:
+            return False
+        if not self.samples[-1].recovered(self.availability_floor):
+            return False
+        return all(math.isfinite(t) for t in self.recovery_times())
+
+    def time_to_reconverge(self) -> float:
+        """The worst per-fault recovery time (``inf`` if any never heals)."""
+        times = self.recovery_times()
+        return max(times) if times else 0.0
+
+    def deficit_area(self) -> float:
+        """Replica deficit integrated over the sampled timeline
+        (left-rectangle rule): persistent damage accumulates, transient
+        damage that heals fast contributes little."""
+        area = 0.0
+        for prev, cur in zip(self.samples, self.samples[1:]):
+            area += prev.replica_deficit * (cur.time - prev.time)
+        return area
+
+    def availability_timeline(self) -> list[tuple[float, float]]:
+        """The ``(time, availability)`` curve (plot-ready)."""
+        return [(p.time, p.availability) for p in self.samples]

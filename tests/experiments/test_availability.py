@@ -112,3 +112,36 @@ class TestMeasureCompleteness:
     def test_empty_cases(self):
         bundle = build_services(TINY, register=False)
         assert measure_completeness(bundle.lorm, [], None) == 1.0
+
+
+class TestFaultAccounting:
+    """The lookup policy's spend must surface in metrics, not stay trapped
+    in the network's MessageStats (regression for the faults.* counters)."""
+
+    def _cases(self, bundle, count: int = 12):
+        return [
+            (query, bundle.workload.matching_providers_bruteforce(query))
+            for query in bundle.workload.query_stream(count, 2, label="fa-test")
+        ]
+
+    def test_retries_and_timeouts_nonzero_under_loss(self):
+        bundle = build_services(TINY, register=True)
+        service = bundle.mercury
+        injector = FaultInjector(FaultPlan(loss_rate=0.3, seed=9))
+        measure_completeness(service, self._cases(bundle), injector)
+        assert service.metrics.counter("faults.retries") > 0
+        assert service.metrics.counter("faults.timeouts") > 0
+        assert service.metrics.counter("faults.dropped") > 0
+
+    def test_fault_free_measurement_publishes_nothing(self):
+        bundle = build_services(TINY, register=True)
+        service = bundle.mercury
+        measure_completeness(service, self._cases(bundle, count=5), None)
+        assert service.metrics.counter("faults.retries") == 0
+        assert service.metrics.counter("faults.dropped") == 0
+
+    def test_figure_notes_report_the_spend(self, figure):
+        spend_notes = [n for n in figure.notes if "faults.*" in n]
+        assert spend_notes, figure.notes
+        for name in ("LORM", "Mercury", "SWORD", "MAAN"):
+            assert name in spend_notes[0]

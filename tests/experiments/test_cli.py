@@ -65,6 +65,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["check", "--systems", "Pastry"])
 
+    def test_chaos_command_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.command == "chaos"
+        assert not args.smoke
+        assert args.scale == "smoke"
+
+    def test_chaos_smoke_flag(self):
+        args = build_parser().parse_args(["chaos", "--smoke", "--seed", "3"])
+        assert args.smoke
+        assert args.seed == 3
+
 
 class TestMain:
     def test_list_prints_all_figures(self, capsys):
@@ -139,6 +150,22 @@ class TestMain:
         assert code == 1
         out = capsys.readouterr().out
         assert "DIVERGED" in out or "hop-bound" in out
+
+    def test_chaos_command_exits_zero_and_saves(self, capsys, tmp_path, monkeypatch):
+        import repro.cli as cli
+
+        small = cli._SCALES["smoke"].scaled(
+            infos_per_attribute=25,
+            num_recovery_queries=6,
+            recovery_sample_interval=4.0,
+            maintenance_intervals=(2.0,),
+        )
+        monkeypatch.setitem(cli._SCALES, "smoke", small)
+        code = main(["chaos", "--smoke", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovery SLOs" in out
+        assert (tmp_path / "chaos_slo.txt").exists()
 
     def test_run_with_invariants_flag(self, capsys, tiny_config, monkeypatch):
         import repro.cli as cli

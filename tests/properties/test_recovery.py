@@ -1,0 +1,114 @@
+"""Hypothesis properties of budgeted self-healing maintenance.
+
+The contract the recovery experiment leans on, stated as properties:
+
+* unbounded budget is *complete* — after any crash storm the overlay is
+  structurally clean, every surviving key is fully replicated in place,
+  and the census is conserved (replication >= 2 means single crashes
+  lose nothing);
+* zero budget is *inert* — whatever replica deficit a crash storm left
+  persists through any number of maintenance rounds, so non-recovery is
+  observable rather than assumed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.chord import ChordRing
+from repro.sim.invariants import (
+    check_overlay,
+    check_replica_placement,
+    directory_census,
+)
+from repro.sim.maintenance import (
+    UNLIMITED_BUDGET,
+    ZERO_BUDGET,
+    MaintenanceBudget,
+    MaintenanceRound,
+)
+from repro.sim.recovery import replica_deficit
+
+slow = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def _stormed_ring(keys, crash_seq) -> ChordRing:
+    """A replicated ring loaded with ``keys``, then hit by a crash storm.
+
+    ``crash_seq`` picks victims by index into the shrinking live set; the
+    storm always leaves at least two nodes alive.
+    """
+    ring = ChordRing(6, replication=2)
+    ring.build_full()
+    for key in keys:
+        ring.store("ns", key, f"v{key}")
+    for pick in crash_seq:
+        if ring.num_nodes <= 2:
+            break
+        ring.fail(ring.node_ids[pick % ring.num_nodes])
+    return ring
+
+
+keys_strategy = st.lists(
+    st.integers(0, 63), min_size=1, max_size=12, unique=True
+)
+storm_strategy = st.lists(st.integers(0, 1000), min_size=1, max_size=12)
+
+
+class TestUnboundedBudgetIsComplete:
+    @slow
+    @given(keys=keys_strategy, crash_seq=storm_strategy)
+    def test_one_unlimited_round_always_reconverges(self, keys, crash_seq):
+        ring = _stormed_ring(keys, crash_seq)
+        before = directory_census(ring)
+        report = MaintenanceRound(ring).run(UNLIMITED_BUDGET)
+        assert report.full_sweep
+        check_overlay(ring)
+        check_replica_placement(ring)
+        assert replica_deficit(ring) == 0
+        assert directory_census(ring) == before  # r=2 survives every storm step
+
+    @slow
+    @given(
+        keys=keys_strategy,
+        crash_seq=storm_strategy,
+        repair_keys=st.integers(1, 6),
+        rounds=st.integers(0, 3),
+    )
+    def test_bounded_rounds_never_lose_data(self, keys, crash_seq, repair_keys, rounds):
+        """Partial repair in any dose conserves the census; finishing with
+        an unlimited round lands in the same healed state."""
+        ring = _stormed_ring(keys, crash_seq)
+        before = directory_census(ring)
+        round_ = MaintenanceRound(ring)
+        budget = MaintenanceBudget(
+            stabilize_nodes=4, refresh_nodes=4, repair_keys=repair_keys
+        )
+        for _ in range(rounds):
+            round_.run(budget)
+            assert directory_census(ring) == before
+        round_.run(UNLIMITED_BUDGET)
+        assert replica_deficit(ring) == 0
+        assert directory_census(ring) == before
+
+
+class TestZeroBudgetIsInert:
+    @slow
+    @given(
+        keys=keys_strategy,
+        crash_seq=storm_strategy,
+        rounds=st.integers(1, 8),
+    )
+    def test_deficit_persists_through_zero_budget_rounds(self, keys, crash_seq, rounds):
+        ring = _stormed_ring(keys, crash_seq)
+        deficit = replica_deficit(ring)
+        assume(deficit > 0)  # the storm must actually have wounded a replica set
+        round_ = MaintenanceRound(ring)
+        for _ in range(rounds):
+            report = round_.run(ZERO_BUDGET)
+            assert report.stabilized == report.refreshed == 0
+            assert report.copies_moved == 0
+        assert replica_deficit(ring) == deficit

@@ -44,6 +44,25 @@ class TestScheduling:
         with pytest.raises(ValueError):
             sim.schedule_at(1.0, lambda: None)
 
+    def test_schedule_at_past_error_names_both_times(self):
+        sim = Simulator()
+        sim.run_until(4.0)
+        with pytest.raises(ValueError, match=r"t=1.5.*now=4.0"):
+            sim.schedule_at(1.5, lambda: None)
+
+    def test_schedule_at_nan_rejected(self):
+        # A NaN timestamp would silently corrupt the heap ordering.
+        with pytest.raises(ValueError):
+            Simulator().schedule_at(float("nan"), lambda: None)
+
+    def test_schedule_at_current_instant_fires_after_earlier_peers(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(0.0, lambda: fired.append("first"))
+        sim.schedule_at(0.0, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second"]
+
     def test_actions_can_schedule_more_events(self):
         sim = Simulator()
         fired = []
@@ -113,3 +132,44 @@ class TestCancellation:
         event = sim.schedule(1.0, lambda: None)
         sim.cancel(event)
         assert sim.run_until(5.0) == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        # A stale cancel must not tombstone anything still pending.
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 1
+        sim.cancel(event)  # already fired — no-op
+        sim.schedule(1.0, lambda: None)
+        assert sim.run() == 1
+        assert sim.events_processed == 2
+
+    def test_double_cancel_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.cancel(event)
+        sim.cancel(event)
+        sim.schedule(2.0, lambda: None)
+        assert sim.run() == 1
+        assert sim.events_processed == 1
+
+    def test_cancel_preserves_same_timestamp_ordering(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        middle = sim.schedule(1.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("c"))
+        sim.cancel(middle)
+        sim.run()
+        assert fired == ["a", "c"]
+
+    def test_no_tombstone_accumulation_across_long_runs(self):
+        sim = Simulator()
+        for i in range(50):
+            event = sim.schedule(float(i), lambda: None)
+            if i % 2:
+                sim.cancel(event)
+        sim.run()
+        assert sim.events_processed == 25
+        assert sim._cancelled == set()
+        assert sim._pending == set()

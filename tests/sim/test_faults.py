@@ -110,6 +110,44 @@ class TestFaultInjector:
         assert not injector.active
         assert injector.delivered(10, 100)
 
+    def test_disarm_partition_heals_one_while_others_stay(self):
+        first = ArcPartition(0, 31, space=256)
+        second = ArcPartition(128, 159, space=256)
+        injector = FaultInjector(FaultPlan())
+        injector.arm_partition(first)
+        injector.arm_partition(second)
+        assert not injector.delivered(10, 100)
+        assert not injector.delivered(140, 100)
+        assert injector.disarm_partition(first)
+        assert injector.delivered(10, 100)  # first split healed...
+        assert not injector.delivered(140, 100)  # ...second still armed
+        assert injector.partitions == (second,)
+        assert injector.active
+
+    def test_disarm_unknown_partition_returns_false(self):
+        injector = FaultInjector(FaultPlan())
+        assert not injector.disarm_partition(ArcPartition(0, 1, space=8))
+
+    def test_set_loss_rate_overrides_and_resets(self):
+        injector = FaultInjector(FaultPlan(loss_rate=0.0, seed=3))
+        assert not injector.active
+        injector.set_loss_rate(0.9)
+        assert injector.active
+        assert injector.loss_rate == 0.9
+        delivered = sum(injector.delivered(0, 1) for _ in range(200))
+        assert delivered < 60  # heavy loss actually applies
+        injector.reset_loss_rate()
+        assert injector.loss_rate == 0.0
+        assert not injector.active
+        assert all(injector.delivered(0, 1) for _ in range(50))
+
+    def test_set_loss_rate_validated(self):
+        injector = FaultInjector(FaultPlan())
+        with pytest.raises(ValueError):
+            injector.set_loss_rate(1.0)
+        with pytest.raises(ValueError):
+            injector.set_loss_rate(-0.1)
+
     def test_external_rng_accepted(self):
         injector = FaultInjector(
             FaultPlan(loss_rate=0.5), rng=np.random.default_rng(5)
