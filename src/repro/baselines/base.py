@@ -103,9 +103,9 @@ class DiscoveryService(ABC):
             start = self.random_node()
         sub_results = tuple(self.query(q, start) for q in mq.sub_queries())
         providers = join_on_provider([r.matches for r in sub_results])
-        self.metrics.record("multi_query.total_hops", sum(r.hops for r in sub_results))
-        self.metrics.record(
-            "multi_query.total_visited", sum(r.visited_nodes for r in sub_results)
+        self.metrics.record_pair(
+            "multi_query.total_hops", sum(r.hops for r in sub_results),
+            "multi_query.total_visited", sum(r.visited_nodes for r in sub_results),
         )
         result = MultiQueryResult(providers=providers, sub_results=sub_results)
         if not result.complete:
@@ -341,8 +341,7 @@ class ChordBackedService(DiscoveryService):
 
     def _failed_result(self, lookup: Any) -> QueryResult:
         """A lookup that never reached an owner: honest empty partial."""
-        self.metrics.record("query.hops", lookup.hops)
-        self.metrics.record("query.visited", 0)
+        self.metrics.record_pair("query.hops", lookup.hops, "query.visited", 0)
         return QueryResult(
             matches=(), hops=lookup.hops, visited_nodes=0,
             complete=False, retries=lookup.retries, timed_out=lookup.timed_out,

@@ -139,5 +139,4 @@ class MaanService(ChordBackedService):
         )
 
     def _record(self, hops: int, visited: int) -> None:
-        self.metrics.record("query.hops", hops)
-        self.metrics.record("query.visited", visited)
+        self.metrics.record_pair("query.hops", hops, "query.visited", visited)

@@ -110,8 +110,7 @@ class MercuryService(ChordBackedService):
         )
 
     def _record(self, hops: int, visited: int) -> None:
-        self.metrics.record("query.hops", hops)
-        self.metrics.record("query.visited", visited)
+        self.metrics.record_pair("query.hops", hops, "query.visited", visited)
 
     # ------------------------------------------------------------------
     # Structure metrics

@@ -66,8 +66,7 @@ class SwordService(ChordBackedService):
             if info.attribute == q.attribute and constraint.matches(info.value)
         )
         self.ring.network.count_directory_check(1)
-        self.metrics.record("query.hops", lookup.hops)
-        self.metrics.record("query.visited", 1)
+        self.metrics.record_pair("query.hops", lookup.hops, "query.visited", 1)
         return QueryResult(
             matches=matches, hops=lookup.hops, visited_nodes=1,
             retries=lookup.retries,

@@ -1,0 +1,41 @@
+"""Wall-clock benchmark subsystem (``repro bench``).
+
+The paper's figures measure *logical* cost — hops, visited nodes,
+directory sizes — but the ROADMAP's north star ("as fast as the hardware
+allows") needs *wall-clock* footing too.  This package times the
+simulator's real hot paths and emits a schema-versioned
+``BENCH_<timestamp>.json`` that the CI perf gate diffs against a
+committed baseline:
+
+* :mod:`repro.bench.harness` — deterministic op timing (p50/p95/mean ns,
+  ops/sec), RSS, git sha and config fingerprints;
+* :mod:`repro.bench.ops` — the op inventory: overlay micro-ops
+  (Chord/Cycloid lookup, range walks, stabilization), per-system
+  registration and multi-attribute-query macro-ops, and end-to-end
+  figure runs;
+* :mod:`repro.bench.report` — the ``BENCH_*.json`` schema and IO;
+* :mod:`repro.bench.compare` — two-report diffing with a regression
+  threshold and a machine-speed calibration normaliser (non-zero exit
+  past the threshold; the CI gate).
+
+Ops are seeded and return a result checksum, so two runs with the same
+seed produce identical op inventories and identical non-timing fields —
+only the nanosecond samples differ.
+"""
+
+from repro.bench.compare import CompareResult, compare_reports
+from repro.bench.harness import BenchOp, OpResult, time_op
+from repro.bench.ops import build_ops
+from repro.bench.report import SCHEMA_VERSION, BenchReport, run_bench
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchOp",
+    "BenchReport",
+    "CompareResult",
+    "OpResult",
+    "build_ops",
+    "compare_reports",
+    "run_bench",
+    "time_op",
+]

@@ -1,0 +1,161 @@
+"""Two-report regression gating (``repro bench compare``).
+
+Raw nanoseconds are not comparable across machines, so each report
+carries a ``calibration.spin`` op — a pure-Python busy loop whose cost
+tracks single-core interpreter speed.  The gate compares *normalised*
+ratios::
+
+    regression(op) = (cur.min / base.min) / (cur.cal_min / base.cal_min)
+
+i.e. "how much slower did this op get, beyond how much slower this whole
+machine is".  Gating uses each op's *minimum* per-iteration time — the
+least-noise estimator, since scheduler interference only ever adds time
+— so a 25% CI threshold is meaningful even with few repeats.  An op
+regresses when the ratio exceeds ``1 + threshold``; the
+CLI exits non-zero if any op regresses.  Checksum mismatches and
+inventory drift are reported as warnings (they signal a behaviour or
+inventory change, which the determinism tests own) but do not gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.report import BenchReport
+
+__all__ = ["CompareResult", "OpDelta", "compare_reports"]
+
+_CALIBRATION_OP = "calibration.spin"
+
+
+@dataclass
+class OpDelta:
+    """One op's baseline-vs-current comparison."""
+
+    name: str
+    kind: str
+    base_ns: float
+    cur_ns: float
+    #: cur/base min-time ratio after machine-speed normalisation (1.0 =
+    #: flat, 0.5 = twice as fast, 2.0 = twice as slow).
+    ratio: float
+    regressed: bool
+    checksum_match: bool
+
+
+@dataclass
+class CompareResult:
+    """The full diff; ``ok`` drives the CLI exit code."""
+
+    threshold: float
+    #: cal_cur/cal_base — the machine-speed factor divided out of every ratio.
+    machine_factor: float
+    deltas: list[OpDelta] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[OpDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"{'op':<28} {'base min':>12} {'cur min':>12} "
+            f"{'norm ratio':>10}  verdict",
+        ]
+        for d in self.deltas:
+            if d.regressed:
+                verdict = f"REGRESSED (> {1 + self.threshold:.2f}x)"
+            elif d.ratio < 1.0:
+                verdict = f"improved ({1 / d.ratio:.2f}x faster)"
+            else:
+                verdict = "ok"
+            lines.append(
+                f"{d.name:<28} {d.base_ns:>10.0f}ns {d.cur_ns:>10.0f}ns "
+                f"{d.ratio:>10.3f}  {verdict}"
+            )
+        lines.append(
+            f"machine factor (calibration cur/base): {self.machine_factor:.3f}"
+        )
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
+        lines.append(
+            "PASS: no op regressed beyond threshold"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} op(s) regressed beyond "
+            f"{self.threshold:.0%}"
+        )
+        return "\n".join(lines)
+
+
+def compare_reports(
+    base: BenchReport, current: BenchReport, *, threshold: float = 0.25
+) -> CompareResult:
+    """Diff ``current`` against ``base`` with a relative ``threshold``.
+
+    Ops are matched by name; the calibration op sets the machine-speed
+    factor and is itself exempt from gating (it *is* the normaliser).
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    warnings: list[str] = []
+    base_ops = {op.name: op for op in base.ops}
+    cur_ops = {op.name: op for op in current.ops}
+
+    base_cal = base_ops.get(_CALIBRATION_OP)
+    cur_cal = cur_ops.get(_CALIBRATION_OP)
+    if base_cal is None or cur_cal is None or base_cal.min_ns <= 0:
+        warnings.append(
+            "calibration op missing from a report; comparing raw timings"
+        )
+        machine_factor = 1.0
+    else:
+        machine_factor = cur_cal.min_ns / base_cal.min_ns
+
+    only_base = sorted(set(base_ops) - set(cur_ops))
+    only_cur = sorted(set(cur_ops) - set(base_ops))
+    if only_base:
+        warnings.append(f"ops only in baseline: {', '.join(only_base)}")
+    if only_cur:
+        warnings.append(f"ops only in current: {', '.join(only_cur)}")
+    if base.scale != current.scale or base.profile != current.profile:
+        warnings.append(
+            f"comparing different runs: baseline scale={base.scale} "
+            f"profile={base.profile}, current scale={current.scale} "
+            f"profile={current.profile}"
+        )
+
+    deltas: list[OpDelta] = []
+    for name in (n for n in base_ops if n in cur_ops):
+        base_op, cur_op = base_ops[name], cur_ops[name]
+        checksum_match = base_op.checksum == cur_op.checksum
+        if not checksum_match:
+            warnings.append(
+                f"checksum mismatch on {name}: baseline {base_op.checksum} "
+                f"!= current {cur_op.checksum} (behaviour changed)"
+            )
+        if base_op.min_ns <= 0:
+            continue
+        ratio = (cur_op.min_ns / base_op.min_ns) / machine_factor
+        deltas.append(
+            OpDelta(
+                name=name,
+                kind=cur_op.kind,
+                base_ns=base_op.min_ns,
+                cur_ns=cur_op.min_ns,
+                ratio=ratio,
+                regressed=(
+                    name != _CALIBRATION_OP and ratio > 1.0 + threshold
+                ),
+                checksum_match=checksum_match,
+            )
+        )
+    return CompareResult(
+        threshold=threshold,
+        machine_factor=machine_factor,
+        deltas=deltas,
+        warnings=warnings,
+    )

@@ -1,0 +1,202 @@
+"""Deterministic wall-clock timing for benchmark ops.
+
+A :class:`BenchOp` is a named, seeded closure: ``run(iterations)``
+executes the op's inner loop and returns an integer *checksum* of the
+computed results.  :func:`time_op` runs it ``repeats`` times under
+``time.perf_counter_ns`` and reduces the per-iteration nanosecond samples
+to the summary the bench report stores.
+
+The checksum is the determinism contract: it digests what the op
+*computed* (owners reached, hops paid, nodes visited), so two runs with
+the same seed — or a cached and an uncached overlay — must agree on every
+checksum even though their timings differ.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "BenchOp",
+    "OpResult",
+    "git_sha",
+    "host_fingerprint",
+    "max_rss_kb",
+    "time_op",
+]
+
+
+@dataclass
+class BenchOp:
+    """One benchmarkable operation.
+
+    ``run(iterations)`` must be deterministic for a fixed seed and must
+    not leak state that changes *other* ops' results between repeats; it
+    returns a checksum of what it computed.
+    """
+
+    name: str
+    #: "micro" (single primitive), "macro" (per-system operation) or
+    #: "figure" (end-to-end figure run).
+    kind: str
+    #: Inner-loop count per timed repeat (fixed per scale: part of the
+    #: deterministic op inventory).
+    iterations: int
+    run: Callable[[int], int]
+    #: Timed repeats; figure ops override this down to 1.
+    repeats: int = 5
+    #: Whether to run one untimed warmup repeat first.  End-to-end figure
+    #: ops skip it — their metric is the cold end-to-end run, and a warmup
+    #: would double their (dominant) cost.
+    warmup: bool = True
+
+
+@dataclass
+class OpResult:
+    """Timing summary of one op (all times are per-iteration nanoseconds)."""
+
+    name: str
+    kind: str
+    iterations: int
+    repeats: int
+    checksum: int
+    p50_ns: float
+    p95_ns: float
+    mean_ns: float
+    min_ns: float
+    ops_per_sec: float
+    samples_ns: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON form; timing lives under ``timing`` so consumers (and the
+        determinism tests) can strip it wholesale."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "iterations": self.iterations,
+            "repeats": self.repeats,
+            "checksum": self.checksum,
+            "timing": {
+                "p50_ns": self.p50_ns,
+                "p95_ns": self.p95_ns,
+                "mean_ns": self.mean_ns,
+                "min_ns": self.min_ns,
+                "ops_per_sec": self.ops_per_sec,
+                "samples_ns": self.samples_ns,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OpResult":
+        timing = data["timing"]
+        return cls(
+            name=data["name"],
+            kind=data["kind"],
+            iterations=data["iterations"],
+            repeats=data["repeats"],
+            checksum=data["checksum"],
+            p50_ns=timing["p50_ns"],
+            p95_ns=timing["p95_ns"],
+            mean_ns=timing["mean_ns"],
+            min_ns=timing["min_ns"],
+            ops_per_sec=timing["ops_per_sec"],
+            samples_ns=list(timing.get("samples_ns", [])),
+        )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy default) without numpy."""
+    if not sorted_values:
+        return float("nan")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = (len(sorted_values) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def time_op(op: BenchOp) -> OpResult:
+    """Time ``op``: one untimed warmup repeat, then ``op.repeats`` timed.
+
+    Checksums of every repeat (warmup included) must agree — a mismatch
+    means the op mutates state it depends on, which would silently skew
+    both the timing and the determinism contract, so it raises.
+    """
+    checksum: int | None = op.run(op.iterations) if op.warmup else None
+    samples: list[float] = []
+    for _ in range(op.repeats):
+        started = time.perf_counter_ns()
+        repeat_checksum = op.run(op.iterations)
+        elapsed = time.perf_counter_ns() - started
+        if checksum is None:
+            checksum = repeat_checksum
+        elif repeat_checksum != checksum:
+            raise RuntimeError(
+                f"bench op {op.name!r} is not repeatable: checksum "
+                f"{repeat_checksum} != {checksum} — it mutates state its "
+                "own results depend on"
+            )
+        samples.append(elapsed / op.iterations)
+    ordered = sorted(samples)
+    mean_ns = sum(samples) / len(samples)
+    return OpResult(
+        name=op.name,
+        kind=op.kind,
+        iterations=op.iterations,
+        repeats=op.repeats,
+        checksum=checksum,
+        p50_ns=_percentile(ordered, 0.50),
+        p95_ns=_percentile(ordered, 0.95),
+        mean_ns=mean_ns,
+        min_ns=ordered[0],
+        ops_per_sec=1e9 / mean_ns if mean_ns > 0 else float("inf"),
+        samples_ns=samples,
+    )
+
+
+def max_rss_kb() -> int | None:
+    """Peak RSS of this process in KiB (None where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes.
+    return rss // 1024 if platform.system() == "Darwin" else rss
+
+
+def git_sha() -> str:
+    """The repository HEAD sha, or a CI/environment fallback."""
+    repo_root = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return os.environ.get("GITHUB_SHA", "unknown")
+
+
+def host_fingerprint() -> dict:
+    """Machine/interpreter identification stored alongside the timings."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }

@@ -1,0 +1,335 @@
+"""The deterministic benchmark-op inventory.
+
+:func:`build_ops` materialises the benchmarkable state for one
+:class:`~repro.experiments.config.ExperimentConfig` and returns the op
+list the ``repro bench`` CLI times:
+
+* ``calibration.spin`` — a pure-Python busy loop used by the compare
+  step to normalise away machine-speed differences between the machine
+  that produced a committed baseline and the CI runner;
+* overlay micro-ops — Chord/Cycloid oracle resolution, link-routed
+  lookups, range walks and full stabilization sweeps on standalone
+  overlays at the configured scale;
+* metrics micro-ops — single vs batched sample recording;
+* per-system macro-ops — routed registration and 3-attribute range
+  multi-queries for LORM, Mercury, SWORD and MAAN over a fully loaded
+  service bundle;
+* ``figure.*`` — end-to-end figure runs through the figure registry.
+
+Every op's inputs are pre-sampled from :class:`SeedFactory` streams
+keyed on ``config.seed``, and every op folds what it computed (owners,
+hops, walk lengths, joined providers) into an integer checksum, so the
+op inventory and all non-timing report fields are a pure function of
+``(config, profile)``.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.bench.harness import BenchOp
+from repro.experiments.common import build_services
+from repro.experiments.config import ExperimentConfig
+from repro.overlay.chord import ChordRing
+from repro.overlay.cycloid import CycloidId, CycloidOverlay
+from repro.sim.metrics import MetricsRegistry
+from repro.utils.seeding import SeedFactory
+from repro.workloads.generator import QueryKind
+
+__all__ = ["PROFILES", "build_ops"]
+
+#: Op groups selectable via ``repro bench --profile``.
+PROFILES = ("micro", "macro", "figures", "all")
+
+#: Figures timed end-to-end (one sweep figure per overlay family keeps a
+#: full ``--smoke`` run interactive; the heavier panels are covered by
+#: ``repro run``).
+_FIGURE_IDS = ("fig4a", "fig5a")
+
+#: Fixed rng seed used to re-seed a service's query stream at the top of
+#: every macro-op repeat, making hop counts repeat-stable (services
+#: otherwise draw entry nodes from an advancing stream).
+_MACRO_RNG_SEED = 0xBE7C4
+
+
+def _mask(value: int) -> int:
+    """Keep checksums in signed-64-bit range for JSON friendliness."""
+    return value & 0x7FFFFFFFFFFFFFFF
+
+
+def _calibration_op() -> BenchOp:
+    def run(iterations: int) -> int:
+        acc = 0
+        for _ in range(iterations):
+            x = 1
+            for _ in range(400):
+                x = (x * 1103515245 + 12345) % 2147483648
+            acc += x
+        return _mask(acc)
+
+    return BenchOp(name="calibration.spin", kind="micro", iterations=200, run=run)
+
+
+# ----------------------------------------------------------------------
+# Overlay micro-ops
+# ----------------------------------------------------------------------
+def _build_chord(config: ExperimentConfig, seeds: SeedFactory) -> ChordRing:
+    """A stabilized ring at the configured bits/population."""
+    ring = ChordRing(config.chord_bits)
+    size = 1 << config.chord_bits
+    if config.population >= size:
+        ring.build_full()
+    else:
+        rng = seeds.numpy("chord-ids")
+        ids = rng.choice(size, size=config.population, replace=False)
+        ring.build(int(i) for i in ids)
+    return ring
+
+
+def _chord_ops(config: ExperimentConfig, seeds: SeedFactory) -> list[BenchOp]:
+    ring = _build_chord(config, seeds)
+    size = 1 << config.chord_bits
+    rng = seeds.numpy("chord-inputs")
+    keys = [int(k) for k in rng.integers(size, size=4096)]
+    node_ids = ring.node_ids
+    starts = [ring.node(node_ids[int(i)]) for i in rng.integers(len(node_ids), size=512)]
+    # Arcs at the workload's expected span (Theorem 4.9's average case).
+    arc_spans = [int(s) for s in rng.integers(1, max(2, size // 4), size=256)]
+
+    def run_successor(iterations: int) -> int:
+        acc = 0
+        nkeys = len(keys)
+        for i in range(iterations):
+            acc += ring.successor_of(keys[i % nkeys]).node_id
+        return _mask(acc)
+
+    def run_lookup(iterations: int) -> int:
+        acc = 0
+        nkeys, nstarts = len(keys), len(starts)
+        for i in range(iterations):
+            result = ring.lookup(starts[i % nstarts], keys[i % nkeys])
+            acc += result.owner.node_id + result.hops
+        return _mask(acc)
+
+    def run_walk(iterations: int) -> int:
+        acc = 0
+        nkeys, nspans = len(keys), len(arc_spans)
+        for i in range(iterations):
+            from_key = keys[i % nkeys]
+            until_key = (from_key + arc_spans[i % nspans]) % size
+            walk = ring.walk_arc(ring.successor_of(from_key), from_key, until_key)
+            nodes = list(walk)
+            acc += len(nodes) + (nodes[-1].node_id if nodes else 0)
+        return _mask(acc)
+
+    def run_stabilize(iterations: int) -> int:
+        for _ in range(iterations):
+            ring.stabilize_all()
+        return _mask(iterations * ring.num_nodes)
+
+    return [
+        BenchOp(name="chord.successor_of", kind="micro", iterations=20000, run=run_successor),
+        BenchOp(name="chord.lookup", kind="micro", iterations=1500, run=run_lookup),
+        BenchOp(name="chord.walk_arc", kind="micro", iterations=300, run=run_walk),
+        BenchOp(name="chord.stabilize_all", kind="micro", iterations=3, repeats=3, run=run_stabilize),
+    ]
+
+
+def _cycloid_ops(config: ExperimentConfig, seeds: SeedFactory) -> list[BenchOp]:
+    overlay = CycloidOverlay(config.dimension)
+    overlay.build_full()
+    d = config.dimension
+    num_clusters = 1 << d
+    rng = seeds.numpy("cycloid-inputs")
+    targets = [
+        CycloidId(int(k), int(a))
+        for k, a in zip(rng.integers(d, size=4096), rng.integers(num_clusters, size=4096))
+    ]
+    node_ids = overlay.node_ids
+    starts = [overlay.node(node_ids[int(i)]) for i in rng.integers(len(node_ids), size=512)]
+    sectors = [
+        (int(a), int(k1), int(k2))
+        for a, k1, k2 in zip(
+            rng.integers(num_clusters, size=512),
+            rng.integers(d, size=512),
+            rng.integers(d, size=512),
+        )
+    ]
+
+    def run_closest(iterations: int) -> int:
+        acc = 0
+        ntargets = len(targets)
+        for i in range(iterations):
+            acc += overlay.linearize(overlay.closest_node(targets[i % ntargets]).cid)
+        return _mask(acc)
+
+    def run_lookup(iterations: int) -> int:
+        acc = 0
+        ntargets, nstarts = len(targets), len(starts)
+        for i in range(iterations):
+            result = overlay.lookup(starts[i % nstarts], targets[i % ntargets])
+            acc += overlay.linearize(result.owner.cid) + result.hops
+        return _mask(acc)
+
+    def run_walk(iterations: int) -> int:
+        acc = 0
+        nsectors = len(sectors)
+        for i in range(iterations):
+            a, k_from, k_to = sectors[i % nsectors]
+            start = overlay.closest_node(CycloidId(k_from, a))
+            walk = overlay.walk_cluster(start, k_from, k_to)
+            acc += len(walk)
+        return _mask(acc)
+
+    def run_stabilize(iterations: int) -> int:
+        for _ in range(iterations):
+            overlay.stabilize_all()
+        return _mask(iterations * overlay.num_nodes)
+
+    return [
+        BenchOp(name="cycloid.closest_node", kind="micro", iterations=20000, run=run_closest),
+        BenchOp(name="cycloid.lookup", kind="micro", iterations=1500, run=run_lookup),
+        BenchOp(name="cycloid.walk_cluster", kind="micro", iterations=1000, run=run_walk),
+        BenchOp(name="cycloid.stabilize_all", kind="micro", iterations=3, repeats=3, run=run_stabilize),
+    ]
+
+
+def _metrics_ops() -> list[BenchOp]:
+    def run_record(iterations: int) -> int:
+        registry = MetricsRegistry()
+        for i in range(iterations):
+            registry.record("bench.single", float(i))
+        return _mask(iterations)
+
+    def run_record_pair(iterations: int) -> int:
+        # The per-query write pattern: hops + visited, every operation.
+        # On trees predating record_pair this falls back to the old
+        # two-call pattern, so cross-tree compares measure the call-site
+        # change itself.
+        registry = MetricsRegistry()
+        if hasattr(registry, "record_pair"):
+            for i in range(iterations):
+                registry.record_pair("bench.a", i, "bench.b", i * 2)
+        else:
+            for i in range(iterations):
+                registry.record("bench.a", i)
+                registry.record("bench.b", i * 2)
+        return _mask(iterations)
+
+    return [
+        BenchOp(name="metrics.record", kind="micro", iterations=20000, run=run_record),
+        BenchOp(name="metrics.record_pair", kind="micro", iterations=10000, run=run_record_pair),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Per-system macro-ops
+# ----------------------------------------------------------------------
+def _macro_ops(config: ExperimentConfig) -> list[BenchOp]:
+    # Queries run over the fully loaded bundle; registrations target a
+    # separate *empty* bundle so routed-store duplicates never leak into
+    # the query ops' match sets.
+    query_bundle = build_services(config)
+    register_bundle = build_services(config, register=False)
+    num_attrs = min(3, config.max_query_attributes)
+    queries = list(
+        query_bundle.workload.query_stream(
+            40, num_attrs, QueryKind.RANGE, label="bench-macro"
+        )
+    )
+    infos = [
+        info
+        for info, _ in zip(register_bundle.workload.resource_infos(), range(200))
+    ]
+
+    ops: list[BenchOp] = []
+    for query_service, register_service in zip(
+        query_bundle.all(), register_bundle.all()
+    ):
+        sys_name = query_service.name.lower()
+
+        def run_register(iterations: int, svc=register_service) -> int:
+            # Re-seed the entry-node stream so hop totals are
+            # repeat-stable (see _MACRO_RNG_SEED).
+            svc._rng = np.random.default_rng(_MACRO_RNG_SEED)
+            hops = 0
+            ninfos = len(infos)
+            for i in range(iterations):
+                hops += svc.register(infos[i % ninfos], routed=True)
+            return _mask(hops)
+
+        def run_query(iterations: int, svc=query_service) -> int:
+            svc._rng = np.random.default_rng(_MACRO_RNG_SEED)
+            acc = 0
+            nqueries = len(queries)
+            for i in range(iterations):
+                result = svc.multi_query(queries[i % nqueries])
+                acc += len(result.providers) + sum(
+                    r.hops for r in result.sub_results
+                )
+            return _mask(acc)
+
+        ops.append(
+            BenchOp(
+                name=f"{sys_name}.register", kind="macro",
+                iterations=100, repeats=5, run=run_register,
+            )
+        )
+        ops.append(
+            BenchOp(
+                name=f"{sys_name}.multi_query", kind="macro",
+                iterations=30, repeats=5, run=run_query,
+            )
+        )
+    return ops
+
+
+# ----------------------------------------------------------------------
+# End-to-end figure ops
+# ----------------------------------------------------------------------
+def _figure_ops(config: ExperimentConfig) -> list[BenchOp]:
+    # Imported here so ``--profile micro`` never pays the experiments
+    # import chain.
+    from repro.experiments.runner import run_figure
+
+    ops = []
+    for figure_id in _FIGURE_IDS:
+
+        def run(iterations: int, figure_id=figure_id) -> int:
+            acc = 0
+            for _ in range(iterations):
+                result = run_figure(figure_id, config)
+                acc += zlib.crc32(result.render().encode("utf-8"))
+            return _mask(acc)
+
+        ops.append(
+            BenchOp(
+                name=f"figure.{figure_id}", kind="figure",
+                iterations=1, repeats=1, warmup=False, run=run,
+            )
+        )
+    return ops
+
+
+def build_ops(config: ExperimentConfig, profile: str = "all") -> list[BenchOp]:
+    """The op inventory for ``config`` (a pure function of its seed).
+
+    ``profile`` selects op groups: ``micro`` (overlay/metrics
+    primitives), ``macro`` (per-system register/multi-query), ``figures``
+    (end-to-end figure runs) or ``all``.
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; choose from {PROFILES}")
+    seeds = SeedFactory(config.seed).fork("bench")
+    ops = [_calibration_op()]
+    if profile in ("micro", "all"):
+        ops.extend(_chord_ops(config, seeds))
+        ops.extend(_cycloid_ops(config, seeds))
+        ops.extend(_metrics_ops())
+    if profile in ("macro", "all"):
+        ops.extend(_macro_ops(config))
+    if profile in ("figures", "all"):
+        ops.extend(_figure_ops(config))
+    return ops

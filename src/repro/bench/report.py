@@ -1,0 +1,178 @@
+"""The ``BENCH_*.json`` schema and the bench orchestrator.
+
+A report is one JSON document: schema version, provenance (git sha, host
+fingerprint, UTC timestamp), the exact config fingerprint the ops were
+built from, peak RSS, and one entry per op.  Everything except the
+``timing`` sub-objects and the provenance block is a pure function of
+``(config, profile)`` — the determinism tests strip those and require
+byte-equality across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.harness import (
+    OpResult,
+    git_sha,
+    host_fingerprint,
+    max_rss_kb,
+    time_op,
+)
+from repro.bench.ops import build_ops
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["SCHEMA_VERSION", "BenchReport", "run_bench"]
+
+#: Bump on any backwards-incompatible change to the JSON layout.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class BenchReport:
+    """One benchmark run: provenance + config fingerprint + op results."""
+
+    scale: str
+    profile: str
+    seed: int
+    config: dict
+    ops: list[OpResult]
+    git_sha: str = "unknown"
+    host: dict = field(default_factory=dict)
+    created_unix: float = 0.0
+    rss_max_kb: int | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    def op(self, name: str) -> OpResult | None:
+        """The result of op ``name`` (None when absent)."""
+        for result in self.ops:
+            if result.name == name:
+                return result
+        return None
+
+    def op_names(self) -> list[str]:
+        return [result.name for result in self.ops]
+
+    def as_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "created_unix": self.created_unix,
+            "git_sha": self.git_sha,
+            "host": self.host,
+            "scale": self.scale,
+            "profile": self.profile,
+            "seed": self.seed,
+            "config": self.config,
+            "rss_max_kb": self.rss_max_kb,
+            "ops": [result.as_dict() for result in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchReport":
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported bench schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        return cls(
+            scale=data["scale"],
+            profile=data["profile"],
+            seed=data["seed"],
+            config=data["config"],
+            ops=[OpResult.from_dict(op) for op in data["ops"]],
+            git_sha=data.get("git_sha", "unknown"),
+            host=data.get("host", {}),
+            created_unix=data.get("created_unix", 0.0),
+            rss_max_kb=data.get("rss_max_kb"),
+            schema_version=version,
+        )
+
+    # ------------------------------------------------------------------
+    # IO
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the report; a directory path gets a ``BENCH_<UTC>.json``
+        name derived from ``created_unix`` (not wall-clock at save time,
+        so re-saving a loaded report is stable)."""
+        path = Path(path)
+        if path.is_dir() or path.suffix != ".json":
+            stamp = time.strftime(
+                "%Y%m%dT%H%M%SZ", time.gmtime(self.created_unix)
+            )
+            path = path / f"BENCH_{stamp}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchReport":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable table of the op results."""
+        lines = [
+            f"bench report  scale={self.scale} profile={self.profile} "
+            f"seed={self.seed} sha={self.git_sha[:12]}",
+            f"{'op':<28} {'kind':<7} {'p50':>12} {'p95':>12} {'ops/sec':>14}",
+        ]
+        for op in self.ops:
+            lines.append(
+                f"{op.name:<28} {op.kind:<7} {_fmt_ns(op.p50_ns):>12} "
+                f"{_fmt_ns(op.p95_ns):>12} {op.ops_per_sec:>14,.0f}"
+            )
+        if self.rss_max_kb is not None:
+            lines.append(f"peak RSS: {self.rss_max_kb / 1024:.1f} MiB")
+        return "\n".join(lines)
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def run_bench(
+    config: ExperimentConfig,
+    *,
+    scale: str,
+    profile: str = "all",
+    repeats: int | None = None,
+    progress=None,
+) -> BenchReport:
+    """Build the op inventory for ``config`` and time every op.
+
+    ``repeats`` overrides every op's repeat count (the smoke CI gate uses
+    the per-op defaults); ``progress`` is an optional ``callable(str)``
+    used by the CLI to narrate long runs.
+    """
+    ops = build_ops(config, profile)
+    results = []
+    for op in ops:
+        if repeats is not None:
+            op = dataclasses.replace(op, repeats=repeats)
+        if progress is not None:
+            progress(f"timing {op.name} ({op.iterations} x {op.repeats})")
+        results.append(time_op(op))
+    return BenchReport(
+        scale=scale,
+        profile=profile,
+        seed=config.seed,
+        config=dataclasses.asdict(config),
+        ops=results,
+        git_sha=git_sha(),
+        host=host_fingerprint(),
+        created_unix=time.time(),
+        rss_max_kb=max_rss_kb(),
+    )

@@ -12,6 +12,8 @@ Examples
     repro availability --scale smoke --loss 0 0.05 --replication 1 2
     repro chaos --smoke --seed 0
     repro check --systems all --seed 0
+    repro bench --smoke --seed 0
+    repro bench compare benchmarks/baseline.json BENCH_20260805T120000Z.json
 """
 
 from __future__ import annotations
@@ -45,9 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one or more figures")
     run_p.add_argument("figures", nargs="+", choices=sorted(FIGURES), metavar="FIGURE")
     _add_common(run_p)
+    _add_parallel(run_p)
 
     all_p = sub.add_parser("all", help="run every figure")
     _add_common(all_p)
+    _add_parallel(all_p)
 
     avail_p = sub.add_parser(
         "availability",
@@ -88,6 +92,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="alias for --scale smoke (deterministic CI entry point)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="wall-clock benchmark: time overlay/system hot paths into a "
+        "schema-versioned BENCH_<timestamp>.json, or compare two reports",
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=False)
+    bench_p.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="smoke",
+        help="paper = Section V parameters; smoke = laptop-fast (default)",
+    )
+    bench_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="alias for --scale smoke (deterministic CI entry point)",
+    )
+    bench_p.add_argument(
+        "--seed", type=int, default=None, help="override the master seed"
+    )
+    bench_p.add_argument(
+        "--profile",
+        choices=["micro", "macro", "figures", "all"],
+        default="all",
+        help="op groups to time (default: all)",
+    )
+    bench_p.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override every op's timed repeat count",
+    )
+    bench_p.add_argument(
+        "--out",
+        default=".",
+        help="output JSON file, or a directory for BENCH_<timestamp>.json "
+        "(default: current directory)",
+    )
+    compare_p = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH_*.json reports; exits non-zero when any op "
+        "regresses beyond the threshold (calibration-normalised p50)",
+    )
+    compare_p.add_argument("baseline", help="baseline BENCH_*.json")
+    compare_p.add_argument("current", help="current BENCH_*.json")
+    compare_p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative p50 regression tolerance (default: 0.25 = +25%%)",
     )
 
     report_p = sub.add_parser(
@@ -148,6 +204,20 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--parallel",
+        nargs="?",
+        type=int,
+        const=0,
+        default=None,
+        metavar="WORKERS",
+        help="fan figures out over worker processes (opt-in; figures no "
+        "longer share service bundles, so total CPU rises while "
+        "wall-clock drops; WORKERS defaults to the CPU count)",
+    )
+
+
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     config = _SCALES[args.scale]
     overrides = {}
@@ -168,6 +238,44 @@ def main(argv: Sequence[str] | None = None) -> int:
         for figure_id in sorted(FIGURES):
             doc = (FIGURES[figure_id].__doc__ or "").strip().splitlines()[0]
             print(f"{figure_id:7s} {doc}")
+        return 0
+
+    if args.command == "bench":
+        if getattr(args, "bench_command", None) == "compare":
+            from repro.bench import compare_reports
+            from repro.bench.report import BenchReport
+
+            result = compare_reports(
+                BenchReport.load(args.baseline),
+                BenchReport.load(args.current),
+                threshold=args.threshold,
+            )
+            print(result.render())
+            return 0 if result.ok else 1
+
+        from repro.bench import run_bench
+
+        if args.smoke:
+            args.scale = "smoke"
+        config = _SCALES[args.scale]
+        if args.seed is not None:
+            config = config.scaled(seed=args.seed)
+        started = time.perf_counter()
+        bench_report = run_bench(
+            config,
+            scale=args.scale,
+            profile=args.profile,
+            repeats=args.repeats,
+            progress=lambda msg: print(msg, file=sys.stderr),
+        )
+        print(bench_report.render())
+        path = bench_report.save(args.out)
+        elapsed = time.perf_counter() - started
+        print(
+            f"[{args.scale} scale, seed {config.seed}] benched in "
+            f"{elapsed:.1f}s -> {path}",
+            file=sys.stderr,
+        )
         return 0
 
     if args.command == "report":
@@ -233,15 +341,34 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(result.render())
         print()
     elif args.command == "all":
-        results = run_all_figures(config, save_dir=args.out)
+        if args.parallel is not None:
+            from repro.experiments.runner import run_figures_parallel
+
+            results = run_figures_parallel(
+                sorted(FIGURES), config, save_dir=args.out,
+                max_workers=args.parallel or None,
+            )
+        else:
+            results = run_all_figures(config, save_dir=args.out)
         for figure_id in sorted(results):
             print(results[figure_id].render())  # type: ignore[attr-defined]
             print()
     else:
-        for figure_id in args.figures:
-            result = run_figure(figure_id, config, save_dir=args.out)
-            print(result.render())
-            print()
+        if args.parallel is not None:
+            from repro.experiments.runner import run_figures_parallel
+
+            results = run_figures_parallel(
+                args.figures, config, save_dir=args.out,
+                max_workers=args.parallel or None,
+            )
+            for figure_id in args.figures:
+                print(results[figure_id].render())  # type: ignore[attr-defined]
+                print()
+        else:
+            for figure_id in args.figures:
+                result = run_figure(figure_id, config, save_dir=args.out)
+                print(result.render())
+                print()
     elapsed = time.perf_counter() - started
     print(f"[{args.scale} scale, seed {config.seed}] done in {elapsed:.1f}s", file=sys.stderr)
     if args.out:

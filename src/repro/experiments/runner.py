@@ -9,7 +9,8 @@ lives in exactly one place.
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 
 from repro.experiments import figure3, figure4, figure5, figure6
@@ -22,7 +23,7 @@ from repro.experiments.recovery import run_recovery
 from repro.experiments.staleness import run_staleness
 from repro.experiments.theorem_table import run_theorem_table
 
-__all__ = ["FIGURES", "run_figure", "run_all_figures"]
+__all__ = ["FIGURES", "run_figure", "run_all_figures", "run_figures_parallel"]
 
 #: Figure ID → runner.  Each runner takes a config and returns a result
 #: object with ``render()`` and ``save(directory)``.
@@ -85,29 +86,84 @@ def run_all_figures(
 
     The directory-size panels (3b/3c/3d) share one loaded service bundle;
     figures 4 and 5 each produce both panels from a single sweep; figure 6
-    produces both panels from one churn sweep.
+    produces both panels from one churn sweep.  Each result is persisted
+    the moment it is computed, so an interrupted multi-hour paper-scale
+    run keeps every finished figure on disk.
     """
     if invariants and not config.validate_invariants:
         config = config.scaled(validate_invariants=True)
     results: dict[str, object] = {}
-    results["fig3a"] = figure3.run_fig3a(config)
+
+    def emit(figure_id: str, result: object) -> None:
+        results[figure_id] = result
+        if save_dir is not None:
+            result.save(save_dir)  # type: ignore[attr-defined]
+
+    emit("fig3a", figure3.run_fig3a(config))
 
     bundle = build_services(config)
-    results["fig3b"] = figure3.run_fig3b(config, bundle)
-    results["fig3c"] = figure3.run_fig3c(config, bundle)
-    results["fig3d"] = figure3.run_fig3d(config, bundle)
+    emit("fig3b", figure3.run_fig3b(config, bundle))
+    emit("fig3c", figure3.run_fig3c(config, bundle))
+    emit("fig3d", figure3.run_fig3d(config, bundle))
 
-    results["fig4a"], results["fig4b"] = figure4.run_fig4(config, bundle)
-    results["fig5a"], results["fig5b"] = figure5.run_fig5(config, bundle)
-    results["theorems"] = run_theorem_table(config, bundle)
-    results["latency"] = run_latency(config, bundle)
-    results["staleness"] = run_staleness(config)
-    results["maintenance"] = run_maintenance(config)
-    results["availability"] = run_availability(config)
-    results["recovery"] = run_recovery(config)
-    results["fig6a"], results["fig6b"] = figure6.run_fig6(config)
+    fig4a, fig4b = figure4.run_fig4(config, bundle)
+    emit("fig4a", fig4a)
+    emit("fig4b", fig4b)
+    fig5a, fig5b = figure5.run_fig5(config, bundle)
+    emit("fig5a", fig5a)
+    emit("fig5b", fig5b)
+    emit("theorems", run_theorem_table(config, bundle))
+    emit("latency", run_latency(config, bundle))
+    emit("staleness", run_staleness(config))
+    emit("maintenance", run_maintenance(config))
+    emit("availability", run_availability(config))
+    emit("recovery", run_recovery(config))
+    fig6a, fig6b = figure6.run_fig6(config)
+    emit("fig6a", fig6a)
+    emit("fig6b", fig6b)
+    return results
 
-    if save_dir is not None:
-        for result in results.values():
-            result.save(save_dir)  # type: ignore[attr-defined]
+
+def _parallel_job(
+    figure_id: str,
+    config: ExperimentConfig,
+    save_dir: str | None,
+    invariants: bool,
+) -> tuple[str, object]:
+    """Worker entry point (module-level so it pickles)."""
+    return figure_id, run_figure(
+        figure_id, config, save_dir=save_dir, invariants=invariants
+    )
+
+
+def run_figures_parallel(
+    figure_ids: Sequence[str],
+    config: ExperimentConfig,
+    *,
+    save_dir: str | Path | None = None,
+    invariants: bool = False,
+    max_workers: int | None = None,
+) -> dict[str, object]:
+    """Fan independent figure runs out over worker processes.
+
+    Opt-in (the CLI's ``--parallel``): each figure rebuilds its own
+    service bundle instead of sharing one, trading total CPU for
+    wall-clock.  Workers save their own results as they finish, so an
+    interrupted run keeps every completed figure.  Results are identical
+    to serial ``run_figure`` calls — each worker derives all randomness
+    from ``config.seed``.
+    """
+    unknown = sorted(set(figure_ids) - set(FIGURES))
+    if unknown:
+        raise KeyError(f"unknown figures {unknown}; available: {sorted(FIGURES)}")
+    save_arg = None if save_dir is None else str(save_dir)
+    results: dict[str, object] = {}
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(_parallel_job, figure_id, config, save_arg, invariants)
+            for figure_id in figure_ids
+        ]
+        for future in as_completed(futures):
+            figure_id, result = future.result()
+            results[figure_id] = result
     return results

@@ -114,6 +114,7 @@ class ChordRing:
         network: SimulatedNetwork | None = None,
         successor_list_len: int = 4,
         replication: int = 1,
+        routing_cache: bool = True,
     ) -> None:
         require(successor_list_len >= 1, "successor_list_len must be >= 1")
         require(replication >= 1, "replication must be >= 1")
@@ -136,6 +137,29 @@ class ChordRing:
         self.lookup_policy: LookupPolicy = DEFAULT_POLICY
         self._nodes: dict[int, ChordNode] = {}
         self._sorted_ids: list[int] = []
+        #: Derived-routing caches (pure memoisation, no observable effect):
+        #: ``_succ_cache`` memoises :meth:`successor_of` and ``_cpf_cache``
+        #: holds each node's deduplicated descending live-finger list for
+        #: :meth:`_closest_preceding`.  Both are valid only for the current
+        #: membership + alive flags, so every churn entry point
+        #: (:meth:`join` / :meth:`leave` / :meth:`fail` / :meth:`build` —
+        #: the methods ChurnGuard wraps at the service level) clears them,
+        #: and :meth:`_refresh_fingers` (stabilize/refresh paths) drops the
+        #: touched node's entry.  ``routing_cache=False`` disables the
+        #: caches entirely (the equivalence tests diff the two modes).
+        self.routing_cache = routing_cache
+        self._succ_cache: dict[int, ChordNode] = {}
+        self._cpf_cache: dict[int, list[ChordNode]] = {}
+
+    def invalidate_routing_caches(self) -> None:
+        """Drop all derived-routing caches (membership or liveness changed).
+
+        Called automatically by every membership-changing entry point;
+        public so external code that mutates routing state in place (e.g.
+        tests staging stale fingers) can restore cache coherence.
+        """
+        self._succ_cache.clear()
+        self._cpf_cache.clear()
 
     # ------------------------------------------------------------------
     # Membership / construction
@@ -169,6 +193,7 @@ class ChordRing:
         require(bool(ids), "cannot build an empty ring")
         self._nodes = {i: ChordNode(i, self.bits) for i in ids}
         self._sorted_ids = ids
+        self.invalidate_routing_caches()
         for node in self._nodes.values():
             self._refresh_routing_state(node)
 
@@ -180,13 +205,23 @@ class ChordRing:
     # Oracle helpers (membership index)
     # ------------------------------------------------------------------
     def successor_of(self, key: int) -> ChordNode:
-        """The live node owning ``key`` (first node at or after it)."""
+        """The live node owning ``key`` (first node at or after it).
+
+        Memoised per membership epoch: finger refreshes resolve the same
+        ``id + 2**i`` targets from many nodes, so the cache turns the
+        stabilization sweep's repeated bisects into dict hits.
+        """
         require(bool(self._sorted_ids), "ring is empty")
         key = self.space.wrap(key)
-        idx = bisect.bisect_left(self._sorted_ids, key)
-        if idx == len(self._sorted_ids):
-            idx = 0
-        return self._nodes[self._sorted_ids[idx]]
+        node = self._succ_cache.get(key)
+        if node is None:
+            idx = bisect.bisect_left(self._sorted_ids, key)
+            if idx == len(self._sorted_ids):
+                idx = 0
+            node = self._nodes[self._sorted_ids[idx]]
+            if self.routing_cache:
+                self._succ_cache[key] = node
+        return node
 
     def predecessor_of(self, key: int) -> ChordNode:
         """The last live node strictly before ``key`` on the ring."""
@@ -216,6 +251,7 @@ class ChordRing:
         node.fingers = [
             self.successor_of(nid + (1 << i)) for i in range(self.bits)
         ]
+        self._cpf_cache.pop(nid, None)
 
     def _refresh_successors(self, node: ChordNode) -> None:
         nid = node.node_id
@@ -282,13 +318,18 @@ class ChordRing:
         hops = 0
         path = [cur.node_id]
         max_hops = 8 * self.bits + self.num_nodes  # termination guard
+        size = self.space.size
         while hops < max_hops:
             if self._owns(cur, key):
                 break
             succ = cur.successor
             if succ is None or succ is cur:
                 break
-            if self.space.in_interval(key, cur.node_id, succ.node_id):
+            # Inlined in_interval(key, cur, succ] — this check runs once
+            # per hop on the hottest path in the simulator.
+            dist_key = (key - cur.node_id) % size
+            dist_succ = (succ.node_id - cur.node_id) % size
+            if dist_succ == 0 or 0 < dist_key <= dist_succ:
                 # Key lies between us and our successor: successor owns it.
                 cur = succ
             else:
@@ -346,7 +387,11 @@ class ChordRing:
         if pred is None or not pred.alive:
             # Degenerate/repairing state: fall back to the oracle check.
             return self.successor_of(key) is node
-        return self.space.in_interval(key, pred.node_id, node.node_id)
+        # Inlined in_interval(key, pred, node] (per-hop stop test).
+        size = self.space.size
+        dist_node = (node.node_id - pred.node_id) % size
+        dist_key = (key - pred.node_id) % size
+        return dist_node == 0 or 0 < dist_key <= dist_node
 
     def _owns_local(self, node: ChordNode, key: int) -> bool:
         """Ownership judged purely from local state — no oracle.
@@ -414,17 +459,36 @@ class ChordRing:
         return out
 
     def _closest_preceding(self, node: ChordNode, key: int) -> ChordNode:
-        """Best live next hop: highest finger in ``(node, key)``."""
-        for finger in reversed(node.fingers):
-            if (
-                finger is not None
-                and finger.alive
-                and finger is not node
-                and self.space.in_interval(
-                    finger.node_id, node.node_id, key,
-                    closed_left=False, closed_right=False,
-                )
-            ):
+        """Best live next hop: highest finger in ``(node, key)``.
+
+        The per-node scan list — fingers in descending order, dead entries,
+        self-references and duplicates dropped — is cached per membership
+        epoch: finger tables hold ``bits`` entries but only ``O(log n)``
+        distinct targets, and liveness cannot change between cache
+        invalidations, so the cached scan returns exactly what the seed's
+        full reversed scan returns.
+        """
+        fingers = self._cpf_cache.get(node.node_id)
+        if fingers is None:
+            fingers = []
+            seen: set[int] = {node.node_id}
+            for finger in reversed(node.fingers):
+                if (
+                    finger is not None
+                    and finger.alive
+                    and finger.node_id not in seen
+                ):
+                    seen.add(finger.node_id)
+                    fingers.append(finger)
+            if self.routing_cache:
+                self._cpf_cache[node.node_id] = fingers
+        # Inlined in_interval over the open interval (node, key); when
+        # node == key the open interval is the whole ring minus the point.
+        size = self.space.size
+        nid = node.node_id
+        span = (key - nid) % size or size
+        for finger in fingers:
+            if 0 < (finger.node_id - nid) % size < span:
                 return finger
         succ = node.successor
         return succ if succ is not None else node
@@ -462,12 +526,14 @@ class ChordRing:
         """
         policy = policy or self.lookup_policy
         fault_mode = self.faults_active
-        span = self.space.clockwise_distance(from_key, until_key)
+        size = self.space.size
+        span = (until_key - from_key) % size
         result = WalkResult([start])
         cur = start
         # cur covers keys up to cur.node_id; continue while that falls
-        # short of the arc end.
-        while self.space.clockwise_distance(from_key, cur.node_id) < span:
+        # short of the arc end (inlined clockwise_distance — one check
+        # per visited node on the range-query hot path).
+        while (cur.node_id - from_key) % size < span:
             if fault_mode:
                 nxt, skipped = self._walk_step_faulty(cur, policy, result)
                 if nxt is None:
@@ -589,6 +655,7 @@ class ChordRing:
         node = ChordNode(node_id, self.bits)
         bisect.insort(self._sorted_ids, node_id)
         self._nodes[node_id] = node
+        self.invalidate_routing_caches()
         self._refresh_routing_state(node)
         self.network.count_maintenance(self.bits)  # building its state
 
@@ -615,8 +682,9 @@ class ChordRing:
         """
         require(len(self._sorted_ids) > 1, "cannot remove the last ring node")
         node = self._nodes.pop(node_id)
-        self._sorted_ids.remove(node_id)
+        del self._sorted_ids[bisect.bisect_left(self._sorted_ids, node_id)]
         node.alive = False
+        self.invalidate_routing_caches()
         successor = self.successor_of(node_id)
         outgoing: dict[tuple[str, int], Counter] = {}
         for namespace, key_id, item in node.stored_entries():
@@ -643,8 +711,9 @@ class ChordRing:
         """
         require(len(self._sorted_ids) > 1, "cannot remove the last ring node")
         node = self._nodes.pop(node_id)
-        self._sorted_ids.remove(node_id)
+        del self._sorted_ids[bisect.bisect_left(self._sorted_ids, node_id)]
         node.alive = False
+        self.invalidate_routing_caches()
         node.clear_storage()  # the crashed node's memory is gone
         # Neighbours detect the failure via timeouts and repair locally.
         self._repair_neighbourhood(node_id)

@@ -44,7 +44,7 @@ from collections import Counter
 from collections.abc import Iterable
 from typing import Any, NamedTuple
 
-from repro.overlay.idspace import IdSpace
+from repro.overlay.idspace import IdSpace, closest_on_ring
 from repro.overlay.node import LookupResult, OverlayNode, WalkResult
 from repro.sim.faults import DEFAULT_POLICY, LookupPolicy, deliver_first
 from repro.sim.maintenance import RepairProgress, repair_buckets
@@ -138,6 +138,7 @@ class CycloidOverlay:
         network: SimulatedNetwork | None = None,
         replication: int = 1,
         routing_mode: str = "adaptive",
+        routing_cache: bool = True,
     ) -> None:
         require(dimension >= 2, f"dimension must be >= 2, got {dimension}")
         require(1 <= replication <= dimension, "replication must be in [1, d]")
@@ -172,6 +173,18 @@ class CycloidOverlay:
         self._clusters: dict[int, list[int]] = {}
         #: sorted list of non-empty cluster cubical indices
         self._cluster_ids: list[int] = []
+        #: Memoised :meth:`closest_node` resolution (normalised key ->
+        #: owner).  Pure derived state: valid only for the current
+        #: membership, so every churn entry point (:meth:`join` /
+        #: :meth:`leave` / :meth:`fail` / :meth:`build` — what ChurnGuard
+        #: wraps at the service level) clears it.  ``routing_cache=False``
+        #: disables memoisation (equivalence tests diff the two modes).
+        self.routing_cache = routing_cache
+        self._owner_cache: dict[CycloidId, CycloidNode] = {}
+
+    def invalidate_routing_caches(self) -> None:
+        """Drop the owner cache (membership changed)."""
+        self._owner_cache.clear()
 
     # ------------------------------------------------------------------
     # Membership / construction
@@ -222,6 +235,7 @@ class CycloidOverlay:
         for ks in self._clusters.values():
             ks.sort()
         self._cluster_ids = sorted(self._clusters)
+        self.invalidate_routing_caches()
         for node in self._nodes.values():
             self._refresh_routing_state(node)
 
@@ -237,29 +251,36 @@ class CycloidOverlay:
     # Oracle helpers
     # ------------------------------------------------------------------
     def nearest_cluster(self, a: int) -> int:
-        """The non-empty cluster nearest to cubical index ``a``."""
+        """The non-empty cluster nearest to cubical index ``a``.
+
+        Bisect over the maintained sorted cluster index — with ``2**d``
+        clusters a linear closest-scan dominated every lookup.
+        """
         require(bool(self._cluster_ids), "overlay is empty")
         a = self.cubical_space.wrap(a)
         if a in self._clusters:
             return a
-        return self.cubical_space.closest(a, self._cluster_ids)
+        return closest_on_ring(a, self._cluster_ids, self.cubical_space.size)
 
     def closest_node(self, target: CycloidId) -> CycloidNode:
         """The live node owning key ``target`` (cluster-first closeness).
 
         First the nearest non-empty cluster to ``target.a`` on the large
         cycle, then the node with cyclic index nearest ``target.k`` (ties
-        clockwise) inside that cluster.
+        clockwise) inside that cluster.  Memoised per membership epoch:
+        every lookup, store and replica-set computation resolves an owner,
+        and workload keys (attribute roots, hashed values) repeat heavily.
         """
-        cluster = self.nearest_cluster(target.a)
-        ks = self._clusters[cluster]
         d = self.dimension
-        tk = target.k % d
-        best = min(
-            ks,
-            key=lambda k: (min((k - tk) % d, (tk - k) % d), (k - tk) % d),
-        )
-        return self._nodes[CycloidId(best, cluster)]
+        key = CycloidId(target.k % d, self.cubical_space.wrap(target.a))
+        node = self._owner_cache.get(key)
+        if node is None:
+            cluster = self.nearest_cluster(key.a)
+            best = closest_on_ring(key.k, self._clusters[cluster], d)
+            node = self._nodes[CycloidId(best, cluster)]
+            if self.routing_cache:
+                self._owner_cache[key] = node
+        return node
 
     def _cluster_neighbor(self, a: int, direction: int) -> int | None:
         """Nearest non-empty cluster strictly after (+1) / before (-1) ``a``.
@@ -292,7 +313,7 @@ class CycloidOverlay:
         if len(ks) == 1:
             node.inside_leaf = (None, None)
         else:
-            idx = ks.index(k)
+            idx = bisect.bisect_left(ks, k)
             pred = self._nodes[CycloidId(ks[(idx - 1) % len(ks)], a)]
             succ = self._nodes[CycloidId(ks[(idx + 1) % len(ks)], a)]
             node.inside_leaf = (pred, succ)
@@ -649,10 +670,10 @@ class CycloidOverlay:
         k_from %= d
         k_to %= d
         span = (k_to - k_from) % d
-        members = self.cluster_members(start.a)
+        num_members = len(self._clusters.get(start.a, ()))
         result = WalkResult([start])
         cur = start
-        while len(result) < len(members):
+        while len(result) < num_members:
             succ = cur.inside_leaf[1]
             if succ is None or not succ.alive:
                 # Mid-repair leaf chain: the rest of the sector is
@@ -698,7 +719,7 @@ class CycloidOverlay:
         ``replication - 1`` distinct members clockwise in its cluster."""
         owner = self.closest_node(key)
         members = self.cluster_members(owner.a)
-        idx = members.index(owner)
+        idx = bisect.bisect_left(self._clusters[owner.a], owner.k)
         count = min(self.replication, len(members))
         return [members[(idx + offset) % len(members)] for offset in range(count)]
 
@@ -759,6 +780,7 @@ class CycloidOverlay:
         bisect.insort(ks, cid.k)
         if len(ks) == 1:
             bisect.insort(self._cluster_ids, cid.a)
+        self.invalidate_routing_caches()
 
         self._refresh_routing_state(node)
         self.network.count_maintenance(7)
@@ -805,11 +827,12 @@ class CycloidOverlay:
         require(len(self._nodes) > 1, "cannot remove the last node")
         node = self._nodes.pop(cid)
         ks = self._clusters[cid.a]
-        ks.remove(cid.k)
+        del ks[bisect.bisect_left(ks, cid.k)]
         if not ks:
             del self._clusters[cid.a]
-            self._cluster_ids.remove(cid.a)
+            del self._cluster_ids[bisect.bisect_left(self._cluster_ids, cid.a)]
         node.alive = False
+        self.invalidate_routing_caches()
         outgoing: dict[tuple[str, int], Counter] = {}
         for namespace, key_id, item in node.stored_entries():
             outgoing.setdefault((namespace, key_id), Counter())[item] += 1
@@ -836,11 +859,12 @@ class CycloidOverlay:
         require(len(self._nodes) > 1, "cannot remove the last node")
         node = self._nodes.pop(cid)
         ks = self._clusters[cid.a]
-        ks.remove(cid.k)
+        del ks[bisect.bisect_left(ks, cid.k)]
         if not ks:
             del self._clusters[cid.a]
-            self._cluster_ids.remove(cid.a)
+            del self._cluster_ids[bisect.bisect_left(self._cluster_ids, cid.a)]
         node.alive = False
+        self.invalidate_routing_caches()
         node.clear_storage()  # the crashed node's memory is gone
         self._repair_neighbourhood(node)
 

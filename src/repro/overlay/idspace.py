@@ -8,11 +8,44 @@ modular-arithmetic pitfalls.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 
 from repro.utils.validation import require
 
-__all__ = ["IdSpace"]
+__all__ = ["IdSpace", "closest_on_ring"]
+
+
+def closest_on_ring(target: int, candidates: list[int], size: int) -> int:
+    """The candidate at minimal ring distance to ``target``, ties clockwise.
+
+    ``candidates`` must be sorted ascending and non-empty; only the two
+    neighbours of ``target``'s insertion point can be closest, so this is
+    the O(log n) equivalent of :meth:`IdSpace.closest`'s linear scan.
+    Works for any cycle length ``size``, not just powers of two (Cycloid's
+    intra-cluster cycle has length ``d``).
+
+    Examples
+    --------
+    >>> closest_on_ring(0, [4, 12], 16)   # tie broken clockwise
+    4
+    >>> closest_on_ring(0, [10, 11], 16)
+    11
+    """
+    target %= size
+    n = len(candidates)
+    if n == 1:
+        return candidates[0]
+    idx = bisect.bisect_left(candidates, target)
+    succ = candidates[idx % n]
+    pred = candidates[(idx - 1) % n]
+    # The winner's ring distance equals its arc distance from ``target``
+    # (the opposite arc always passes the other neighbour first), so
+    # comparing the two arc distances decides; equality is the clockwise
+    # tie, which goes to ``succ``.
+    if (succ - target) % size <= (target - pred) % size:
+        return succ
+    return pred
 
 
 @dataclass(frozen=True)
@@ -86,6 +119,8 @@ class IdSpace:
 
         Ties are broken clockwise (the candidate reached first when walking
         clockwise from ``target``), which keeps key ownership deterministic.
+        Candidates need not be sorted; callers that maintain a sorted index
+        should prefer :meth:`closest_sorted`.
         """
         require(bool(candidates), "closest() needs at least one candidate")
         best = candidates[0]
@@ -95,6 +130,11 @@ class IdSpace:
             if key < best_key:
                 best, best_key = cand, key
         return best
+
+    def closest_sorted(self, target: int, candidates: list[int]) -> int:
+        """:meth:`closest` over an already-sorted candidate list, via bisect."""
+        require(bool(candidates), "closest_sorted() needs at least one candidate")
+        return closest_on_ring(target, candidates, self.size)
 
     def _closeness_key(self, target: int, candidate: int) -> tuple[int, int]:
         return (

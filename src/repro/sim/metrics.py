@@ -100,6 +100,21 @@ class MetricsRegistry:
         """Append one sample to series ``name``."""
         self._samples[name].append(float(value))
 
+    def record_pair(
+        self, name1: str, value1: float, name2: str, value2: float
+    ) -> None:
+        """Append one sample to each of two series in a single call.
+
+        The per-query hot paths emit exactly two samples per operation
+        (hops + visited nodes); taking them as four direct arguments
+        halves the method-call overhead of two :meth:`record` calls
+        without the per-call tuple packing a ``record_many(pairs)`` shape
+        would impose on the caller.
+        """
+        samples = self._samples
+        samples[name1].append(float(value1))
+        samples[name2].append(float(value2))
+
     def samples(self, name: str) -> list[float]:
         """Raw samples recorded under ``name``."""
         return list(self._samples[name])

@@ -1,0 +1,117 @@
+"""The determinism contract of ``repro bench``.
+
+Two ``repro bench --smoke --seed 0`` runs must produce identical op
+inventories and identical non-timing fields; only the nanosecond samples
+(and run provenance: timestamp, host, RSS) may differ.  The same
+contract, restricted to checksums, must hold between a cached and an
+uncached overlay — that is what lets the routing caches ship at all.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+_VOLATILE_KEYS = ("created_unix", "git_sha", "host", "rss_max_kb")
+
+
+def _run_bench(tmp_path: Path, name: str) -> dict:
+    out = tmp_path / name
+    assert main(["bench", "--smoke", "--seed", "0", "--out", str(out)]) == 0
+    return json.loads(out.read_text())
+
+
+def _strip_volatile(report: dict) -> dict:
+    report = dict(report)
+    for key in _VOLATILE_KEYS:
+        report.pop(key, None)
+    report["ops"] = [
+        {k: v for k, v in op.items() if k != "timing"} for op in report["ops"]
+    ]
+    return report
+
+
+@pytest.fixture(scope="module")
+def two_smoke_runs(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("bench-determinism")
+    return (
+        _run_bench(tmp_path, "run1.json"),
+        _run_bench(tmp_path, "run2.json"),
+    )
+
+
+class TestSmokeDeterminism:
+    def test_op_inventories_identical(self, two_smoke_runs):
+        first, second = two_smoke_runs
+        assert [op["name"] for op in first["ops"]] == [
+            op["name"] for op in second["ops"]
+        ]
+
+    def test_non_timing_fields_identical(self, two_smoke_runs):
+        first, second = two_smoke_runs
+        assert _strip_volatile(first) == _strip_volatile(second)
+
+    def test_checksums_identical(self, two_smoke_runs):
+        first, second = two_smoke_runs
+        checksums = {
+            op["name"]: op["checksum"] for op in first["ops"]
+        }
+        assert checksums == {
+            op["name"]: op["checksum"] for op in second["ops"]
+        }
+
+    def test_covers_all_op_kinds(self, two_smoke_runs):
+        first, _ = two_smoke_runs
+        kinds = {op["kind"] for op in first["ops"]}
+        assert kinds == {"micro", "macro", "figure"}
+        names = {op["name"] for op in first["ops"]}
+        # The contract the CI gate relies on: overlay micro-ops, all four
+        # systems' macro-ops, end-to-end figures, and the calibration op.
+        assert "calibration.spin" in names
+        assert {"chord.lookup", "chord.walk_arc", "cycloid.lookup"} <= names
+        for system in ("lorm", "mercury", "sword", "maan"):
+            assert f"{system}.register" in names
+            assert f"{system}.multi_query" in names
+
+    def test_timings_are_isolated_under_timing_key(self, two_smoke_runs):
+        first, _ = two_smoke_runs
+        for op in first["ops"]:
+            assert "timing" in op
+            assert "p50_ns" in op["timing"]
+            assert "p50_ns" not in op
+
+
+class TestCachedVsUncachedChecksums:
+    def test_micro_checksums_unchanged_without_caches(self, monkeypatch):
+        """The routing caches must not change what any op *computes*."""
+        from repro.bench.ops import build_ops
+        from repro.bench.harness import time_op
+        from repro.experiments.config import SMOKE_CONFIG
+        from repro.overlay import chord, cycloid
+
+        config = SMOKE_CONFIG.scaled(seed=0)
+
+        def checksums(ops):
+            return {op.name: time_op(op).checksum for op in ops}
+
+        cached = checksums(build_ops(config, profile="micro"))
+
+        original_ring_init = chord.ChordRing.__init__
+        original_overlay_init = cycloid.CycloidOverlay.__init__
+
+        def ring_no_cache(self, *args, **kwargs):
+            kwargs["routing_cache"] = False
+            original_ring_init(self, *args, **kwargs)
+
+        def overlay_no_cache(self, *args, **kwargs):
+            kwargs["routing_cache"] = False
+            original_overlay_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(chord.ChordRing, "__init__", ring_no_cache)
+        monkeypatch.setattr(cycloid.CycloidOverlay, "__init__", overlay_no_cache)
+        uncached = checksums(build_ops(config, profile="micro"))
+        assert cached == uncached

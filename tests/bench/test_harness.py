@@ -1,0 +1,74 @@
+"""Unit tests for the bench timing harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchOp, OpResult, _percentile, time_op
+
+
+class TestTimeOp:
+    def test_times_and_checksums(self):
+        calls = []
+
+        def run(n: int) -> int:
+            calls.append(n)
+            return n * 3
+
+        result = time_op(BenchOp(name="x", kind="micro", iterations=10, run=run))
+        # One warmup + five timed repeats, all at the declared iteration count.
+        assert calls == [10] * 6
+        assert result.checksum == 30
+        assert result.repeats == 5
+        assert len(result.samples_ns) == 5
+        assert result.min_ns <= result.p50_ns <= result.p95_ns
+        assert result.ops_per_sec > 0
+
+    def test_unrepeatable_op_raises(self):
+        state = {"n": 0}
+
+        def run(n: int) -> int:
+            state["n"] += 1
+            return state["n"]
+
+        with pytest.raises(RuntimeError, match="not repeatable"):
+            time_op(BenchOp(name="drift", kind="micro", iterations=1, run=run))
+
+    def test_warmup_skip(self):
+        calls = []
+
+        def run(n: int) -> int:
+            calls.append(n)
+            return 7
+
+        result = time_op(
+            BenchOp(
+                name="figure.x", kind="figure", iterations=1,
+                repeats=1, warmup=False, run=run,
+            )
+        )
+        assert calls == [1]  # no warmup repeat
+        assert result.checksum == 7
+
+
+class TestOpResult:
+    def test_dict_roundtrip_nests_timing(self):
+        result = OpResult(
+            name="a", kind="micro", iterations=5, repeats=2, checksum=9,
+            p50_ns=10.0, p95_ns=12.0, mean_ns=11.0, min_ns=10.0,
+            ops_per_sec=9e7, samples_ns=[10.0, 12.0],
+        )
+        data = result.as_dict()
+        assert set(data["timing"]) == {
+            "p50_ns", "p95_ns", "mean_ns", "min_ns", "ops_per_sec", "samples_ns",
+        }
+        assert "p50_ns" not in data  # timing is isolated for strip-and-diff
+        assert OpResult.from_dict(data) == result
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+        assert _percentile([5.0], 0.95) == 5.0

@@ -1,0 +1,136 @@
+"""Report IO and the compare gate (the CI perf-smoke contract)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import compare_reports
+from repro.bench.harness import OpResult
+from repro.bench.report import SCHEMA_VERSION, BenchReport
+
+
+def _op(name: str, min_ns: float, *, kind: str = "micro", checksum: int = 1) -> OpResult:
+    return OpResult(
+        name=name, kind=kind, iterations=100, repeats=3, checksum=checksum,
+        p50_ns=min_ns * 1.1, p95_ns=min_ns * 1.3, mean_ns=min_ns * 1.15,
+        min_ns=min_ns, ops_per_sec=1e9 / min_ns, samples_ns=[],
+    )
+
+
+def _report(ops: list[OpResult]) -> BenchReport:
+    return BenchReport(
+        scale="smoke", profile="all", seed=0, config={"seed": 0},
+        ops=ops, created_unix=1_000_000.0,
+    )
+
+
+def _with_calibration(ops: list[OpResult], cal_ns: float = 1000.0) -> list[OpResult]:
+    return [_op("calibration.spin", cal_ns), *ops]
+
+
+class TestReportIO:
+    def test_save_load_roundtrip(self, tmp_path):
+        report = _report(_with_calibration([_op("chord.lookup", 500.0)]))
+        path = report.save(tmp_path)
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+        loaded = BenchReport.load(path)
+        assert loaded.op_names() == report.op_names()
+        assert loaded.ops == report.ops
+        assert loaded.scale == "smoke"
+
+    def test_explicit_file_path(self, tmp_path):
+        report = _report(_with_calibration([]))
+        path = report.save(tmp_path / "baseline.json")
+        assert path == tmp_path / "baseline.json"
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        report = _report(_with_calibration([]))
+        data = report.as_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema version"):
+            BenchReport.load(path)
+
+    def test_render_lists_every_op(self):
+        report = _report(_with_calibration([_op("chord.lookup", 500.0)]))
+        rendered = report.render()
+        assert "chord.lookup" in rendered and "calibration.spin" in rendered
+
+
+class TestCompare:
+    def test_flat_run_passes(self):
+        base = _report(_with_calibration([_op("a", 100.0)]))
+        cur = _report(_with_calibration([_op("a", 105.0)]))
+        result = compare_reports(base, cur, threshold=0.25)
+        assert result.ok and not result.regressions
+
+    def test_regression_fails(self):
+        base = _report(_with_calibration([_op("a", 100.0)]))
+        cur = _report(_with_calibration([_op("a", 200.0)]))
+        result = compare_reports(base, cur, threshold=0.25)
+        assert not result.ok
+        assert [d.name for d in result.regressions] == ["a"]
+        assert "FAIL" in result.render()
+
+    def test_machine_speed_normalised_out(self):
+        # The whole current machine is 2x slower (calibration included):
+        # no op actually regressed.
+        base = _report(_with_calibration([_op("a", 100.0)], cal_ns=1000.0))
+        cur = _report(_with_calibration([_op("a", 200.0)], cal_ns=2000.0))
+        result = compare_reports(base, cur, threshold=0.25)
+        assert result.machine_factor == pytest.approx(2.0)
+        assert result.ok
+
+    def test_genuine_regression_survives_normalisation(self):
+        # Machine 2x slower AND the op 4x slower: still a regression.
+        base = _report(_with_calibration([_op("a", 100.0)], cal_ns=1000.0))
+        cur = _report(_with_calibration([_op("a", 400.0)], cal_ns=2000.0))
+        assert not compare_reports(base, cur, threshold=0.25).ok
+
+    def test_inventory_drift_warns_without_gating(self):
+        base = _report(_with_calibration([_op("a", 100.0), _op("gone", 50.0)]))
+        cur = _report(_with_calibration([_op("a", 100.0), _op("new", 50.0)]))
+        result = compare_reports(base, cur)
+        assert result.ok
+        assert any("only in baseline: gone" in w for w in result.warnings)
+        assert any("only in current: new" in w for w in result.warnings)
+
+    def test_checksum_mismatch_warns(self):
+        base = _report(_with_calibration([_op("a", 100.0, checksum=1)]))
+        cur = _report(_with_calibration([_op("a", 100.0, checksum=2)]))
+        result = compare_reports(base, cur)
+        assert result.ok  # behaviour drift is the determinism tests' job
+        assert any("checksum mismatch on a" in w for w in result.warnings)
+
+    def test_improvement_reported(self):
+        base = _report(_with_calibration([_op("a", 300.0)]))
+        cur = _report(_with_calibration([_op("a", 100.0)]))
+        result = compare_reports(base, cur)
+        assert "3.00x faster" in result.render()
+
+    def test_bad_threshold_rejected(self):
+        base = _report(_with_calibration([]))
+        with pytest.raises(ValueError, match="threshold"):
+            compare_reports(base, base, threshold=0.0)
+
+
+class TestCompareCli:
+    def test_exit_codes(self, tmp_path):
+        from repro.cli import main
+
+        base = _report(_with_calibration([_op("a", 100.0)]))
+        good = _report(_with_calibration([_op("a", 101.0)]))
+        bad = _report(_with_calibration([_op("a", 300.0)]))
+        base_path = str(base.save(tmp_path / "base.json"))
+        good_path = str(good.save(tmp_path / "good.json"))
+        bad_path = str(bad.save(tmp_path / "bad.json"))
+        assert main(["bench", "compare", base_path, good_path]) == 0
+        assert main(["bench", "compare", base_path, bad_path]) == 1
+        # A generous threshold lets the same pair pass.
+        assert (
+            main(["bench", "compare", base_path, bad_path, "--threshold", "3"])
+            == 0
+        )

@@ -1,0 +1,207 @@
+"""Cached routing must be observably identical to uncached routing.
+
+The overlays memoise *derived* routing state (Chord's ``successor_of``
+and per-node live-finger lists, Cycloid's key-owner resolution) per
+membership epoch.  These tests drive a cached and an uncached twin
+through identical seeded churn storms — joins, graceful leaves, crash
+failures, stabilization sweeps — probing owners, hop counts, full routed
+paths and range walks after every event, and require byte-identical
+transcripts.  A divergence means a cache outlived its epoch.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.overlay.chord import ChordRing
+from repro.overlay.cycloid import CycloidId, CycloidOverlay
+
+_STORM_EVENTS = 40
+_PROBES_PER_EVENT = 6
+
+
+def _chord_probe(ring: ChordRing, rng: random.Random) -> list:
+    """Owners, hops, paths and walks — everything a service observes."""
+    size = ring.space.size
+    transcript = []
+    for _ in range(_PROBES_PER_EVENT):
+        ids = ring.node_ids
+        start = ring.node(ids[rng.randrange(len(ids))])
+        key = rng.randrange(size)
+        result = ring.lookup(start, key)
+        transcript.append(
+            (
+                "lookup",
+                result.owner.node_id,
+                result.hops,
+                tuple(result.path),
+                result.complete,
+            )
+        )
+        from_key = rng.randrange(size)
+        until_key = (from_key + rng.randrange(1, max(2, size // 4))) % size
+        walk = ring.walk_arc(ring.successor_of(from_key), from_key, until_key)
+        transcript.append(
+            ("walk", tuple(node.node_id for node in walk), walk.truncated)
+        )
+    return transcript
+
+
+def _chord_storm(ring: ChordRing, seed: int) -> list:
+    """A deterministic churn storm; returns the full probe transcript."""
+    rng = random.Random(seed)
+    size = ring.space.size
+    departed: list[int] = []
+    transcript = _chord_probe(ring, rng)
+    for step in range(_STORM_EVENTS):
+        roll = rng.random()
+        ids = ring.node_ids
+        if roll < 0.25 and len(ids) > 8:
+            ring.leave(ids[rng.randrange(len(ids))])
+        elif roll < 0.5 and len(ids) > 8:
+            victim = ids[rng.randrange(len(ids))]
+            ring.fail(victim)
+            departed.append(victim)
+        elif departed:
+            ring.join(departed.pop(rng.randrange(len(departed))))
+        else:
+            newcomer = rng.randrange(size)
+            if newcomer in set(ids):
+                continue
+            ring.join(newcomer)
+        if step % 5 == 4:
+            ring.stabilize_all()
+        transcript.extend(_chord_probe(ring, rng))
+    return transcript
+
+
+def _cycloid_probe(overlay: CycloidOverlay, rng: random.Random) -> list:
+    d = overlay.dimension
+    num_clusters = overlay.cubical_space.size
+    transcript = []
+    for _ in range(_PROBES_PER_EVENT):
+        ids = overlay.node_ids
+        start = overlay.node(ids[rng.randrange(len(ids))])
+        target = CycloidId(rng.randrange(d), rng.randrange(num_clusters))
+        transcript.append(("owner", overlay.closest_node(target).cid))
+        result = overlay.lookup(start, target)
+        transcript.append(
+            (
+                "lookup",
+                result.owner.cid,
+                result.hops,
+                tuple(result.path),
+                result.complete,
+            )
+        )
+        k_from, k_to = rng.randrange(d), rng.randrange(d)
+        anchor = overlay.closest_node(CycloidId(k_from, target.a))
+        walk = overlay.walk_cluster(anchor, k_from, k_to)
+        transcript.append(
+            ("walk", tuple(node.cid for node in walk), walk.truncated)
+        )
+    return transcript
+
+
+def _cycloid_storm(overlay: CycloidOverlay, seed: int) -> list:
+    rng = random.Random(seed)
+    d = overlay.dimension
+    num_clusters = overlay.cubical_space.size
+    departed: list[CycloidId] = []
+    transcript = _cycloid_probe(overlay, rng)
+    for step in range(_STORM_EVENTS):
+        roll = rng.random()
+        ids = overlay.node_ids
+        if roll < 0.25 and len(ids) > 8:
+            victim = ids[rng.randrange(len(ids))]
+            overlay.leave(victim)
+            departed.append(victim)
+        elif roll < 0.5 and len(ids) > 8:
+            victim = ids[rng.randrange(len(ids))]
+            overlay.fail(victim)
+            departed.append(victim)
+        elif departed:
+            overlay.join(departed.pop(rng.randrange(len(departed))))
+        else:
+            cid = CycloidId(rng.randrange(d), rng.randrange(num_clusters))
+            if cid in set(overlay.node_ids):
+                continue
+            overlay.join(cid)
+        if step % 5 == 4:
+            overlay.stabilize_all()
+        transcript.extend(_cycloid_probe(overlay, rng))
+    return transcript
+
+
+class TestChordCacheEquivalence:
+    def _rings(self) -> tuple[ChordRing, ChordRing]:
+        node_ids = random.Random(11).sample(range(128), 48)
+        cached = ChordRing(7, routing_cache=True)
+        cached.build(node_ids)
+        plain = ChordRing(7, routing_cache=False)
+        plain.build(node_ids)
+        return cached, plain
+
+    def test_storm_transcripts_identical(self):
+        cached, plain = self._rings()
+        assert _chord_storm(cached, seed=23) == _chord_storm(plain, seed=23)
+
+    def test_caches_actually_engage(self):
+        cached, plain = self._rings()
+        _chord_storm(cached, seed=23)
+        _chord_storm(plain, seed=23)
+        assert cached._succ_cache and cached._cpf_cache
+        assert not plain._succ_cache and not plain._cpf_cache
+
+    def test_invalidation_on_membership_change(self):
+        cached, _ = self._rings()
+        size = cached.space.size
+        for key in range(size):
+            cached.successor_of(key)
+        joiner = next(i for i in range(size) if i not in cached._nodes)
+        # The memo currently answers ``joiner``'s key with its old owner;
+        # after the join it must answer with the joiner itself (the join
+        # flushes the epoch, then repopulates while refreshing routing).
+        assert cached.successor_of(joiner).node_id != joiner
+        cached.join(joiner)
+        assert cached.successor_of(joiner).node_id == joiner
+
+
+class TestCycloidCacheEquivalence:
+    def _overlays(self) -> tuple[CycloidOverlay, CycloidOverlay]:
+        all_ids = [CycloidId(k, a) for a in range(16) for k in range(4)]
+        node_ids = random.Random(5).sample(all_ids, 48)
+        cached = CycloidOverlay(4, routing_cache=True)
+        cached.build(node_ids)
+        plain = CycloidOverlay(4, routing_cache=False)
+        plain.build(node_ids)
+        return cached, plain
+
+    def test_storm_transcripts_identical(self):
+        cached, plain = self._overlays()
+        assert _cycloid_storm(cached, seed=31) == _cycloid_storm(plain, seed=31)
+
+    def test_caches_actually_engage(self):
+        cached, plain = self._overlays()
+        _cycloid_storm(cached, seed=31)
+        _cycloid_storm(plain, seed=31)
+        assert cached._owner_cache
+        assert not plain._owner_cache
+
+    def test_invalidation_on_membership_change(self):
+        cached, _ = self._overlays()
+        for a in range(16):
+            for k in range(4):
+                cached.closest_node(CycloidId(k, a))
+        live = set(cached.node_ids)
+        joiner = next(
+            CycloidId(k, a)
+            for a in range(16)
+            for k in range(4)
+            if CycloidId(k, a) not in live
+        )
+        # The memo holds the joiner's key under its old owner; the join
+        # must flush it so the key re-resolves to the joiner itself.
+        assert cached.closest_node(joiner).cid != joiner
+        cached.join(joiner)
+        assert cached.closest_node(joiner).cid == joiner

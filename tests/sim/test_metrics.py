@@ -71,6 +71,14 @@ class TestRegistry:
         assert m.samples("hops") == [1.0, 2.0, 3.0]
         assert m.summary("hops").mean == 2.0
 
+    def test_record_pair_matches_two_records(self):
+        batched, plain = MetricsRegistry(), MetricsRegistry()
+        batched.record_pair("hops", 3, "visited", 5)
+        plain.record("hops", 3)
+        plain.record("visited", 5)
+        for name in ("hops", "visited"):
+            assert batched.samples(name) == plain.samples(name)
+
     def test_reset_single_series(self):
         m = MetricsRegistry()
         m.record("a", 1)
