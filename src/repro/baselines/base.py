@@ -54,13 +54,35 @@ class DiscoveryService(ABC):
     #: registration needs two; everyone else needs one — Theorem 4.2).
     lookups_per_attribute: ClassVar[int] = 1
 
+    #: Optional hop-level :class:`~repro.obs.QueryTracer`.  ``None`` (the
+    #: default, a plain class attribute so every subclass inherits it
+    #: without ``__init__`` cooperation) keeps all traced code paths
+    #: bypassed.
+    tracer: Any | None = None
+
     metrics: MetricsRegistry
     schema: AttributeSchema
 
     # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: Any | None) -> None:
+        """Attach a :class:`~repro.obs.QueryTracer` to this service *and*
+        its overlay substrate (``None`` detaches both).
+
+        While attached, ``register`` / ``query`` / ``multi_query`` wrap
+        their work in spans and the overlay emits one hop span per routed
+        message; detached, the hot paths are byte-for-byte the untraced
+        ones.
+        """
+        from repro.sim.invariants import overlay_of
+
+        self.tracer = tracer
+        overlay_of(self).tracer = tracer
+
+    # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    @abstractmethod
     def register(self, info: ResourceInfo, *, routed: bool = True) -> int:
         """Insert one resource-information piece; returns routing hops.
 
@@ -68,6 +90,19 @@ class DiscoveryService(ABC):
         placement, no routing cost) — used to load paper-scale workloads
         quickly when only placement matters (Figure 3).
         """
+        if self.tracer is None:
+            return self._register_impl(info, routed=routed)
+        with self.tracer.span(
+            "register", f"{self.name}.register",
+            attribute=info.attribute, routed=routed,
+        ) as span:
+            hops = self._register_impl(info, routed=routed)
+            span.attrs["hops"] = hops
+        return hops
+
+    @abstractmethod
+    def _register_impl(self, info: ResourceInfo, *, routed: bool = True) -> int:
+        """Approach-specific placement behind :meth:`register`."""
 
     def register_all(self, infos: Iterable[ResourceInfo], *, routed: bool = True) -> int:
         """Register many infos; returns total hops."""
@@ -85,10 +120,26 @@ class DiscoveryService(ABC):
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    @abstractmethod
     def query(self, q: Query, start: Any | None = None) -> QueryResult:
         """Resolve one single-attribute query from entry node ``start``
         (random when omitted)."""
+        if self.tracer is None:
+            return self._query_impl(q, start)
+        with self.tracer.span(
+            "subquery", f"{self.name}.query",
+            attribute=q.attribute, range=q.is_range,
+        ) as span:
+            result = self._query_impl(q, start)
+            span.attrs.update(
+                hops=result.hops, visited=result.visited_nodes,
+                complete=result.complete, retries=result.retries,
+                matches=len(result.matches),
+            )
+        return result
+
+    @abstractmethod
+    def _query_impl(self, q: Query, start: Any | None = None) -> QueryResult:
+        """Approach-specific resolution behind :meth:`query`."""
 
     def multi_query(
         self, mq: MultiAttributeQuery, start: Any | None = None
@@ -99,6 +150,24 @@ class DiscoveryService(ABC):
         conceptually resolved in parallel, and their results are joined on
         provider address (Section III).
         """
+        if self.tracer is None:
+            return self._multi_query_impl(mq, start)
+        with self.tracer.span(
+            "query", f"{self.name}.multi_query",
+            attributes=mq.num_attributes,
+        ) as span:
+            result = self._multi_query_impl(mq, start)
+            span.attrs.update(
+                total_hops=sum(r.hops for r in result.sub_results),
+                total_visited=sum(r.visited_nodes for r in result.sub_results),
+                providers=len(result.providers),
+                complete=result.complete,
+            )
+        return result
+
+    def _multi_query_impl(
+        self, mq: MultiAttributeQuery, start: Any | None = None
+    ) -> MultiQueryResult:
         if start is None:
             start = self.random_node()
         sub_results = tuple(self.query(q, start) for q in mq.sub_queries())

@@ -40,7 +40,7 @@ class MaanService(ChordBackedService):
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register(self, info: ResourceInfo, *, routed: bool = True) -> int:
+    def _register_impl(self, info: ResourceInfo, *, routed: bool = True) -> int:
         """Two insertions: attribute map and value map (two pieces stored)."""
         attr_key = self.attr_key(info.attribute)
         value_key = self.value_hash(info.attribute)(info.value)
@@ -65,7 +65,7 @@ class MaanService(ChordBackedService):
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, q: Query, start: Any | None = None) -> QueryResult:
+    def _query_impl(self, q: Query, start: Any | None = None) -> QueryResult:
         """Two lookups per attribute; range queries additionally walk the
         value arc across the whole ring."""
         start = self._resolve_start(start)

@@ -40,7 +40,7 @@ class MercuryService(ChordBackedService):
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register(self, info: ResourceInfo, *, routed: bool = True) -> int:
+    def _register_impl(self, info: ResourceInfo, *, routed: bool = True) -> int:
         """Insert into the attribute's hub at the value's root."""
         key = self.value_hash(info.attribute)(info.value)
         namespace = self._hub(info.attribute)
@@ -59,7 +59,7 @@ class MercuryService(ChordBackedService):
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, q: Query, start: Any | None = None) -> QueryResult:
+    def _query_impl(self, q: Query, start: Any | None = None) -> QueryResult:
         """One hub lookup; range queries walk hub successors over the arc."""
         start = self._resolve_start(start)
         constraint = q.constraint

@@ -108,7 +108,7 @@ class PointerMercuryService(MercuryService):
             self.metrics.record("register.hops", hops)
         return hops
 
-    def register(self, info: ResourceInfo, *, routed: bool = True) -> int:
+    def _register_impl(self, info: ResourceInfo, *, routed: bool = True) -> int:
         """Single-attribute registration = a one-attribute record."""
         return self.register_record([info], routed=routed)
 
@@ -137,7 +137,7 @@ class PointerMercuryService(MercuryService):
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, q: Query, start: Any | None = None) -> QueryResult:
+    def _query_impl(self, q: Query, start: Any | None = None) -> QueryResult:
         """Mercury query with pointer chasing.
 
         Hub items may be full records (match locally) or pointers (filter

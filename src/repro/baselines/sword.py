@@ -34,7 +34,7 @@ class SwordService(ChordBackedService):
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register(self, info: ResourceInfo, *, routed: bool = True) -> int:
+    def _register_impl(self, info: ResourceInfo, *, routed: bool = True) -> int:
         """Insert at the attribute root, ``successor(H(attribute))``."""
         key = self.attr_key(info.attribute)
         if not routed:
@@ -51,7 +51,7 @@ class SwordService(ChordBackedService):
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, q: Query, start: Any | None = None) -> QueryResult:
+    def _query_impl(self, q: Query, start: Any | None = None) -> QueryResult:
         """One lookup; the attribute root answers point and range queries
         alike from its pooled directory (no forwarding)."""
         start = self._resolve_start(start)

@@ -146,6 +146,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative p50 regression tolerance (default: 0.25 = +25%%)",
     )
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="replay a seeded multi-attribute query with hop-level span "
+        "tracing on and print the trace (tree, JSONL or Chrome "
+        "trace_event JSON); deterministic for a given seed",
+    )
+    trace_p.add_argument(
+        "--system",
+        required=True,
+        choices=["lorm", "mercury", "sword", "maan"],
+        help="which discovery system to trace",
+    )
+    trace_p.add_argument(
+        "--seed", type=int, default=0, help="replay seed (default: 0)"
+    )
+    trace_p.add_argument(
+        "--queries", type=int, default=1,
+        help="multi-attribute queries to replay (default: 1)",
+    )
+    trace_p.add_argument(
+        "--attributes", type=int, default=2,
+        help="attributes per query (default: 2)",
+    )
+    trace_p.add_argument(
+        "--kind",
+        choices=["point", "range", "at-least"],
+        default="range",
+        help="per-attribute constraint shape (default: range)",
+    )
+    trace_p.add_argument(
+        "--loss", type=float, default=0.0,
+        help="seeded per-message loss rate; > 0 adds fault annotations "
+        "(drop/retry/timeout/failover) to the spans",
+    )
+    trace_p.add_argument(
+        "--format",
+        choices=["tree", "jsonl", "chrome"],
+        default="tree",
+        help="tree = human-readable; jsonl = one span per line; "
+        "chrome = chrome://tracing / Perfetto trace_event JSON",
+    )
+    trace_p.add_argument(
+        "--out", default=None,
+        help="write the trace to a file instead of stdout",
+    )
+
     report_p = sub.add_parser(
         "report", help="assemble results/REPORT.md from existing artifacts"
     )
@@ -274,6 +320,43 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             f"[{args.scale} scale, seed {config.seed}] benched in "
             f"{elapsed:.1f}s -> {path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.command == "trace":
+        from repro.obs.export import render_tree, traces_to_chrome, traces_to_jsonl
+        from repro.obs.replay import replay_queries
+        from repro.workloads.generator import QueryKind
+
+        started = time.perf_counter()
+        _, traces = replay_queries(
+            args.system,
+            seed=args.seed,
+            num_queries=args.queries,
+            num_attributes=args.attributes,
+            kind=QueryKind(args.kind),
+            loss=args.loss,
+        )
+        if args.format == "jsonl":
+            text = traces_to_jsonl(traces)
+        elif args.format == "chrome":
+            text = traces_to_chrome(traces)
+        else:
+            text = "\n".join(render_tree(t) for t in traces)
+            if text:
+                text += "\n"
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            sys.stdout.write(text)
+        elapsed = time.perf_counter() - started
+        hops = sum(t.hop_count() for t in traces)
+        print(
+            f"[{args.system}, seed {args.seed}] {len(traces)} trace(s), "
+            f"{hops} hops in {elapsed:.1f}s",
             file=sys.stderr,
         )
         return 0

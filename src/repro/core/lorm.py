@@ -134,7 +134,7 @@ class LormService(DiscoveryService):
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register(self, info: ResourceInfo, *, routed: bool = True) -> int:
+    def _register_impl(self, info: ResourceInfo, *, routed: bool = True) -> int:
         """``Insert(rescID, rescInfo)`` — one Cycloid insertion."""
         key = self.resc_id(info.attribute, info.value)
         if not routed:
@@ -152,7 +152,7 @@ class LormService(DiscoveryService):
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def query(self, q: Query, start: Any | None = None) -> QueryResult:
+    def _query_impl(self, q: Query, start: Any | None = None) -> QueryResult:
         """One Cycloid lookup; range queries walk the attribute's cluster."""
         start = self._resolve_start(start)
         constraint = q.constraint

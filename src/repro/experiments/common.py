@@ -128,4 +128,10 @@ def build_services(
         for info in workload.resource_infos():
             for service in bundle.all():
                 service.register(info, routed=routed_registration)
+    if config.trace:
+        # Attached *after* the bulk load so traces start with the queries.
+        from repro.obs import QueryTracer
+
+        for service in bundle.all():
+            service.attach_tracer(QueryTracer())
     return bundle

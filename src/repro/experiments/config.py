@@ -84,6 +84,10 @@ class ExperimentConfig:
     #: service, validating overlay invariants and directory conservation
     #: after each churn event (the runner's ``--invariants`` flag).
     validate_invariants: bool = False
+    #: Attach a hop-level :class:`~repro.obs.QueryTracer` to every built
+    #: service (``repro.obs``).  Off by default: the traced code paths are
+    #: bypassed entirely so benchmark figures are unaffected.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         require(self.dimension >= 2, "dimension must be >= 2")

@@ -1,0 +1,34 @@
+"""Observability: hop-level span tracing of routed queries.
+
+:mod:`repro.obs.spans` defines the span tree (`QueryTrace`) and the
+`QueryTracer` the services and overlays emit into;
+:mod:`repro.obs.export` renders traces as deterministic JSONL, Chrome
+``trace_event`` JSON, or an ASCII tree; :mod:`repro.obs.replay` replays a
+seeded query through one system with tracing on (the ``repro trace`` CLI).
+
+Tracing is strictly opt-in: no tracer attached (the default everywhere)
+means no spans, no clock ticks and no extra work on the routing hot paths
+beyond a single ``is None`` check per lookup/walk dispatch.
+"""
+
+from repro.obs.export import (
+    render_tree,
+    span_records,
+    trace_to_jsonl,
+    traces_to_chrome,
+    traces_to_jsonl,
+)
+from repro.obs.spans import QueryTrace, QueryTracer, Span, SpanEvent, SpanKind
+
+__all__ = [
+    "QueryTrace",
+    "QueryTracer",
+    "Span",
+    "SpanEvent",
+    "SpanKind",
+    "render_tree",
+    "span_records",
+    "trace_to_jsonl",
+    "traces_to_chrome",
+    "traces_to_jsonl",
+]

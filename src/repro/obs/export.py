@@ -1,0 +1,145 @@
+"""Deterministic exporters for query span trees.
+
+Three renderings of a :class:`~repro.obs.spans.QueryTrace`:
+
+* :func:`traces_to_jsonl` — one JSON object per span, depth-first, keys
+  sorted and compactly separated.  The golden-trace regression format.
+* :func:`traces_to_chrome` — Chrome ``trace_event`` JSON (open the output
+  in ``chrome://tracing`` or Perfetto): spans become complete ("X")
+  events, fault annotations become instant ("i") events.
+* :func:`render_tree` — indented ASCII tree for terminals.
+
+All three are pure functions of the trace: no wall-clock reads, no
+environment lookups, stable key ordering — running the same seeded replay
+twice yields byte-identical output (asserted in CI).
+"""
+
+from __future__ import annotations
+
+import json
+from enum import Enum
+from typing import Any
+
+from repro.obs.spans import QueryTrace, Span
+
+__all__ = [
+    "span_records",
+    "trace_to_jsonl",
+    "traces_to_jsonl",
+    "traces_to_chrome",
+    "render_tree",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """A JSON-safe copy: enums by value, tuples as lists, other objects by str."""
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, bool) or value is None or isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def span_records(trace: QueryTrace) -> list[dict[str, Any]]:
+    """Flat per-span dicts of ``trace``, depth-first, with parent links."""
+    records: list[dict[str, Any]] = []
+
+    def visit(span: Span, parent_id: int | None) -> None:
+        records.append(
+            {
+                "trace": trace.trace_id,
+                "span": span.span_id,
+                "parent": parent_id,
+                "kind": span.kind.value,
+                "name": span.name,
+                "start": span.start,
+                "end": span.end,
+                "attrs": _jsonable(span.attrs),
+                "events": [
+                    {"time": ev.time, "kind": ev.kind, "detail": _jsonable(ev.detail)}
+                    for ev in span.events
+                ],
+            }
+        )
+        for child in span.children:
+            visit(child, span.span_id)
+
+    visit(trace.root, None)
+    return records
+
+
+def trace_to_jsonl(trace: QueryTrace) -> str:
+    """One trace as JSONL (no trailing newline)."""
+    return "\n".join(_dumps(record) for record in span_records(trace))
+
+
+def traces_to_jsonl(traces: list[QueryTrace]) -> str:
+    """Many traces as JSONL, trailing newline included when non-empty."""
+    if not traces:
+        return ""
+    return "\n".join(trace_to_jsonl(trace) for trace in traces) + "\n"
+
+
+def traces_to_chrome(traces: list[QueryTrace]) -> str:
+    """Chrome ``trace_event`` JSON: spans as "X" events (one ``tid`` per
+    trace), fault annotations as instant "i" events."""
+    events: list[dict[str, Any]] = []
+    for trace in traces:
+        for span in trace.root.walk():
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": trace.trace_id,
+                    "name": span.name,
+                    "cat": span.kind.value,
+                    "ts": span.start,
+                    "dur": max(span.end - span.start, 0),
+                    "args": _jsonable({"span": span.span_id, **span.attrs}),
+                }
+            )
+            for ev in span.events:
+                events.append(
+                    {
+                        "ph": "i",
+                        "pid": 0,
+                        "tid": trace.trace_id,
+                        "name": ev.kind,
+                        "cat": "fault",
+                        "ts": ev.time,
+                        "s": "t",
+                        "args": _jsonable(ev.detail),
+                    }
+                )
+    return _dumps({"displayTimeUnit": "ms", "traceEvents": events})
+
+
+def _fmt(value: Any) -> str:
+    return _dumps(_jsonable(value))
+
+
+def render_tree(trace: QueryTrace) -> str:
+    """Indented human-readable rendering of one trace."""
+    lines: list[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        pad = "  " * depth
+        attrs = " ".join(f"{k}={_fmt(v)}" for k, v in sorted(span.attrs.items()))
+        header = f"{pad}{span.kind.value} {span.name} [{span.start}..{span.end}]"
+        lines.append(f"{header} {attrs}".rstrip())
+        for ev in span.events:
+            detail = " ".join(f"{k}={_fmt(v)}" for k, v in sorted(ev.detail.items()))
+            lines.append(f"{pad}  ! {ev.kind} @{ev.time} {detail}".rstrip())
+        for child in span.children:
+            visit(child, depth + 1)
+
+    visit(trace.root, 0)
+    return "\n".join(lines)

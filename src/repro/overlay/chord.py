@@ -31,7 +31,7 @@ from collections.abc import Iterable
 from typing import Any
 
 from repro.overlay.idspace import IdSpace
-from repro.overlay.node import LookupResult, OverlayNode, WalkResult
+from repro.overlay.node import LookupResult, OverlayNode, WalkResult, trace_fault_step
 from repro.sim.faults import DEFAULT_POLICY, LookupPolicy, deliver_first
 from repro.sim.maintenance import RepairProgress, repair_buckets
 from repro.sim.network import SimulatedNetwork
@@ -150,6 +150,10 @@ class ChordRing:
         self.routing_cache = routing_cache
         self._succ_cache: dict[int, ChordNode] = {}
         self._cpf_cache: dict[int, list[ChordNode]] = {}
+        #: Optional hop-level span tracer (:class:`repro.obs.spans.
+        #: QueryTracer`).  ``None`` (the default) keeps the routing hot
+        #: paths untouched beyond one ``is None`` dispatch per lookup/walk.
+        self.tracer: Any | None = None
 
     def invalidate_routing_caches(self) -> None:
         """Drop all derived-routing caches (membership or liveness changed).
@@ -312,8 +316,14 @@ class ChordRing:
         succeeding.
         """
         key = self.space.wrap(key)
+        if self.tracer is not None:
+            return self._lookup_traced(start, key, policy)
         if self.faults_active:
             return self._lookup_faulty(start, key, policy or self.lookup_policy)
+        return self._lookup_plain(start, key)
+
+    def _lookup_plain(self, start: ChordNode, key: int) -> LookupResult:
+        """The fault-free greedy route (``key`` already wrapped)."""
         cur = start
         hops = 0
         path = [cur.node_id]
@@ -339,8 +349,61 @@ class ChordRing:
             self.network.count_hop()
         return LookupResult(owner=cur, hops=hops, path=tuple(path))
 
+    def _lookup_traced(
+        self, start: ChordNode, key: int, policy: LookupPolicy | None
+    ) -> LookupResult:
+        """Route with span tracing: identical result, plus one LOOKUP span
+        with per-hop child spans.
+
+        Fault-free routes are traced *post hoc* from the result path (the
+        hot loop stays branch-free); the fault path emits hops and
+        drop/retry/failover/timeout annotations live as they happen.
+        """
+        tracer = self.tracer
+        with tracer.span("lookup", "chord.lookup", origin=start.node_id, key=key) as span:
+            if self.faults_active:
+                result = self._lookup_faulty(
+                    start, key, policy or self.lookup_policy, tracer=tracer
+                )
+            else:
+                result = self._lookup_plain(start, key)
+                prev = start
+                for nid in result.path[1:]:
+                    node = self._nodes[nid]
+                    tracer.hop(prev.node_id, nid, self.edge_kind(prev, node))
+                    prev = node
+            span.attrs.update(
+                owner=result.owner.node_id, hops=result.hops,
+                complete=result.complete, retries=result.retries,
+                timed_out=result.timed_out,
+            )
+        return result
+
+    def edge_kind(self, src: ChordNode, dst: ChordNode) -> str:
+        """Which routing-table entry of ``src`` reaches ``dst``.
+
+        Classification only (tracing annotations); priority mirrors the
+        route's preference order: immediate successor, successor list,
+        finger table, predecessor.
+        """
+        if dst is src.successor:
+            return "successor"
+        for entry in src.successor_list:
+            if entry is dst:
+                return "successor-list"
+        for finger in src.fingers:
+            if finger is dst:
+                return "finger"
+        if src.predecessor is dst:
+            return "predecessor"
+        return "unknown"
+
     def _lookup_faulty(
-        self, start: ChordNode, key: int, policy: LookupPolicy
+        self,
+        start: ChordNode,
+        key: int,
+        policy: LookupPolicy,
+        tracer: Any | None = None,
     ) -> LookupResult:
         """The fault-path route: local stop test, lossy hops, failover.
 
@@ -354,6 +417,10 @@ class ChordRing:
         retries = 0
         path = [cur.node_id]
         budget = policy.hop_budget or 8 * self.bits + self.num_nodes
+        drops: list[tuple[int, int]] = []
+        on_drop = None if tracer is None else (
+            lambda dst_id, attempt: drops.append((dst_id, attempt))
+        )
         while True:
             if self._owns_local(cur, key):
                 return LookupResult(
@@ -366,10 +433,19 @@ class ChordRing:
                     complete=False, retries=retries,
                 )
             candidates = self._hop_candidates(cur, key, policy)
-            nxt, used, _skipped = deliver_first(
-                self.network, cur.node_id, candidates, policy
+            nxt, used, skipped = deliver_first(
+                self.network, cur.node_id, candidates, policy, on_drop
             )
             retries += used
+            if tracer is not None:
+                advanced = nxt is not None and nxt is not cur
+                trace_fault_step(
+                    tracer,
+                    cur.node_id,
+                    nxt.node_id if advanced else None,
+                    self.edge_kind(cur, nxt) if advanced else "",
+                    used, skipped, drops,
+                )
             if nxt is None or nxt is cur:
                 # Every candidate timed out (or none exist): the route is
                 # stuck and the lookup honestly fails.
@@ -497,6 +573,42 @@ class ChordRing:
     # Successor walk (range-query primitive)
     # ------------------------------------------------------------------
     def walk_arc(
+        self,
+        start: ChordNode,
+        from_key: int,
+        until_key: int,
+        policy: LookupPolicy | None = None,
+    ) -> WalkResult:
+        """All live nodes owning keys on the clockwise arc — see
+        :meth:`_walk_arc_impl`; with a tracer attached the walk is wrapped
+        in a WALK span whose hop children are the successor steps."""
+        if self.tracer is None:
+            return self._walk_arc_impl(start, from_key, until_key, policy)
+        tracer = self.tracer
+        with tracer.span(
+            "walk", "chord.walk",
+            origin=start.node_id,
+            from_key=self.space.wrap(from_key),
+            until_key=self.space.wrap(until_key),
+        ) as span:
+            result = self._walk_arc_impl(start, from_key, until_key, policy)
+            prev = result[0]
+            for node in result[1:]:
+                tracer.hop(prev.node_id, node.node_id, "successor")
+                prev = node
+            for _ in range(result.retries):
+                tracer.event("retry")
+            if result.truncated:
+                tracer.event("truncated", reason=result.reason)
+            if result.timed_out:
+                tracer.event("timeout")
+            span.attrs.update(
+                visited=len(result), truncated=result.truncated,
+                retries=result.retries,
+            )
+        return result
+
+    def _walk_arc_impl(
         self,
         start: ChordNode,
         from_key: int,

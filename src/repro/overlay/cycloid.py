@@ -45,7 +45,7 @@ from collections.abc import Iterable
 from typing import Any, NamedTuple
 
 from repro.overlay.idspace import IdSpace, closest_on_ring
-from repro.overlay.node import LookupResult, OverlayNode, WalkResult
+from repro.overlay.node import LookupResult, OverlayNode, WalkResult, trace_fault_step
 from repro.sim.faults import DEFAULT_POLICY, LookupPolicy, deliver_first
 from repro.sim.maintenance import RepairProgress, repair_buckets
 from repro.sim.network import SimulatedNetwork
@@ -181,6 +181,10 @@ class CycloidOverlay:
         #: disables memoisation (equivalence tests diff the two modes).
         self.routing_cache = routing_cache
         self._owner_cache: dict[CycloidId, CycloidNode] = {}
+        #: Optional hop-level span tracer (:class:`repro.obs.spans.
+        #: QueryTracer`).  ``None`` (the default) keeps the routing hot
+        #: paths untouched beyond one ``is None`` dispatch per lookup/walk.
+        self.tracer: Any | None = None
 
     def invalidate_routing_caches(self) -> None:
         """Drop the owner cache (membership changed)."""
@@ -429,8 +433,14 @@ class CycloidOverlay:
         consulted and an unfinishable route returns ``complete=False``
         rather than raising.
         """
+        if self.tracer is not None:
+            return self._lookup_traced(start, target, policy)
         if self.faults_active:
             return self._lookup_faulty(start, target, policy or self.lookup_policy)
+        return self._lookup_plain(start, target)
+
+    def _lookup_plain(self, start: CycloidNode, target: CycloidId) -> LookupResult:
+        """The fault-free CCC route (oracle stop test)."""
         owner = self.closest_node(target)
         cur = start
         hops = 0
@@ -465,6 +475,54 @@ class CycloidOverlay:
             )
         return LookupResult(owner=cur, hops=hops, path=tuple(path))
 
+    def _lookup_traced(
+        self,
+        start: CycloidNode,
+        target: CycloidId,
+        policy: LookupPolicy | None,
+    ) -> LookupResult:
+        """Route with span tracing: identical result, plus one LOOKUP span
+        with per-hop child spans (post hoc when fault-free, live with
+        drop/retry/failover annotations on the fault path)."""
+        tracer = self.tracer
+        with tracer.span(
+            "lookup", "cycloid.lookup", origin=start.cid, key=target
+        ) as span:
+            if self.faults_active:
+                result = self._lookup_faulty(
+                    start, target, policy or self.lookup_policy, tracer=tracer
+                )
+            else:
+                result = self._lookup_plain(start, target)
+                prev = start
+                for cid in result.path[1:]:
+                    node = self._nodes[cid]
+                    tracer.hop(prev.cid, cid, self.edge_kind(prev, node))
+                    prev = node
+            span.attrs.update(
+                owner=result.owner.cid, hops=result.hops,
+                complete=result.complete, retries=result.retries,
+                timed_out=result.timed_out,
+            )
+        return result
+
+    def edge_kind(self, src: CycloidNode, dst: CycloidNode) -> str:
+        """Which routing-table entry of ``src`` reaches ``dst``.
+
+        Classification only (tracing annotations); priority follows the
+        CCC routing discipline: cubical link, inside leaf set, cyclic
+        neighbours, outside leaf set.
+        """
+        if dst is src.cubical_neighbor:
+            return "cubical"
+        if dst is src.inside_leaf[0] or dst is src.inside_leaf[1]:
+            return "inside-leaf"
+        if dst is src.cyclic_neighbors[0] or dst is src.cyclic_neighbors[1]:
+            return "cyclic"
+        if dst is src.outside_leaf[0] or dst is src.outside_leaf[1]:
+            return "outside-leaf"
+        return "unknown"
+
     def _key_badness(self, node: CycloidNode, tk: int, ta: int) -> tuple[int, int]:
         """Cluster-first distance of ``node`` to the raw key ``(tk, ta)``.
 
@@ -478,7 +536,11 @@ class CycloidOverlay:
         return (cluster_dist, cyclic_dist)
 
     def _lookup_faulty(
-        self, start: CycloidNode, target: CycloidId, policy: LookupPolicy
+        self,
+        start: CycloidNode,
+        target: CycloidId,
+        policy: LookupPolicy,
+        tracer: Any | None = None,
     ) -> LookupResult:
         """The fault-path route: greedy descent with a local stop test.
 
@@ -500,6 +562,10 @@ class CycloidOverlay:
             policy.hop_budget
             or 10 * self.dimension + 3 * self.cubical_space.size + 4
         )
+        drops: list[tuple[int, int]] = []
+        on_drop = None if tracer is None else (
+            lambda dst_id, attempt: drops.append((dst_id, attempt))
+        )
         while True:
             own = self._key_badness(cur, tk, ta)
             improving = sorted(
@@ -519,13 +585,22 @@ class CycloidOverlay:
                 )
             if not policy.finger_fallback:
                 improving = improving[:1]
-            nxt, used, _skipped = deliver_first(
+            nxt, used, skipped = deliver_first(
                 self.network,
                 self.linearize(cur.cid),
                 [(self.linearize(n.cid), n) for n in improving],
                 policy,
+                on_drop,
             )
             retries += used
+            if tracer is not None:
+                trace_fault_step(
+                    tracer,
+                    cur.cid,
+                    nxt.cid if nxt is not None else None,
+                    self.edge_kind(cur, nxt) if nxt is not None else "",
+                    used, skipped, drops,
+                )
             if nxt is None:
                 return LookupResult(
                     owner=cur, hops=hops, path=tuple(path),
@@ -637,6 +712,42 @@ class CycloidOverlay:
     # Intra-cluster walk (LORM's range-query primitive)
     # ------------------------------------------------------------------
     def walk_cluster(
+        self,
+        start: CycloidNode,
+        k_from: int,
+        k_to: int,
+        policy: LookupPolicy | None = None,
+    ) -> WalkResult:
+        """Nodes of ``start``'s cluster covering cyclic sector — see
+        :meth:`_walk_cluster_impl`; with a tracer attached the walk is
+        wrapped in a WALK span whose hop children are the leaf steps."""
+        if self.tracer is None:
+            return self._walk_cluster_impl(start, k_from, k_to, policy)
+        tracer = self.tracer
+        with tracer.span(
+            "walk", "cycloid.walk",
+            origin=start.cid,
+            k_from=k_from % self.dimension,
+            k_to=k_to % self.dimension,
+        ) as span:
+            result = self._walk_cluster_impl(start, k_from, k_to, policy)
+            prev = result[0]
+            for node in result[1:]:
+                tracer.hop(prev.cid, node.cid, "inside-leaf")
+                prev = node
+            for _ in range(result.retries):
+                tracer.event("retry")
+            if result.truncated:
+                tracer.event("truncated", reason=result.reason)
+            if result.timed_out:
+                tracer.event("timeout")
+            span.attrs.update(
+                visited=len(result), truncated=result.truncated,
+                retries=result.retries,
+            )
+        return result
+
+    def _walk_cluster_impl(
         self,
         start: CycloidNode,
         k_from: int,

@@ -13,7 +13,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["LookupResult", "OverlayNode", "WalkResult"]
+__all__ = ["LookupResult", "OverlayNode", "WalkResult", "trace_fault_step"]
 
 
 @dataclass(frozen=True)
@@ -174,3 +174,41 @@ class OverlayNode:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "live" if self.alive else "dead"
         return f"<{type(self).__name__} {self.uid} {state} dir={self.directory_size()}>"
+
+
+def trace_fault_step(
+    tracer: Any,
+    src: Any,
+    dst: Any,
+    choice: str,
+    used: int,
+    skipped: int,
+    drops: list,
+) -> None:
+    """Emit one fault-path routing step into ``tracer`` (shared by both
+    overlays' ``_lookup_faulty`` loops).
+
+    ``dst=None`` means the step failed entirely — the drops/retries attach
+    to the enclosing lookup span together with a "timeout" marker.
+    Otherwise a hop span ``src -> dst`` is created and the step's drop,
+    retry-round and failover annotations attach to it.  One "retry" event
+    is emitted per retransmission round, so the retry-event count of a
+    span tree always equals the ``LookupResult.retries`` accounting.
+    ``drops`` holds the ``(dst_id, attempt)`` pairs observed by
+    :func:`repro.sim.faults.deliver_first` and is cleared for the next step.
+    """
+    if dst is None:
+        for dropped_id, attempt in drops:
+            tracer.event("drop", target=dropped_id, attempt=attempt)
+        for _ in range(used):
+            tracer.event("retry")
+        tracer.event("timeout", stuck_at=src)
+    else:
+        hop = tracer.hop(src, dst, choice)
+        for dropped_id, attempt in drops:
+            tracer.event("drop", span=hop, target=dropped_id, attempt=attempt)
+        for _ in range(used):
+            tracer.event("retry", span=hop)
+        if skipped:
+            tracer.event("failover", span=hop, skipped=skipped)
+    drops.clear()

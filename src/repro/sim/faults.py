@@ -287,6 +287,7 @@ def deliver_first(
     src_id: int,
     candidates: Sequence[tuple[int, Any]],
     policy: LookupPolicy,
+    on_drop: Callable[[int, int], None] | None = None,
 ) -> tuple[Any, int, int]:
     """Deliver one message to the first reachable candidate.
 
@@ -295,6 +296,10 @@ def deliver_first(
     backoff accounting) before the requester fails over to the next one —
     transient loss is absorbed by retransmission, persistent
     unreachability by failover.  Dropped messages count as timeouts.
+
+    ``on_drop(dst_id, attempt)`` — when given — observes every failed
+    delivery attempt (the hop-level tracer sources its "drop" annotations
+    from here, so annotations reflect the injector's actual decisions).
 
     Returns ``(node, retries_used, skipped)`` where ``skipped`` is the
     number of candidates given up on before ``node`` answered, or
@@ -316,4 +321,6 @@ def deliver_first(
             if network.try_deliver(src_id, dst_id):
                 return node, retries_used, position
             network.count_timeout(policy.timeout)
+            if on_drop is not None:
+                on_drop(dst_id, attempt)
     return None, retries_used, len(candidates)

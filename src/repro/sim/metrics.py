@@ -119,6 +119,15 @@ class MetricsRegistry:
         """Raw samples recorded under ``name``."""
         return list(self._samples[name])
 
+    def last(self, name: str) -> float | None:
+        """The most recent sample of series ``name`` (None when empty).
+
+        Used by the trace/metrics conservation checks: a traced query's
+        span totals must equal the sample the service recorded for it.
+        """
+        series = self._samples.get(name)
+        return series[-1] if series else None
+
     def summary(self, name: str) -> SummaryStats:
         """Summary of series ``name``."""
         return summarize(self._samples[name])

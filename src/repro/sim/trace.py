@@ -12,6 +12,7 @@ tracing branches on the hot path when no recorder is attached.
 
 from __future__ import annotations
 
+import copy
 from collections import Counter, deque
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
@@ -35,6 +36,7 @@ class TraceEventKind(str, Enum):
     FAIL = "fail"
     STABILIZE = "stabilize"
     QUERY = "query"
+    HOP = "hop"
 
 
 @dataclass(frozen=True)
@@ -79,9 +81,17 @@ class TraceRecorder:
     def record(
         self, kind: TraceEventKind | str, subject: str, **detail: Any
     ) -> TraceEvent:
-        """Append one event; returns it."""
+        """Append one event; returns it.
+
+        The detail values are deep-copied: recorded history must stay
+        frozen even when a caller keeps mutating a list/dict it passed in
+        (mutate-after-record previously corrupted retained events).
+        """
         kind = TraceEventKind(kind)
-        event = TraceEvent(kind=kind, time=self._clock(), subject=subject, detail=detail)
+        event = TraceEvent(
+            kind=kind, time=self._clock(), subject=subject,
+            detail=copy.deepcopy(detail),
+        )
         if len(self._events) == self.capacity:
             self.dropped += 1
         self._events.append(event)

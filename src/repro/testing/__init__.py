@@ -15,6 +15,7 @@ from repro.testing.differential import (
     run_check,
     run_differential,
 )
+from repro.testing.traces import TraceBoundViolation, assert_trace_bounds
 
 __all__ = [
     "ALL_SYSTEMS",
@@ -22,6 +23,8 @@ __all__ = [
     "CheckReport",
     "DifferentialReport",
     "Divergence",
+    "TraceBoundViolation",
+    "assert_trace_bounds",
     "run_check",
     "run_differential",
 ]

@@ -1,0 +1,153 @@
+"""Trace-based test oracles: structural checks over query span trees.
+
+:func:`assert_trace_bounds` turns one traced query into a battery of
+assertions against the Section-IV hop-bound theorems *hop by hop*: every
+routed lookup's hop chain must be contiguous (each message departs from
+the node the previous one reached), its span must account for exactly the
+hops it recorded, and — on a fault-free run — every level must respect the
+service's structural ceilings (:meth:`structural_hop_bound`,
+:meth:`subquery_hop_bound`, :meth:`max_visited_per_subquery`).
+
+The differential harness checks *end states*; these oracles check the
+*journey*, so a routing bug that reaches the right owner through an
+impossible path fails here even though every result looks correct.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.spans import QueryTrace, Span, SpanKind
+
+__all__ = ["TraceBoundViolation", "assert_trace_bounds"]
+
+
+class TraceBoundViolation(AssertionError):
+    """A traced query violated a structural hop-bound or accounting law."""
+
+
+def _fail(message: str) -> None:
+    raise TraceBoundViolation(message)
+
+
+def _check_hop_chain(span: Span) -> None:
+    """Direct hop children must form one contiguous chain from ``origin``."""
+    hops = span.hop_spans()
+    if not hops:
+        return
+    expected_src = span.attrs.get("origin")
+    for i, hop in enumerate(hops):
+        src, dst = hop.attrs.get("src"), hop.attrs.get("dst")
+        if expected_src is not None and src != expected_src:
+            _fail(
+                f"{span.name} span {span.span_id}: hop {i} departs from "
+                f"{src!r}, expected {expected_src!r} (broken hop chain)"
+            )
+        expected_src = dst
+
+
+def _check_lookup(span: Span, service: Any, faulted: bool) -> None:
+    hops = len(span.hop_spans())
+    claimed = span.attrs.get("hops")
+    if claimed is not None and hops != claimed:
+        _fail(
+            f"{span.name} span {span.span_id}: {hops} hop spans but "
+            f"attrs claim hops={claimed}"
+        )
+    _check_hop_chain(span)
+    if not faulted and span.attrs.get("complete", True):
+        bound = service.structural_hop_bound()
+        if hops > bound:
+            _fail(
+                f"{span.name} span {span.span_id}: {hops} hops exceed the "
+                f"structural bound {bound} on a fault-free lookup"
+            )
+
+
+def _check_walk(span: Span) -> None:
+    hops = len(span.hop_spans())
+    visited = span.attrs.get("visited")
+    if visited is not None and hops != visited - 1:
+        _fail(
+            f"{span.name} span {span.span_id}: {hops} hop spans but "
+            f"visited={visited} (a walk of v nodes takes v-1 hops)"
+        )
+    _check_hop_chain(span)
+
+
+def _check_subquery(span: Span, service: Any, faulted: bool) -> None:
+    hops = len(span.find(SpanKind.HOP))
+    claimed = span.attrs.get("hops")
+    if claimed is not None and hops != claimed:
+        _fail(
+            f"subquery span {span.span_id} ({span.attrs.get('attribute')}): "
+            f"{hops} descendant hop spans but attrs claim hops={claimed}"
+        )
+    if not faulted and span.attrs.get("complete", True):
+        hop_bound = service.subquery_hop_bound()
+        if hops > hop_bound:
+            _fail(
+                f"subquery span {span.span_id}: {hops} hops exceed the "
+                f"sub-query bound {hop_bound} on a fault-free run"
+            )
+        visited = span.attrs.get("visited")
+        visited_bound = service.max_visited_per_subquery()
+        if visited is not None and visited > visited_bound:
+            _fail(
+                f"subquery span {span.span_id}: visited {visited} nodes, "
+                f"bound is {visited_bound}"
+            )
+
+
+def _check_root(root: Span) -> None:
+    subs = [c for c in root.children if c.kind is SpanKind.SUBQUERY]
+    if not subs:
+        return
+    total_hops = sum(s.attrs.get("hops", 0) for s in subs)
+    total_visited = sum(s.attrs.get("visited", 0) for s in subs)
+    if root.attrs.get("total_hops", total_hops) != total_hops:
+        _fail(
+            f"query span {root.span_id}: total_hops="
+            f"{root.attrs['total_hops']} but sub-queries sum to {total_hops}"
+        )
+    if root.attrs.get("total_visited", total_visited) != total_visited:
+        _fail(
+            f"query span {root.span_id}: total_visited="
+            f"{root.attrs['total_visited']} but sub-queries sum to "
+            f"{total_visited}"
+        )
+
+
+def assert_trace_bounds(trace: QueryTrace, service: Any) -> None:
+    """Assert ``trace`` obeys the hop-accounting and theorem bounds of
+    ``service``.
+
+    Checks, from the leaves up:
+
+    * every LOOKUP/WALK span has exactly as many hop children as its
+      ``hops`` / ``visited - 1`` attributes claim, chained contiguously
+      from its ``origin``;
+    * fault-free complete lookups stay within
+      ``service.structural_hop_bound()``;
+    * every SUBQUERY's descendant hop count equals its recorded ``hops``
+      and — fault-free — stays within ``service.subquery_hop_bound()``
+      and ``service.max_visited_per_subquery()``;
+    * the QUERY root's ``total_hops`` / ``total_visited`` equal the sums
+      over its sub-queries.
+
+    Spans on faulted traces keep the accounting checks but skip the
+    theorem ceilings (retries legitimately exceed them).
+
+    Raises :class:`TraceBoundViolation` (an ``AssertionError``) naming the
+    offending span.
+    """
+    faulted = trace.faulted
+    for span in trace.root.walk():
+        if span.kind is SpanKind.LOOKUP:
+            _check_lookup(span, service, faulted)
+        elif span.kind is SpanKind.WALK:
+            _check_walk(span)
+        elif span.kind is SpanKind.SUBQUERY:
+            _check_subquery(span, service, faulted)
+    if trace.root.kind is SpanKind.QUERY:
+        _check_root(trace.root)

@@ -76,6 +76,25 @@ class TestParser:
         assert args.smoke
         assert args.seed == 3
 
+    def test_trace_command_defaults(self):
+        args = build_parser().parse_args(["trace", "--system", "lorm"])
+        assert args.system == "lorm"
+        assert args.seed == 0
+        assert args.queries == 1
+        assert args.attributes == 2
+        assert args.kind == "range"
+        assert args.loss == 0.0
+        assert args.format == "tree"
+        assert args.out is None
+
+    def test_trace_requires_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--system", "kademlia"])
+
 
 class TestMain:
     def test_list_prints_all_figures(self, capsys):
@@ -183,3 +202,36 @@ class TestMain:
         assert main(["all", "--scale", "smoke", "--out", str(tmp_path)]) == 0
         produced = {p.name for p in tmp_path.glob("*.csv")}
         assert "fig6b.csv" in produced and "theorems.csv" in produced
+
+    def test_trace_tree_output(self, capsys):
+        assert main(["trace", "--system", "lorm", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("query LORM.multi_query")
+        assert "hop hop" in out and "choice=" in out
+
+    def test_trace_jsonl_deterministic(self, capsys):
+        assert main(["trace", "--system", "sword", "--format", "jsonl"]) == 0
+        first = capsys.readouterr().out
+        assert main(["trace", "--system", "sword", "--format", "jsonl"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_trace_chrome_to_file(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        code = main([
+            "trace", "--system", "maan", "--format", "chrome",
+            "--out", str(out_file),
+        ])
+        assert code == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"]
+        assert capsys.readouterr().out == ""  # everything went to the file
+
+    def test_trace_with_loss_annotates_faults(self, capsys):
+        code = main([
+            "trace", "--system", "mercury", "--seed", "3",
+            "--queries", "2", "--loss", "0.3",
+        ])
+        assert code == 0
+        assert "! " in capsys.readouterr().out  # at least one fault event

@@ -1,0 +1,103 @@
+"""Exporter tests: determinism, structure, and the Chrome trace shape."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (
+    render_tree,
+    span_records,
+    trace_to_jsonl,
+    traces_to_chrome,
+    traces_to_jsonl,
+)
+from repro.obs.spans import QueryTracer
+
+
+def _sample_trace():
+    tracer = QueryTracer()
+    with tracer.span("query", "q", attributes=2):
+        with tracer.span("subquery", "s", attribute="cpu"):
+            with tracer.span("lookup", "l", origin=(2, 10)):
+                tracer.hop((2, 10), (1, 8), "cubical")
+                tracer.event("retry", attempt=1)
+    return tracer.traces[0]
+
+
+class TestSpanRecords:
+    def test_parent_links_are_depth_first(self):
+        records = span_records(_sample_trace())
+        assert [r["kind"] for r in records] == [
+            "query", "subquery", "lookup", "hop",
+        ]
+        assert records[0]["parent"] is None
+        assert records[1]["parent"] == records[0]["span"]
+        assert records[3]["parent"] == records[2]["span"]
+
+    def test_tuples_serialize_as_lists(self):
+        records = span_records(_sample_trace())
+        hop = records[3]
+        assert hop["attrs"]["src"] == [2, 10]
+
+    def test_events_carry_time_kind_detail(self):
+        records = span_records(_sample_trace())
+        (event,) = records[2]["events"]
+        assert event["kind"] == "retry" and event["detail"] == {"attempt": 1}
+
+
+class TestJsonl:
+    def test_lines_are_valid_sorted_json(self):
+        text = trace_to_jsonl(_sample_trace())
+        for line in text.splitlines():
+            obj = json.loads(line)
+            assert line == json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+    def test_byte_identical_across_builds(self):
+        assert trace_to_jsonl(_sample_trace()) == trace_to_jsonl(_sample_trace())
+
+    def test_empty_traces_empty_string(self):
+        assert traces_to_jsonl([]) == ""
+
+    def test_multi_trace_has_trailing_newline(self):
+        text = traces_to_jsonl([_sample_trace()])
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+
+class TestChrome:
+    def test_top_level_shape(self):
+        doc = json.loads(traces_to_chrome([_sample_trace()]))
+        assert set(doc) == {"displayTimeUnit", "traceEvents"}
+
+    def test_spans_become_complete_events(self):
+        doc = json.loads(traces_to_chrome([_sample_trace()]))
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert [e["cat"] for e in xs] == ["query", "subquery", "lookup", "hop"]
+        for e in xs:
+            assert e["dur"] >= 0 and "span" in e["args"]
+
+    def test_fault_annotations_become_instants(self):
+        doc = json.loads(traces_to_chrome([_sample_trace()]))
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "retry" and instants[0]["cat"] == "fault"
+
+    def test_byte_identical_across_builds(self):
+        assert traces_to_chrome([_sample_trace()]) == traces_to_chrome(
+            [_sample_trace()]
+        )
+
+
+class TestRenderTree:
+    def test_indentation_follows_depth(self):
+        lines = render_tree(_sample_trace()).splitlines()
+        assert lines[0].startswith("query ")
+        assert lines[1].startswith("  subquery ")
+        assert lines[2].startswith("    lookup ")
+
+    def test_events_render_with_bang(self):
+        text = render_tree(_sample_trace())
+        assert "! retry" in text
+
+    def test_hop_line_names_choice(self):
+        text = render_tree(_sample_trace())
+        assert 'choice="cubical"' in text

@@ -1,0 +1,127 @@
+"""Fault-path tracing: injected loss surfaces as span annotations.
+
+Seeded message loss must show up in the span trees as ``drop`` / ``retry``
+/ ``timeout`` / ``failover`` point events, and the annotation counts must
+reconcile with the ``LookupResult`` / ``WalkResult`` accounting the
+fault-injection layer already reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.replay import SYSTEMS, replay_queries
+from repro.obs.spans import QueryTracer, SpanKind
+from repro.overlay.chord import ChordRing
+from repro.overlay.cycloid import CycloidOverlay
+from repro.sim.faults import FaultInjector, FaultPlan, LookupPolicy
+from repro.testing import assert_trace_bounds
+from repro.workloads.generator import QueryKind
+
+LOSS = 0.3
+
+
+def _retry_events(span) -> int:
+    return sum(1 for s in span.walk() for ev in s.events if ev.kind == "retry")
+
+
+class TestChordFaultTraces:
+    def _traced_lookup(self, *, loss=LOSS, seed=5, policy=None):
+        ring = ChordRing(6)
+        ring.build_full()
+        ring.network.faults = FaultInjector(FaultPlan(loss_rate=loss, seed=seed))
+        tracer = QueryTracer()
+        ring.tracer = tracer
+        start = ring.node(0)
+        result = ring.lookup(start, 47, policy or LookupPolicy(max_retries=3))
+        return ring, tracer, result
+
+    def test_retry_annotations_equal_lookup_retries(self):
+        for seed in range(6):
+            _, tracer, result = self._traced_lookup(seed=seed)
+            (trace,) = tracer.traces
+            assert len(trace.events_of("retry")) == result.retries
+
+    def test_drops_are_annotated_with_target_and_attempt(self):
+        for seed in range(8):
+            _, tracer, result = self._traced_lookup(seed=seed)
+            drops = tracer.traces[0].events_of("drop")
+            if drops:
+                assert all(
+                    "target" in ev.detail and "attempt" in ev.detail for ev in drops
+                )
+                return
+        pytest.fail("30% loss over 8 seeds never dropped a message")
+
+    def test_failover_annotated_when_candidates_skipped(self):
+        for seed in range(30):
+            _, tracer, result = self._traced_lookup(seed=seed, loss=0.6)
+            failovers = tracer.traces[0].events_of("failover")
+            if failovers:
+                assert all(ev.detail["skipped"] >= 1 for ev in failovers)
+                return
+        pytest.fail("60% loss over 30 seeds never failed over")
+
+    def test_timeout_annotated_on_dead_end(self):
+        for seed in range(40):
+            _, tracer, result = self._traced_lookup(
+                seed=seed, loss=0.9,
+                policy=LookupPolicy(
+                    max_retries=0, successor_failover=False, finger_fallback=False
+                ),
+            )
+            if result.timed_out:
+                assert tracer.traces[0].events_of("timeout")
+                return
+        pytest.fail("90% loss with no retries never timed out in 40 seeds")
+
+    def test_hop_spans_match_hops_under_loss(self):
+        for seed in range(6):
+            _, tracer, result = self._traced_lookup(seed=seed)
+            (trace,) = tracer.traces
+            assert trace.hop_count() == result.hops
+
+
+class TestCycloidFaultTraces:
+    def _traced_lookup(self, *, loss=LOSS, seed=5):
+        overlay = CycloidOverlay(4)
+        overlay.build_full()
+        overlay.network.faults = FaultInjector(FaultPlan(loss_rate=loss, seed=seed))
+        tracer = QueryTracer()
+        overlay.tracer = tracer
+        nodes = list(overlay.nodes())
+        start, target = nodes[0], nodes[-1].cid
+        result = overlay.lookup(start, target, LookupPolicy(max_retries=3))
+        return overlay, tracer, result
+
+    def test_retry_annotations_equal_lookup_retries(self):
+        for seed in range(6):
+            _, tracer, result = self._traced_lookup(seed=seed)
+            (trace,) = tracer.traces
+            assert len(trace.events_of("retry")) == result.retries
+
+    def test_hop_spans_match_hops_under_loss(self):
+        for seed in range(6):
+            _, tracer, result = self._traced_lookup(seed=seed)
+            assert tracer.traces[0].hop_count() == result.hops
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_service_level_fault_annotations(system):
+    """A lossy replay yields faulted traces whose accounting still
+    reconciles, and every lookup/walk span's retry annotations equal its
+    recorded ``retries`` attribute."""
+    service, traces = replay_queries(
+        system, seed=3, num_queries=4, num_attributes=2,
+        kind=QueryKind.RANGE, loss=0.25,
+    )
+    assert any(trace.faulted for trace in traces)
+    for trace in traces:
+        assert_trace_bounds(trace, service)
+        for span in trace.spans_of(SpanKind.LOOKUP) + trace.spans_of(SpanKind.WALK):
+            assert _retry_events(span) == span.attrs.get("retries", 0)
+
+
+def test_fault_free_replay_has_no_annotations():
+    _, traces = replay_queries("lorm", seed=0, num_queries=2, num_attributes=2)
+    assert all(not trace.faulted for trace in traces)

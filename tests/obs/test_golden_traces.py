@@ -1,0 +1,71 @@
+"""Golden-trace regression tests.
+
+One canonical trace per system lives under
+``tests/baselines/golden_traces/<system>.jsonl``: the JSONL export of one
+seed-0 two-attribute range query, exactly what ``repro trace --system
+<system> --seed 0 --format jsonl`` prints.  The tests regenerate each
+trace from scratch and assert the output is *byte-identical* to the
+committed file — any change to routing, hashing, workload generation, the
+span model or the exporter shows up as a diff here.
+
+Updating the goldens
+--------------------
+When a change intentionally alters traces (new span attribute, routing
+fix, workload change), regenerate all four files and commit them together
+with the change::
+
+    for s in lorm mercury sword maan; do
+        PYTHONPATH=src python -m repro trace --system $s --seed 0 \
+            --format jsonl --out tests/baselines/golden_traces/$s.jsonl
+    done
+
+Review the diff before committing: every changed line should be explained
+by the change you made.  Never hand-edit the files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import traces_to_jsonl
+from repro.obs.replay import SYSTEMS, replay_queries
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "baselines" / "golden_traces"
+
+
+def _regenerate(system: str) -> str:
+    _, traces = replay_queries(system, seed=0, num_queries=1, num_attributes=2)
+    return traces_to_jsonl(traces)
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_trace_matches_committed_golden(system):
+    golden = (GOLDEN_DIR / f"{system}.jsonl").read_text()
+    regenerated = _regenerate(system)
+    assert regenerated == golden, (
+        f"{system} trace diverged from its golden; if intentional, "
+        f"regenerate per the module docstring"
+    )
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_regeneration_is_stable(system):
+    """Two fresh replays in the same process are byte-identical (no hidden
+    global state leaks into the traces)."""
+    assert _regenerate(system) == _regenerate(system)
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_golden_is_wellformed_jsonl(system):
+    lines = (GOLDEN_DIR / f"{system}.jsonl").read_text().splitlines()
+    assert lines, f"{system}.jsonl is empty"
+    roots = 0
+    for line in lines:
+        record = json.loads(line)
+        assert {"trace", "span", "parent", "kind", "name", "start", "end",
+                "attrs", "events"} <= set(record)
+        roots += record["parent"] is None
+    assert roots == 1  # one query -> one span tree

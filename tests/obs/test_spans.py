@@ -1,0 +1,132 @@
+"""Unit tests for the span tracer mechanics (:mod:`repro.obs.spans`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.spans import QueryTracer, SpanKind
+from repro.sim.trace import TraceEventKind, TraceRecorder
+
+
+class TestSpanLifecycle:
+    def test_begin_end_builds_one_trace(self):
+        tracer = QueryTracer()
+        tracer.begin("query", "q")
+        tracer.end()
+        assert len(tracer.traces) == 1
+        assert tracer.traces[0].root.kind is SpanKind.QUERY
+
+    def test_nesting_builds_a_tree(self):
+        tracer = QueryTracer()
+        tracer.begin("query", "q")
+        tracer.begin("subquery", "s")
+        tracer.begin("lookup", "l")
+        tracer.end()
+        tracer.end()
+        tracer.end()
+        trace = tracer.traces[0]
+        assert [s.kind for s in trace.spans()] == [
+            SpanKind.QUERY, SpanKind.SUBQUERY, SpanKind.LOOKUP,
+        ]
+        assert trace.root.children[0].children[0].name == "l"
+
+    def test_tick_clock_is_monotone_and_deterministic(self):
+        def run():
+            tracer = QueryTracer()
+            with tracer.span("query", "q"):
+                tracer.hop(1, 2, "finger")
+                tracer.hop(2, 3, "finger")
+            return [(s.start, s.end) for s in tracer.traces[0].spans()]
+
+        stamps = run()
+        assert stamps == run()
+        assert all(end >= start for start, end in stamps)
+
+    def test_sim_clock_overrides_ticks(self):
+        now = [7.5]
+        tracer = QueryTracer(clock=lambda: now[0])
+        tracer.begin("query", "q")
+        now[0] = 9.0
+        span = tracer.end()
+        assert span.start == 7.5 and span.end == 9.0
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ValueError):
+            QueryTracer().end()
+
+    def test_span_contextmanager_records_error(self):
+        tracer = QueryTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("query", "q"):
+                raise RuntimeError("boom")
+        root = tracer.traces[0].root
+        assert root.attrs["error"] == "RuntimeError"
+        assert root.end > 0  # still closed
+
+    def test_max_traces_evicts_oldest(self):
+        tracer = QueryTracer(max_traces=2)
+        for i in range(3):
+            with tracer.span("query", f"q{i}"):
+                pass
+        assert tracer.dropped == 1
+        assert [t.root.name for t in tracer.traces] == ["q1", "q2"]
+
+
+class TestAnnotations:
+    def test_annotate_merges_into_innermost(self):
+        tracer = QueryTracer()
+        with tracer.span("query", "q") as span:
+            tracer.annotate(hops=3)
+        assert span.attrs["hops"] == 3
+
+    def test_event_defaults_to_innermost(self):
+        tracer = QueryTracer()
+        with tracer.span("lookup", "l"):
+            tracer.event("retry", attempt=1)
+        events = tracer.traces[0].events_of("retry")
+        assert len(events) == 1 and events[0].detail == {"attempt": 1}
+
+    def test_hop_records_src_dst_choice(self):
+        tracer = QueryTracer()
+        with tracer.span("lookup", "l"):
+            hop = tracer.hop(4, 9, "successor-list")
+        assert hop.kind is SpanKind.HOP
+        assert hop.attrs == {"src": 4, "dst": 9, "choice": "successor-list"}
+        assert hop.start == hop.end
+
+    def test_hop_outside_span_raises(self):
+        with pytest.raises(ValueError):
+            QueryTracer().hop(1, 2, "finger")
+
+    def test_faulted_property(self):
+        tracer = QueryTracer()
+        with tracer.span("query", "clean"):
+            pass
+        with tracer.span("query", "dirty"):
+            tracer.event("drop", target=3)
+        clean, dirty = tracer.traces
+        assert not clean.faulted and dirty.faulted
+
+
+class TestRecorderSink:
+    def test_completed_spans_forward_to_recorder(self):
+        recorder = TraceRecorder()
+        tracer = QueryTracer(recorder=recorder)
+        with tracer.span("query", "q"):
+            with tracer.span("lookup", "l", origin=5):
+                tracer.hop(5, 6, "finger")
+        assert recorder.count(TraceEventKind.HOP) == 1
+        assert recorder.count(TraceEventKind.LOOKUP) == 1
+        assert recorder.count(TraceEventKind.QUERY) == 1
+        lookup_event = recorder.events(TraceEventKind.LOOKUP)[0]
+        assert lookup_event.detail["origin"] == 5
+
+    def test_walk_and_register_map_to_legacy_kinds(self):
+        recorder = TraceRecorder()
+        tracer = QueryTracer(recorder=recorder)
+        with tracer.span("walk", "w"):
+            pass
+        with tracer.span("register", "r"):
+            pass
+        assert recorder.count(TraceEventKind.RANGE_WALK) == 1
+        assert recorder.count(TraceEventKind.STORE) == 1

@@ -1,0 +1,66 @@
+"""Property: trace/metrics conservation across every discovery system.
+
+For any seeded query stream, the hop and visited-node totals derivable
+from a query's span tree must *exactly* equal the samples the service's
+:class:`~repro.sim.metrics.MetricsRegistry` recorded for that query —
+the span tree and the metrics pipeline observe the same wire activity
+through independent code paths, so any drift between them is a bug in
+one of the two.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.replay import SYSTEMS, replay_queries
+from repro.obs.spans import SpanKind
+from repro.workloads.generator import QueryKind
+
+system_st = st.sampled_from(sorted(SYSTEMS))
+kind_st = st.sampled_from([QueryKind.POINT, QueryKind.RANGE, QueryKind.AT_LEAST])
+
+
+@given(
+    system=system_st,
+    kind=kind_st,
+    seed=st.integers(min_value=0, max_value=2**16),
+    num_attributes=st.integers(min_value=1, max_value=3),
+    loss=st.sampled_from([0.0, 0.0, 0.2]),
+)
+@settings(max_examples=20)
+def test_span_totals_reconcile_with_metrics(system, kind, seed, num_attributes, loss):
+    service, traces = replay_queries(
+        system,
+        seed=seed,
+        num_queries=2,
+        num_attributes=num_attributes,
+        kind=kind,
+        loss=loss,
+    )
+    total_hops = service.metrics.samples("multi_query.total_hops")
+    total_visited = service.metrics.samples("multi_query.total_visited")
+    per_query_hops = service.metrics.samples("query.hops")
+    per_query_visited = service.metrics.samples("query.visited")
+
+    assert len(traces) == len(total_hops) == 2
+
+    subquery_index = 0
+    for trace, hops_sample, visited_sample in zip(traces, total_hops, total_visited):
+        root = trace.root
+        subs = trace.spans_of(SpanKind.SUBQUERY)
+        assert len(subs) == num_attributes
+
+        # Root totals equal the registry's per-multi-query samples and the
+        # actual number of hop spans in the tree.
+        assert root.attrs["total_hops"] == hops_sample == trace.hop_count()
+        assert root.attrs["total_visited"] == visited_sample
+
+        # Each sub-query's span reconciles with its per-query samples, and
+        # its hop descendants account for exactly its recorded hops.
+        for sub in subs:
+            assert sub.attrs["hops"] == per_query_hops[subquery_index]
+            assert sub.attrs["visited"] == per_query_visited[subquery_index]
+            assert len(sub.find(SpanKind.HOP)) == sub.attrs["hops"]
+            subquery_index += 1
+    assert subquery_index == len(per_query_hops)

@@ -26,6 +26,20 @@ class TestRecording:
         with pytest.raises(ValueError):
             TraceRecorder().record("teleport", "x")
 
+    def test_mutate_after_record_leaves_history_frozen(self):
+        """Regression: detail values used to be stored by reference, so a
+        caller mutating a list/dict it passed in silently rewrote the
+        recorded history."""
+        tracer = TraceRecorder()
+        path = [0, 3]
+        meta = {"stage": "walk"}
+        tracer.record("lookup", "n0", path=path, meta=meta)
+        path.append(7)
+        meta["stage"] = "done"
+        [event] = tracer.events("lookup")
+        assert event.detail["path"] == [0, 3]
+        assert event.detail["meta"] == {"stage": "walk"}
+
     def test_clock_integration(self):
         sim = Simulator()
         tracer = TraceRecorder(clock=lambda: sim.now)
