@@ -11,6 +11,8 @@ Examples
     repro all --scale smoke
     repro availability --scale smoke --loss 0 0.05 --replication 1 2
     repro chaos --smoke --seed 0
+    repro durability --smoke --seed 0
+    repro durability --policies replication:2 erasure:2+1 --systems LORM
     repro check --systems all --seed 0
     repro bench --smoke --seed 0
     repro bench compare benchmarks/baseline.json BENCH_20260805T120000Z.json
@@ -92,6 +94,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="alias for --scale smoke (deterministic CI entry point)",
+    )
+
+    durability_p = sub.add_parser(
+        "durability",
+        help="redundancy-policy sweep: successor/symmetric replication and "
+        "erasure coding through chaos timelines, reporting pieces lost, "
+        "data time-to-recover and repair bandwidth per policy; exits "
+        "non-zero unless every cell recovers its surviving data",
+    )
+    _add_common(durability_p)
+    durability_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="alias for --scale smoke (deterministic CI entry point)",
+    )
+    durability_p.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help="policy specs to sweep: replication:R | symmetric:R | "
+        "erasure:K+M, optionally @successor/@symmetric "
+        "(default: replication:2 symmetric:2 erasure:2+1)",
+    )
+    durability_p.add_argument(
+        "--systems",
+        nargs="+",
+        default=None,
+        choices=["LORM", "Mercury", "SWORD", "MAAN"],
+        help="systems to subject to the sweep (default: LORM Mercury)",
+    )
+    durability_p.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        choices=["demo", "crash-storm"],
+        help="chaos timelines to run (default: both)",
     )
 
     bench_p = sub.add_parser(
@@ -399,6 +438,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(result.render())
         elapsed = time.perf_counter() - started
         verdict = "RECONVERGED" if result.ok else "FAILED TO RECONVERGE"
+        print(
+            f"[{args.scale} scale, seed {config.seed}] {verdict} in {elapsed:.1f}s",
+            file=sys.stderr,
+        )
+        if args.out:
+            result.save(args.out)
+            print(f"results written to {args.out}/", file=sys.stderr)
+        return 0 if result.ok else 1
+
+    if args.command == "durability":
+        from repro.experiments.durability import (
+            DEFAULT_SCENARIOS,
+            DEFAULT_SYSTEMS,
+            run_durability,
+        )
+        from repro.sim.durability import parse_policy
+
+        if args.smoke:
+            args.scale = "smoke"
+        config = _config_from(args)
+        policies = (
+            tuple(parse_policy(spec) for spec in args.policies)
+            if args.policies else None
+        )
+        scenarios = (
+            tuple(s for s in DEFAULT_SCENARIOS if s.name in args.scenarios)
+            if args.scenarios else DEFAULT_SCENARIOS
+        )
+        systems = tuple(args.systems) if args.systems else DEFAULT_SYSTEMS
+        started = time.perf_counter()
+        result = run_durability(
+            config, policies=policies, scenarios=scenarios, systems=systems
+        )
+        print(result.render())
+        elapsed = time.perf_counter() - started
+        verdict = "RECOVERED" if result.ok else "FAILED TO RECOVER"
         print(
             f"[{args.scale} scale, seed {config.seed}] {verdict} in {elapsed:.1f}s",
             file=sys.stderr,

@@ -93,10 +93,11 @@ class LormService(DiscoveryService):
         *,
         seed: int = 0,
         replication: int = 1,
+        durability: Any | None = None,
         **kwargs: Any,
     ) -> "LormService":
         """LORM over a fully populated ``d * 2**d``-node Cycloid."""
-        overlay = CycloidOverlay(dimension, replication=replication)
+        overlay = CycloidOverlay(dimension, replication=replication, durability=durability)
         overlay.build_full()
         return cls(overlay, schema, seed=seed, **kwargs)
 

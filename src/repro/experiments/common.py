@@ -8,6 +8,7 @@ so construction lives here and each figure module only adds its sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.baselines.maan import MaanService
 from repro.baselines.mercury import MercuryService
@@ -16,6 +17,9 @@ from repro.core.lorm import LormService
 from repro.experiments.config import ExperimentConfig
 from repro.sim.invariants import install_churn_guards
 from repro.workloads.generator import GridWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sim.durability import DurabilityPolicy
 
 __all__ = ["ServiceBundle", "build_services", "build_workload"]
 
@@ -65,6 +69,7 @@ def build_services(
     routed_registration: bool = False,
     seed_offset: int = 0,
     replication: int = 1,
+    durability: "DurabilityPolicy | None" = None,
 ) -> ServiceBundle:
     """Build all four services at ``config`` scale and load the workload.
 
@@ -74,7 +79,11 @@ def build_services(
     de-correlates repeated builds (used by the churn sweep).
     ``replication`` sets every overlay's per-key copy count (1 = the
     paper's model; >= 2 makes data survive crash failures, the axis swept
-    by the availability experiment).
+    by the availability experiment).  ``durability`` instead supplies a
+    full :class:`~repro.sim.durability.DurabilityPolicy` (placement ×
+    redundancy) to every overlay — the axis swept by the durability
+    experiment; when ``None`` the overlays default to successor-list
+    replication at ``replication`` copies, the seed scheme.
 
     With ``config.validate_invariants`` set, every service's churn entry
     points (and its overlay's ``repair_replication``) are wrapped by a
@@ -89,7 +98,7 @@ def build_services(
     schema = workload.schema
     lorm = LormService.build_full(
         config.dimension, schema, seed=seed, lph_kind=config.lph_kind,
-        replication=replication,
+        replication=replication, durability=durability,
     )
 
     # The paper runs every DHT with the same population ("each DHT had 2048
@@ -99,7 +108,7 @@ def build_services(
         if config.population == (1 << config.chord_bits):
             return cls.build_full(
                 config.chord_bits, schema, seed=seed, lph_kind=config.lph_kind,
-                replication=replication,
+                replication=replication, durability=durability,
             )
         return cls.build(
             config.chord_bits,
@@ -108,6 +117,7 @@ def build_services(
             seed=seed,
             lph_kind=config.lph_kind,
             replication=replication,
+            durability=durability,
         )
 
     mercury = chord_service(MercuryService)

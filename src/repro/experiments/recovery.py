@@ -99,6 +99,8 @@ def chaos_trial(
     churn_rate: float = 0.0,
     churn_seed: int = 0,
     injector_seed: int = 0,
+    availability_floor: float = 1.0,
+    scheduler: MaintenanceScheduler | None = None,
 ) -> RecoveryTracker:
     """Run one service through ``scenario`` under budgeted maintenance.
 
@@ -107,6 +109,15 @@ def chaos_trial(
     health samples — so a maintenance round scheduled at a fault instant
     sees the damage and the sample after it sees the round's effect.
     Returns the populated :class:`RecoveryTracker`.
+
+    ``availability_floor`` is forwarded to the tracker: 1.0 (default)
+    demands exact availability to count as recovered; 0.0 tracks *data*
+    recovery alone (structure + replica deficit) — what the durability
+    experiment uses, since a policy that genuinely lost pieces can still
+    heal its redundancy.  A caller-supplied ``scheduler`` (budget and
+    interval pre-bound; this function installs it) lets the caller read
+    ``scheduler.reports`` afterwards — the per-round repair accounting
+    behind the durability experiment's bandwidth column.
     """
     sim = Simulator()
     injector = FaultInjector(FaultPlan(seed=injector_seed))
@@ -115,6 +126,7 @@ def chaos_trial(
         service,
         _availability_probe(service, cases),
         maintenance_round=service.maintenance_round(),
+        availability_floor=availability_floor,
     )
     for onset in scenario.fault_times():
         tracker.note_fault(onset)
@@ -125,7 +137,8 @@ def chaos_trial(
                 churn_rate, SeedFactory(churn_seed).numpy("recovery-churn")
             )
             process.install(sim, horizon, service.churn_join, service.churn_leave)
-        scheduler = MaintenanceScheduler(service, budget, interval)
+        if scheduler is None:
+            scheduler = MaintenanceScheduler(service, budget, interval)
         scheduler.install(sim, horizon)
         tracker.install(sim, horizon, sample_interval)
         sim.run_until(horizon)

@@ -32,6 +32,12 @@ from typing import Any
 
 from repro.overlay.idspace import IdSpace
 from repro.overlay.node import LookupResult, OverlayNode, WalkResult, trace_fault_step
+from repro.sim.durability import (
+    DurabilityPolicy,
+    SuccessorPlacement,
+    decodable_level,
+    successor_replication,
+)
 from repro.sim.faults import DEFAULT_POLICY, LookupPolicy, deliver_first
 from repro.sim.maintenance import RepairProgress, repair_buckets
 from repro.sim.network import SimulatedNetwork
@@ -115,22 +121,29 @@ class ChordRing:
         successor_list_len: int = 4,
         replication: int = 1,
         routing_cache: bool = True,
+        durability: DurabilityPolicy | None = None,
     ) -> None:
         require(successor_list_len >= 1, "successor_list_len must be >= 1")
-        require(replication >= 1, "replication must be >= 1")
-        require(
-            replication <= successor_list_len + 1,
-            "replication cannot exceed successor_list_len + 1 "
-            "(replicas live on the successor list)",
-        )
         self.space = IdSpace(bits)
         self.network = network if network is not None else SimulatedNetwork()
         self.successor_list_len = successor_list_len
-        #: Copies kept per key: the owner plus ``replication - 1``
-        #: successors (Chord's successor-list replication).  With the
-        #: default of 1 behaviour matches the paper exactly; higher values
-        #: make data survive *crash* failures (see :meth:`fail`).
-        self.replication = replication
+        #: The durability policy governing where a key's copies/fragments
+        #: live and when a piece still decodes.  The default —
+        #: successor-list replication at ``replication`` copies — is
+        #: byte-identical to the pre-policy hard-coded scheme: the owner
+        #: plus ``replication - 1`` successors, any surviving copy readable.
+        self.durability = (
+            durability if durability is not None else successor_replication(replication)
+        )
+        #: Copies (fragments) kept per key.  With the default policy at 1
+        #: behaviour matches the paper exactly; higher values make data
+        #: survive *crash* failures (see :meth:`fail`).
+        self.replication = self.durability.fragments
+        self.durability.validate(self)
+        #: Hot-path flag: the seed's successor placement short-circuits
+        #: the policy dispatch in :meth:`replica_set` (store and lookup
+        #: fall-back call it per key, so the indirection is measurable).
+        self._native_placement = type(self.durability.placement) is SuccessorPlacement
         #: Requester behaviour under injected faults (retries, timeouts,
         #: failover).  Irrelevant — and never consulted — while the network
         #: has no active fault injector.
@@ -706,10 +719,19 @@ class ChordRing:
     # ------------------------------------------------------------------
     # Key storage (routed through the overlay)
     # ------------------------------------------------------------------
+    def native_holders(self, key_id: int, count: int) -> list[ChordNode]:
+        """``count`` distinct live nodes clockwise from ``key_id`` — the
+        successor-list holders :class:`~repro.sim.durability.
+        SuccessorPlacement` delegates to."""
+        return self._successors_from(key_id, count)
+
     def replica_set(self, key: int) -> list[ChordNode]:
-        """The nodes that should hold ``key``: its owner plus the next
-        ``replication - 1`` live successors."""
-        return self._successors_from(key, self.replication)
+        """The nodes that should hold ``key`` under the durability policy
+        (default: its owner plus the next ``replication - 1`` live
+        successors)."""
+        if self._native_placement:
+            return self._successors_from(key, self.replication)
+        return self.durability.holders(self, key)
 
     def store(self, namespace: str, key: int, item: Any) -> ChordNode:
         """Place ``item`` at the owner of ``key`` (oracle placement).
@@ -833,33 +855,40 @@ class ChordRing:
     def repair_replication(self) -> int:
         """Restore every key to exactly its replica set; returns copies moved.
 
-        Models the periodic replica-maintenance pass of successor-list
-        replication: after joins/leaves/failures, each surviving copy is
-        re-homed so the owner plus ``replication - 1`` successors hold it
-        (and nobody else does).  A node's own copy count is a piece's true
-        multiplicity — replicas mirror it — so surviving counts merge with
-        ``max``: identical items stay distinct pieces without replica
-        copies multiplying back in.
+        Models the periodic replica-maintenance pass: after
+        joins/leaves/failures, each surviving piece is re-homed so every
+        member of the policy's holder set carries it (and nobody else
+        does).  Surviving per-holder counts reduce through
+        :func:`~repro.sim.durability.decodable_level` — at the default
+        decode threshold of 1 that is the seed's ``max`` merge (a node's
+        own copy count is a piece's true multiplicity; replicas mirror
+        it, so identical items stay distinct pieces without replica
+        copies multiplying back in), while an erasure policy re-homes
+        only pieces with at least ``k`` surviving fragments and *purges*
+        undecodable fragments rather than resurrecting lost data.
         """
-        surviving: dict[tuple[str, int], Counter] = {}
+        threshold = self.durability.threshold
+        surviving: dict[tuple[str, int], dict[Any, list[int]]] = {}
         for node in list(self.nodes()):
             held: dict[tuple[str, int], Counter] = {}
             for namespace, key_id, item in node.stored_entries():
                 held.setdefault((namespace, key_id), Counter())[item] += 1
             node.clear_storage()
             for bucket_key, pieces in held.items():
-                bucket = surviving.setdefault(bucket_key, Counter())
+                bucket = surviving.setdefault(bucket_key, {})
                 for item, count in pieces.items():
-                    if count > bucket[item]:
-                        bucket[item] = count
+                    bucket.setdefault(item, []).append(count)
         moved = 0
         for (namespace, key_id), pieces in surviving.items():
             replicas = self.replica_set(key_id)
-            for item, count in pieces.items():
+            for item, counts in pieces.items():
+                level = decodable_level(counts, threshold)
+                if level == 0:
+                    continue
                 for holder in replicas:
-                    for _ in range(count):
+                    for _ in range(level):
                         holder.store(namespace, key_id, item)
-                    moved += count
+                    moved += level
         if moved:
             self.network.count_maintenance(moved)
         return moved
@@ -879,7 +908,9 @@ class ChordRing:
         :class:`~repro.sim.maintenance.RepairProgress` whose ``next_after``
         is the resume cursor (``None`` once the sweep wrapped).
         """
-        return repair_buckets(self, self.replica_set, budget, after)
+        return repair_buckets(
+            self, self.replica_set, budget, after, policy=self.durability
+        )
 
     def _repair_neighbourhood(self, around_id: int) -> None:
         """Refresh routing state of nodes adjacent to a membership change."""

@@ -46,6 +46,12 @@ from typing import Any, NamedTuple
 
 from repro.overlay.idspace import IdSpace, closest_on_ring
 from repro.overlay.node import LookupResult, OverlayNode, WalkResult, trace_fault_step
+from repro.sim.durability import (
+    DurabilityPolicy,
+    SuccessorPlacement,
+    decodable_level,
+    successor_replication,
+)
 from repro.sim.faults import DEFAULT_POLICY, LookupPolicy, deliver_first
 from repro.sim.maintenance import RepairProgress, repair_buckets
 from repro.sim.network import SimulatedNetwork
@@ -139,9 +145,9 @@ class CycloidOverlay:
         replication: int = 1,
         routing_mode: str = "adaptive",
         routing_cache: bool = True,
+        durability: DurabilityPolicy | None = None,
     ) -> None:
         require(dimension >= 2, f"dimension must be >= 2, got {dimension}")
-        require(1 <= replication <= dimension, "replication must be in [1, d]")
         require(
             routing_mode in ("adaptive", "msb"),
             f"routing_mode must be 'adaptive' or 'msb', got {routing_mode!r}",
@@ -160,11 +166,23 @@ class CycloidOverlay:
         self.dimension = dimension
         self.cubical_space = IdSpace(dimension)  # ring of 2**d clusters
         self.network = network if network is not None else SimulatedNetwork()
-        #: Copies per key: the owner plus ``replication - 1`` cluster
-        #: successors (replicas stay inside the attribute's cluster, so the
-        #: intra-cluster range walk still sees every key).  Default 1
+        #: The durability policy governing where a key's copies/fragments
+        #: live.  The default — intra-cluster successor replication at
+        #: ``replication`` copies — is byte-identical to the pre-policy
+        #: hard-coded scheme: the owner plus ``replication - 1`` cluster
+        #: successors (replicas stay inside the attribute's cluster, so
+        #: the intra-cluster range walk still sees every key).  Default 1
         #: matches the paper; >= 2 survives crash failures (:meth:`fail`).
-        self.replication = replication
+        self.durability = (
+            durability if durability is not None else successor_replication(replication)
+        )
+        #: Copies (fragments) kept per key under the policy.
+        self.replication = self.durability.fragments
+        self.durability.validate(self)
+        #: Hot-path flag: the seed's successor placement short-circuits
+        #: the policy dispatch (and the linearize round-trip) in
+        #: :meth:`replica_set`.
+        self._native_placement = type(self.durability.placement) is SuccessorPlacement
         #: Requester behaviour under injected faults; never consulted while
         #: the network has no active fault injector.
         self.lookup_policy: LookupPolicy = DEFAULT_POLICY
@@ -400,7 +418,7 @@ class CycloidOverlay:
         """
         return repair_buckets(
             self, lambda key_id: self.replica_set(self.delinearize(key_id)),
-            budget, after,
+            budget, after, policy=self.durability,
         )
 
     # ------------------------------------------------------------------
@@ -825,14 +843,30 @@ class CycloidOverlay:
     # ------------------------------------------------------------------
     # Key storage
     # ------------------------------------------------------------------
-    def replica_set(self, key: CycloidId) -> list[CycloidNode]:
-        """Nodes that should hold ``key``: the closest node plus the next
-        ``replication - 1`` distinct members clockwise in its cluster."""
-        owner = self.closest_node(key)
+    def native_holders(self, key_id: int, count: int) -> list[CycloidNode]:
+        """The closest node plus the next ``count - 1`` distinct members
+        clockwise in its cluster — the intra-cluster holders
+        :class:`~repro.sim.durability.SuccessorPlacement` delegates to.
+        ``key_id`` is the linearized ``(k, a)`` storage identifier."""
+        owner = self.closest_node(self.delinearize(key_id))
         members = self.cluster_members(owner.a)
         idx = bisect.bisect_left(self._clusters[owner.a], owner.k)
-        count = min(self.replication, len(members))
+        count = min(count, len(members))
         return [members[(idx + offset) % len(members)] for offset in range(count)]
+
+    def replica_set(self, key: CycloidId) -> list[CycloidNode]:
+        """Nodes that should hold ``key`` under the durability policy
+        (default: the closest node plus the next ``replication - 1``
+        distinct members clockwise in its cluster)."""
+        if self._native_placement:
+            owner = self.closest_node(key)
+            members = self.cluster_members(owner.a)
+            idx = bisect.bisect_left(self._clusters[owner.a], owner.k)
+            count = min(self.replication, len(members))
+            return [
+                members[(idx + offset) % len(members)] for offset in range(count)
+            ]
+        return self.durability.holders(self, self.linearize(key))
 
     def store(self, namespace: str, key: CycloidId, item: Any) -> CycloidNode:
         """Place ``item`` at the owner of ``key`` (oracle placement).
@@ -982,29 +1016,35 @@ class CycloidOverlay:
     def repair_replication(self) -> int:
         """Restore every key to exactly its replica set; returns copies moved.
 
-        See :meth:`ChordRing.repair_replication`: per-node copy counts
-        merge with ``max`` so identical items keep their multiplicity
-        while replica copies count once.
+        See :meth:`ChordRing.repair_replication`: surviving per-holder
+        counts reduce through
+        :func:`~repro.sim.durability.decodable_level` — at the default
+        decode threshold of 1 the seed's ``max`` merge (identical items
+        keep their multiplicity while replica copies count once); under
+        an erasure policy undecodable fragments are purged.
         """
-        surviving: dict[tuple[str, int], Counter] = {}
+        threshold = self.durability.threshold
+        surviving: dict[tuple[str, int], dict[Any, list[int]]] = {}
         for node in list(self.nodes()):
             held: dict[tuple[str, int], Counter] = {}
             for namespace, key_id, item in node.stored_entries():
                 held.setdefault((namespace, key_id), Counter())[item] += 1
             node.clear_storage()
             for bucket_key, pieces in held.items():
-                bucket = surviving.setdefault(bucket_key, Counter())
+                bucket = surviving.setdefault(bucket_key, {})
                 for item, count in pieces.items():
-                    if count > bucket[item]:
-                        bucket[item] = count
+                    bucket.setdefault(item, []).append(count)
         moved = 0
         for (namespace, key_id), pieces in surviving.items():
             replicas = self.replica_set(self.delinearize(key_id))
-            for item, count in pieces.items():
+            for item, counts in pieces.items():
+                level = decodable_level(counts, threshold)
+                if level == 0:
+                    continue
                 for holder in replicas:
-                    for _ in range(count):
+                    for _ in range(level):
                         holder.store(namespace, key_id, item)
-                    moved += count
+                    moved += level
         if moved:
             self.network.count_maintenance(moved)
         return moved

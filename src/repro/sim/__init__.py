@@ -10,11 +10,13 @@ summaries used throughout Figure 3 (:mod:`~repro.sim.metrics`).
 Robustness extensions past the paper: fault injection
 (:mod:`~repro.sim.faults`), declarative chaos timelines
 (:mod:`~repro.sim.chaos`), budgeted self-healing maintenance
-(:mod:`~repro.sim.maintenance`) and recovery-time SLO metrics
-(:mod:`~repro.sim.recovery`).
+(:mod:`~repro.sim.maintenance`), recovery-time SLO metrics
+(:mod:`~repro.sim.recovery`) and pluggable durability policies —
+placement × replication/erasure redundancy (:mod:`~repro.sim.durability`).
 """
 
 from repro.sim.chaos import (
+    CRASH_STORM_SCENARIO,
     DEMO_SCENARIO,
     ChaosScenario,
     CrashBurst,
@@ -23,6 +25,18 @@ from repro.sim.chaos import (
     PartitionWindow,
 )
 from repro.sim.churn import ChurnEvent, ChurnProcess
+from repro.sim.durability import (
+    DEFAULT_POLICY_SPECS,
+    DurabilityPolicy,
+    PlacementPolicy,
+    SuccessorPlacement,
+    SymmetricPlacement,
+    decodable_level,
+    erasure_code,
+    parse_policy,
+    successor_replication,
+    symmetric_replication,
+)
 from repro.sim.engine import Event, Simulator
 from repro.sim.faults import (
     DEFAULT_POLICY,
@@ -66,10 +80,15 @@ __all__ = [
     "CrashStorm",
     "check_overlay",
     "check_replica_placement",
+    "CRASH_STORM_SCENARIO",
     "DEFAULT_BUDGET",
     "DEFAULT_POLICY",
+    "DEFAULT_POLICY_SPECS",
     "DEMO_SCENARIO",
+    "decodable_level",
     "directory_census",
+    "DurabilityPolicy",
+    "erasure_code",
     "Event",
     "FaultInjector",
     "FaultPlan",
@@ -85,7 +104,9 @@ __all__ = [
     "MetricsRegistry",
     "NO_RETRY_POLICY",
     "NodeFlap",
+    "parse_policy",
     "PartitionWindow",
+    "PlacementPolicy",
     "publish_stats",
     "RecoverySample",
     "RecoveryTracker",
@@ -93,8 +114,12 @@ __all__ = [
     "replica_deficit",
     "SimulatedNetwork",
     "Simulator",
+    "SuccessorPlacement",
+    "successor_replication",
     "SummaryStats",
     "summarize",
+    "SymmetricPlacement",
+    "symmetric_replication",
     "TraceEvent",
     "TraceEventKind",
     "TraceRecorder",

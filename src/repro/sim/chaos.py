@@ -45,6 +45,7 @@ __all__ = [
     "ChaosScenario",
     "id_space_of",
     "DEMO_SCENARIO",
+    "CRASH_STORM_SCENARIO",
 ]
 
 
@@ -260,4 +261,15 @@ DEMO_SCENARIO = ChaosScenario(
     partitions=(PartitionWindow(lo_frac=0.0, hi_frac=0.25, starts_at=2.0, heals_at=6.0),),
     bursts=(CrashBurst(at=8.0, count=10),),
     flaps=(NodeFlap(first_down=10.0, period=4.0, cycles=1),),
+)
+
+#: Pure correlated crash pressure, no partitions: two back-to-back bursts
+#: with a flap between them.  The durability-policy sweep's second
+#: scenario — where copies *live* (successor chain vs spread) and how many
+#: holders a piece can lose decide whether anything is lost at all, with
+#: no network faults to muddy the attribution.
+CRASH_STORM_SCENARIO = ChaosScenario(
+    name="crash-storm",
+    bursts=(CrashBurst(at=2.0, count=12), CrashBurst(at=10.0, count=12)),
+    flaps=(NodeFlap(first_down=16.0, period=4.0, cycles=1),),
 )

@@ -40,6 +40,8 @@ import functools
 from collections import Counter
 from typing import Any, Callable
 
+from repro.sim.durability import decodable_level
+
 __all__ = [
     "InvariantViolation",
     "ChurnGuard",
@@ -75,21 +77,40 @@ def _describe(diff: Counter, limit: int = 4) -> str:
 # ----------------------------------------------------------------------
 # Directory census
 # ----------------------------------------------------------------------
-def directory_census(overlay: Any) -> Counter:
+def directory_census(overlay: Any, policy: Any = None) -> Counter:
     """Logical directory contents: ``(namespace, key, item) -> multiplicity``.
 
     Multiplicity is the maximum per-node copy count, so the replicas of a
     piece count once while distinct identical pieces stored under the same
     key keep their count.  Conserved exactly by joins, graceful leaves,
     stabilization and replica repair; crashes may only decrease it.
+
+    With a :class:`~repro.sim.durability.DurabilityPolicy` whose decode
+    threshold exceeds 1 (erasure coding), the census counts *decodable*
+    multiplicity instead: level ``j`` of a piece exists only while at
+    least ``k`` distinct holders carry ``>= j`` copies (fragments).  At
+    threshold 1 — every replication policy, and the ``policy=None``
+    default — the two definitions coincide exactly.
     """
-    census: Counter = Counter()
+    threshold = 1 if policy is None else policy.threshold
+    if threshold == 1:
+        census: Counter = Counter()
+        for node in list(overlay.nodes()):
+            per_node: Counter = Counter(node.stored_entries())
+            for entry, count in per_node.items():
+                if count > census[entry]:
+                    census[entry] = count
+        return census
+    counts: dict[tuple, list[int]] = {}
     for node in list(overlay.nodes()):
-        per_node: Counter = Counter(node.stored_entries())
-        for entry, count in per_node.items():
-            if count > census[entry]:
-                census[entry] = count
-    return census
+        for entry, count in Counter(node.stored_entries()).items():
+            counts.setdefault(entry, []).append(count)
+    decodable: Counter = Counter()
+    for entry, per_holder in counts.items():
+        level = decodable_level(per_holder, threshold)
+        if level:
+            decodable[entry] = level
+    return decodable
 
 
 # ----------------------------------------------------------------------
@@ -232,6 +253,16 @@ class ChurnGuard:
     repair must conserve it exactly; a crash may only lose pieces.  Repair
     additionally asserts strict replica placement.  Violations raise
     :class:`InvariantViolation` at the offending event.
+
+    The census is taken under the overlay's durability policy, so for an
+    erasure-coded configuration it counts *decodable* pieces.  One
+    contract is weaker there: graceful joins and leaves merge the moving
+    node's fragments onto the new owner, so previously distinct holders
+    fate-share and decodability may legitimately drop until the next
+    repair re-spreads the fragments — under a decode threshold > 1 those
+    events are guarded as "may only lose" (like crashes) instead of
+    exact-conserving.  Repair and stabilization stay exact for every
+    policy.
     """
 
     #: Events that must conserve the directory census exactly.
@@ -240,10 +271,13 @@ class ChurnGuard:
     def __init__(self, service: Any) -> None:
         self.service = service
         self.overlay = overlay_of(service)
+        self.policy = getattr(self.overlay, "durability", None)
         #: Number of churn events validated so far.
         self.events = 0
+        fragments_fate_share = self.policy is not None and self.policy.is_erasure
         for name in self._CONSERVING:
-            setattr(service, name, self._guarded(getattr(service, name), exact=True))
+            exact = name == "stabilize" or not fragments_fate_share
+            setattr(service, name, self._guarded(getattr(service, name), exact=exact))
         service.churn_fail = self._guarded(service.churn_fail, exact=False)
         self.overlay.repair_replication = self._guarded(
             self.overlay.repair_replication, exact=True, placement=True
@@ -261,11 +295,11 @@ class ChurnGuard:
     ) -> Callable:
         @functools.wraps(fn)
         def checked(*args: Any, **kwargs: Any) -> Any:
-            before = directory_census(self.overlay)
+            before = directory_census(self.overlay, self.policy)
             out = fn(*args, **kwargs)
             self.events += 1
             check_overlay(self.overlay)
-            after = directory_census(self.overlay)
+            after = directory_census(self.overlay, self.policy)
             if exact:
                 _check(
                     after == before,

@@ -35,6 +35,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
+from repro.sim.durability import decodable_level
 from repro.utils.validation import require
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -80,19 +81,27 @@ def repair_buckets(
     replica_set_of: Callable[[int], Sequence[Any]],
     budget: int | None = None,
     after: tuple[str, int] | None = None,
+    *,
+    policy: Any = None,
 ) -> RepairProgress:
     """Anti-entropy repair of up to ``budget`` key buckets.
 
     A *bucket* is one ``(namespace, key_id)`` pair.  Buckets are visited
     in sorted order starting strictly after the ``after`` cursor.  For
-    each visited bucket the surviving per-node copy counts merge with
-    ``max`` (replica copies count once, genuinely distinct identical
-    pieces keep their multiplicity — the census convention of
-    ``repair_replication``), stray copies on nodes outside the current
-    replica set are dropped, and every replica-set member is topped up
-    to the merged multiplicity.  Copies actually added or removed count
-    as maintenance messages; a bucket already in its repaired state
-    costs nothing.
+    each visited bucket the surviving per-node copy counts reduce to the
+    piece's decodable level under ``policy`` (a
+    :class:`~repro.sim.durability.DurabilityPolicy`; ``None`` or a
+    decode threshold of 1 is the seed's ``max`` merge — replica copies
+    count once, genuinely distinct identical pieces keep their
+    multiplicity, the census convention of ``repair_replication``),
+    stray copies on nodes outside the current replica set are dropped,
+    and every replica-set member is set to exactly that level.  Under an
+    erasure policy (threshold > 1) that also means *purging* pieces with
+    fewer than ``k`` surviving fragments — repair never silently
+    resurrects undecodable data — and trimming members that hold more
+    fragments than the decodable level.  Copies actually added or
+    removed count as maintenance messages; a bucket already in its
+    repaired state costs nothing.
 
     ``budget=None`` sweeps every bucket from the cursor to the end of
     the key space in one call; ``budget=0`` is a no-op that keeps the
@@ -101,6 +110,7 @@ def repair_buckets(
     require(budget is None or budget >= 0, "repair budget must be >= 0")
     if budget == 0:
         return RepairProgress(0, 0, after)
+    threshold = 1 if policy is None else policy.threshold
 
     # Scan surviving copies, bucketed by (namespace, key_id).
     holders: dict[tuple[str, int], list[tuple[Any, Counter]]] = {}
@@ -118,11 +128,16 @@ def repair_buckets(
     moved = 0
     for namespace, key_id in selected:
         bucket_holders = holders[(namespace, key_id)]
-        merged: Counter = Counter()
+        # Per item, the decodable level given all surviving holders (for
+        # threshold 1 exactly the max-merge; level 0 marks a dead piece
+        # whose remaining fragments must be purged).
+        counts: dict[Any, list[int]] = {}
         for _node, pieces in bucket_holders:
             for item, count in pieces.items():
-                if count > merged[item]:
-                    merged[item] = count
+                counts.setdefault(item, []).append(count)
+        merged = {
+            item: decodable_level(cs, threshold) for item, cs in counts.items()
+        }
         replicas = list(replica_set_of(key_id))
         replica_ids = {id(r) for r in replicas}
         # Drop stray copies that live outside the current replica set.
@@ -133,14 +148,19 @@ def repair_buckets(
                 for _ in range(count):
                     node.remove_item(namespace, key_id, item)
                 moved += count
-        # Top every replica member up to the merged multiplicity.
+        # Set every replica member to exactly the decodable level (a top
+        # up at threshold 1, where no holder can exceed the max; possibly
+        # a trim or purge under an erasure policy).
         held_by = {id(node): pieces for node, pieces in bucket_holders}
         for holder in replicas:
             current = held_by.get(id(holder), Counter())
             for item, target in merged.items():
-                for _ in range(target - current[item]):
+                delta = target - current[item]
+                for _ in range(delta):
                     holder.store(namespace, key_id, item)
-                moved += max(0, target - current[item])
+                for _ in range(-delta):
+                    holder.remove_item(namespace, key_id, item)
+                moved += abs(delta)
     if moved:
         overlay.network.count_maintenance(moved)
 

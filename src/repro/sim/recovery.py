@@ -6,10 +6,10 @@ timelines pose — after a partition heals or a crash burst strikes, how
 long until the system is whole again, and does it get there at all under
 a bounded maintenance budget?
 
-* :func:`replica_deficit` — copies missing from current replica sets,
-  measured from surviving evidence (a key whose every copy died is
-  invisible; with replication ≥ 2 a crash leaves survivors whose
-  under-replication is countable).
+* :func:`replica_deficit` — redundancy missing from surviving pieces
+  under the overlay's durability policy, measured from surviving
+  evidence (a key whose every copy died is invisible; with replication
+  ≥ 2 a crash leaves survivors whose under-replication is countable).
 * :class:`RecoverySample` — one timeline point: lookup availability,
   replica deficit, structural cleanliness, the requester-side fault
   accounting spent since the previous sample, and routing staleness.
@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.sim.durability import decodable_level
 from repro.sim.invariants import InvariantViolation, check_overlay, overlay_of
 from repro.utils.validation import require
 
@@ -38,27 +39,43 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 __all__ = ["replica_deficit", "RecoverySample", "RecoveryTracker"]
 
 
-def replica_deficit(overlay: Any) -> int:
-    """Copies missing from current replica sets, by surviving evidence.
+def replica_deficit(overlay: Any, policy: Any = None) -> int:
+    """Redundancy missing from surviving pieces, by surviving evidence.
 
-    For every stored ``(namespace, key_id)`` bucket the target content is
-    the max-merge of the surviving holders' copy counts (the census
-    convention); each member of the key's *current* replica set should
-    hold exactly that.  The deficit sums the missing copies across all
-    replica members, so it is zero exactly when every surviving key is
-    fully replicated in the right place — the quantity budgeted
-    anti-entropy repair drives back to zero and ``budget=0`` leaves
-    stuck.  Keys that lost every copy contribute nothing (nothing
-    survives to witness them); stray copies on wrong holders also count
-    nothing here — they are mess, not *missing* data.
+    For every decodable level of every surviving piece, the policy's
+    target is ``fragments`` *distinct* holders; the deficit sums, over
+    all pieces and levels, how many holders short of that target the
+    overlay currently is.  It is zero exactly when every surviving piece
+    is fully redundant — the quantity budgeted anti-entropy repair
+    drives back to zero and ``budget=0`` leaves stuck.
+
+    Counting *any* surviving holder (not just current replica-set
+    members) is deliberate: a node that crashed and already rejoined is
+    not missing redundancy — after the rejoin each piece still has the
+    same number of distinct live holders, merely misplaced ones, and
+    misplacement is repair traffic, not lost durability.  Conversely a
+    crash genuinely removes a holder and shows up here immediately.
+    Pieces that lost decodability entirely (fewer than ``threshold``
+    surviving holders) contribute nothing — nothing survives to witness
+    them, and repair purges rather than resurrects them.
+
+    ``policy=None`` uses the overlay's own durability policy (always
+    present); the default successor replication has ``threshold=1`` and
+    a target of ``replication`` holders per piece.
     """
-    holders: dict[tuple[str, int], dict[int, dict[Any, int]]] = {}
-    nodes = list(overlay.nodes())
-    for node in nodes:
+    if policy is None:
+        policy = getattr(overlay, "durability", None)
+    threshold = 1 if policy is None else policy.threshold
+    holders: dict[tuple[str, int], dict[Any, list[int]]] = {}
+    for node in list(overlay.nodes()):
+        per_node: dict[tuple[str, int], dict[Any, int]] = {}
         for namespace, key_id, item in node.stored_entries():
-            per_key = holders.setdefault((namespace, key_id), {})
-            per_item = per_key.setdefault(id(node), {})
+            per_item = per_node.setdefault((namespace, key_id), {})
             per_item[item] = per_item.get(item, 0) + 1
+        for bucket_key, pieces in per_node.items():
+            bucket = holders.setdefault(bucket_key, {})
+            for item, count in pieces.items():
+                bucket.setdefault(item, []).append(count)
 
     if hasattr(overlay, "delinearize"):
         def replicas_for(key_id: int):
@@ -67,16 +84,13 @@ def replica_deficit(overlay: Any) -> int:
         replicas_for = overlay.replica_set
 
     deficit = 0
-    for (namespace, key_id), per_holder in holders.items():
-        merged: dict[Any, int] = {}
-        for pieces in per_holder.values():
-            for item, count in pieces.items():
-                if count > merged.get(item, 0):
-                    merged[item] = count
-        for member in replicas_for(key_id):
-            held = per_holder.get(id(member), {})
-            for item, target in merged.items():
-                deficit += max(0, target - held.get(item, 0))
+    for (namespace, key_id), pieces in holders.items():
+        target_holders = len(replicas_for(key_id))
+        for item, counts in pieces.items():
+            level = decodable_level(counts, threshold)
+            for j in range(1, level + 1):
+                holders_at_j = sum(1 for c in counts if c >= j)
+                deficit += max(0, target_holders - holders_at_j)
     return deficit
 
 
@@ -127,7 +141,11 @@ class RecoveryTracker:
         maintenance_round: "MaintenanceRound | None" = None,
         availability_floor: float = 1.0,
     ) -> None:
-        require(0.0 < availability_floor <= 1.0, "availability_floor must be in (0, 1]")
+        # floor 0.0 tracks *data* recovery alone (deficit + structure):
+        # the durability experiment uses it because a policy that
+        # genuinely lost pieces can heal its redundancy without exact
+        # availability ever returning to 1.0.
+        require(0.0 <= availability_floor <= 1.0, "availability_floor must be in [0, 1]")
         self.service = service
         self.overlay = overlay_of(service)
         self.availability_probe = availability_probe

@@ -17,10 +17,13 @@ every answer is compared against the brute-force oracle
   validated at every event.
 
 :func:`run_check` is the ``repro check`` CLI entry point: a fault-free
-differential replay, a graceful-churn replay, and a guarded churn storm
+differential replay, a graceful-churn replay, and guarded churn storms
 (leave/join/fail/stabilize plus replica repair at replication 2, with a
-deliberately duplicated piece so multiplicity handling is exercised).
-Any divergence makes the report ``not ok`` and the CLI exit non-zero.
+deliberately duplicated piece so multiplicity handling is exercised) —
+one under the default successor replication, then one per non-default
+durability policy (symmetric placement and a (2, 1) erasure code), so
+placement and census validation covers every policy kind.  Any
+divergence makes the report ``not ok`` and the CLI exit non-zero.
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from repro.analysis.theorems import nonrange_query_hops_avg
 from repro.core.resource import ResourceInfo
 from repro.experiments.common import ServiceBundle, build_services
 from repro.experiments.config import ExperimentConfig, SMOKE_CONFIG
+from repro.sim.durability import parse_policy
 from repro.sim.invariants import (
     InvariantViolation,
     check_overlay,
@@ -321,15 +325,20 @@ def _churn_storm(
     systems: tuple[str, ...],
     num_events: int,
     seed: int,
+    durability=None,
 ) -> tuple[list[Divergence], int]:
     """A guarded leave/join/fail/stabilize storm at replication 2.
 
     Every service additionally carries one deliberately *duplicated*
     piece (the same info registered twice — two distinct pieces under one
     key), so directory conservation catches any multiplicity collapse in
-    the churn or repair paths.  Returns (divergences, events validated).
+    the churn or repair paths.  ``durability`` swaps in a non-default
+    :class:`~repro.sim.durability.DurabilityPolicy` (the guard then
+    validates the policy's census and placement — ``repro check`` runs
+    extra storms under symmetric placement and erasure coding this way).
+    Returns (divergences, events validated).
     """
-    bundle = build_services(config, replication=2)
+    bundle = build_services(config, replication=2, durability=durability)
     services = [bundle.by_name(name) for name in systems]
     guards = {s.name: install_churn_guards(s) for s in services}
     spec = bundle.workload.schema.specs[0]
@@ -369,17 +378,26 @@ def _churn_storm(
 
 @dataclass
 class CheckReport:
-    """Outcome of ``repro check``: replay + graceful churn + churn storm."""
+    """Outcome of ``repro check``: replay + graceful churn + churn storms
+    (the default successor-replication storm plus one per non-default
+    durability policy)."""
 
     fault_free: DifferentialReport
     graceful: DifferentialReport
     storm_divergences: list[Divergence]
     storm_events: int
+    #: (policy name, divergences, guarded events) per extra policy storm.
+    policy_storms: list[tuple[str, list[Divergence], int]] = field(
+        default_factory=list
+    )
 
     @property
     def ok(self) -> bool:
         return (
-            self.fault_free.ok and self.graceful.ok and not self.storm_divergences
+            self.fault_free.ok
+            and self.graceful.ok
+            and not self.storm_divergences
+            and all(not divs for _, divs, _ in self.policy_storms)
         )
 
     @property
@@ -388,6 +406,7 @@ class CheckReport:
             list(self.fault_free.divergences)
             + list(self.graceful.divergences)
             + list(self.storm_divergences)
+            + [d for _, divs, _ in self.policy_storms for d in divs]
         )
 
     def render(self) -> str:
@@ -403,6 +422,12 @@ class CheckReport:
             lines.extend(f"  !! {d.render()}" for d in self.storm_divergences)
         else:
             lines.append("  all invariants held")
+        for name, divs, events in self.policy_storms:
+            lines.append(f"== churn storm ({name}): {events} guarded events ==")
+            if divs:
+                lines.extend(f"  !! {d.render()}" for d in divs)
+            else:
+                lines.append("  all invariants held")
         lines.append(f"result: {'OK' if self.ok else 'DIVERGED'}")
         return "\n".join(lines)
 
@@ -433,9 +458,17 @@ def run_check(
     storm_divergences, storm_events = _churn_storm(
         config.scaled(seed=config.seed + seed), systems, churn_events, seed
     )
+    policy_storms = []
+    for spec in ("symmetric:2", "erasure:2+1"):
+        divs, events = _churn_storm(
+            config.scaled(seed=config.seed + seed), systems, churn_events, seed,
+            durability=parse_policy(spec),
+        )
+        policy_storms.append((spec, divs, events))
     return CheckReport(
         fault_free=fault_free,
         graceful=graceful,
         storm_divergences=storm_divergences,
         storm_events=storm_events,
+        policy_storms=policy_storms,
     )
