@@ -196,6 +196,60 @@ def _cycloid_ops(config: ExperimentConfig, seeds: SeedFactory) -> list[BenchOp]:
     ]
 
 
+def _arraystore_ops(config: ExperimentConfig, seeds: SeedFactory) -> list[BenchOp]:
+    """Micro-ops over the compact struct-of-arrays core.
+
+    ``build`` times the large-n construction path (id sampling + the
+    vectorised finger build) at 8x the configured population, ``lookup``
+    the greedy array-routing loop, and ``churn`` a membership-restoring
+    join+leave pair (so every repeat sees identical state and the
+    checksum stays repeat-stable).
+    """
+    from repro.overlay.arraystore import CompactChordRing
+
+    build_nodes = 8 * config.population
+    build_seed = seeds.child_seed("arraystore-build")
+    ring = CompactChordRing.sampled(
+        config.population, seed=seeds.child_seed("arraystore-ring")
+    )
+    rng = seeds.numpy("arraystore-inputs")
+    keys = [int(k) for k in rng.integers(ring.size, size=4096, dtype=np.int64)]
+    starts = [int(i) for i in rng.integers(ring.num_nodes, size=512)]
+    joiner = int(rng.integers(ring.size))
+    while joiner in ring.ids:
+        joiner = int(rng.integers(ring.size))
+
+    def run_build(iterations: int) -> int:
+        acc = 0
+        for _ in range(iterations):
+            built = CompactChordRing.sampled(build_nodes, seed=build_seed)
+            built.build_fingers()
+            acc += int(built.ids.sum()) + int(built.fingers.sum())
+        return _mask(acc)
+
+    def run_lookup(iterations: int) -> int:
+        acc = 0
+        nkeys, nstarts = len(keys), len(starts)
+        for i in range(iterations):
+            owner, hops = ring.lookup(starts[i % nstarts], keys[i % nkeys])
+            acc += owner + hops
+        return _mask(acc)
+
+    def run_churn(iterations: int) -> int:
+        before = ring.maintenance_messages
+        for _ in range(iterations):
+            ring.join(joiner)
+            ring.leave(joiner)
+        ring.build_fingers()  # leave the shared ring clean for later ops
+        return _mask(ring.maintenance_messages - before)
+
+    return [
+        BenchOp(name="arraystore.build", kind="micro", iterations=3, repeats=3, run=run_build),
+        BenchOp(name="arraystore.lookup", kind="micro", iterations=3000, run=run_lookup),
+        BenchOp(name="arraystore.churn", kind="micro", iterations=200, run=run_churn),
+    ]
+
+
 def _metrics_ops() -> list[BenchOp]:
     def run_record(iterations: int) -> int:
         registry = MetricsRegistry()
@@ -327,6 +381,7 @@ def build_ops(config: ExperimentConfig, profile: str = "all") -> list[BenchOp]:
     if profile in ("micro", "all"):
         ops.extend(_chord_ops(config, seeds))
         ops.extend(_cycloid_ops(config, seeds))
+        ops.extend(_arraystore_ops(config, seeds))
         ops.extend(_metrics_ops())
     if profile in ("macro", "all"):
         ops.extend(_macro_ops(config))

@@ -133,6 +133,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="chaos timelines to run (default: both)",
     )
 
+    scale_p = sub.add_parser(
+        "scale",
+        help="n-scaling sweep on the compact array core: hops and "
+        "maintenance messages at 100k-1M nodes with wall-clock and peak "
+        "memory per point; exits non-zero when a --budget is exceeded",
+    )
+    scale_p.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="paper",
+        help="paper = 100k-1M nodes (default); smoke = small, CI-fast",
+    )
+    scale_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="alias for --scale smoke (deterministic CI entry point)",
+    )
+    scale_p.add_argument(
+        "--seed", type=int, default=None, help="override the master seed"
+    )
+    scale_p.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="populations to sweep (e.g. --sizes 100000 1000000)",
+    )
+    scale_p.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="routed lookups measured per population point",
+    )
+    scale_p.add_argument(
+        "--churn-events",
+        type=int,
+        default=None,
+        help="churn events (join/leave/fail round-robin) measured per point",
+    )
+    scale_p.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="fail (exit 1) when the whole sweep takes longer than this",
+    )
+    scale_p.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="fail (exit 1) when any point's peak traced memory exceeds "
+        "this many MB (peak RSS is reported alongside)",
+    )
+    scale_p.add_argument(
+        "--out", default=None, help="directory for CSV/text/JSON output"
+    )
+    scale_p.add_argument(
+        "--parallel",
+        nargs="?",
+        type=int,
+        const=0,
+        default=None,
+        metavar="WORKERS",
+        help="shard population points over worker processes (results are "
+        "identical to a serial run; WORKERS defaults to the CPU count)",
+    )
+
     bench_p = sub.add_parser(
         "bench",
         help="wall-clock benchmark: time overlay/system hot paths into a "
@@ -362,6 +429,59 @@ def main(argv: Sequence[str] | None = None) -> int:
             file=sys.stderr,
         )
         return 0
+
+    if args.command == "scale":
+        from repro.experiments.scale import run_scale
+
+        if args.smoke:
+            args.scale = "smoke"
+        config = _SCALES[args.scale]
+        overrides = {}
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.sizes is not None:
+            overrides["scale_sizes"] = tuple(args.sizes)
+        if args.queries is not None:
+            overrides["scale_queries"] = args.queries
+        if args.churn_events is not None:
+            overrides["scale_churn_events"] = args.churn_events
+        if overrides:
+            config = config.scaled(**overrides)
+        started = time.perf_counter()
+        result = run_scale(
+            config,
+            parallel=args.parallel is not None,
+            max_workers=(args.parallel or None) if args.parallel else None,
+        )
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        if args.out:
+            result.save(args.out)
+            print(f"results written to {args.out}/", file=sys.stderr)
+        ok = True
+        if args.budget_seconds is not None and elapsed > args.budget_seconds:
+            ok = False
+            print(
+                f"BUDGET EXCEEDED: sweep took {elapsed:.1f}s "
+                f"(budget {args.budget_seconds:.1f}s)",
+                file=sys.stderr,
+            )
+        if args.budget_mb is not None:
+            worst = max(result.points, key=lambda p: p.peak_tracemalloc_mb)
+            if worst.peak_tracemalloc_mb > args.budget_mb:
+                ok = False
+                print(
+                    f"BUDGET EXCEEDED: n={worst.num_nodes} peaked at "
+                    f"{worst.peak_tracemalloc_mb:.1f} MB traced "
+                    f"(budget {args.budget_mb:.1f} MB)",
+                    file=sys.stderr,
+                )
+        print(
+            f"[{args.scale} scale, seed {config.seed}] "
+            f"{len(result.points)} point(s) in {elapsed:.1f}s",
+            file=sys.stderr,
+        )
+        return 0 if ok else 1
 
     if args.command == "trace":
         from repro.obs.export import render_tree, traces_to_chrome, traces_to_jsonl

@@ -80,6 +80,15 @@ class ExperimentConfig:
     #: Recovery experiment: replication factor.  Must be >= 2 so crash
     #: bursts leave surviving copies that witness the replica deficit.
     recovery_replication: int = 2
+    #: Scale experiment: populations swept on the compact array core
+    #: (``repro scale``).  The paper stops at n=2048; these reach the
+    #: 10^5–10^6 regime of the single-hop / ReCord literature.
+    scale_sizes: tuple[int, ...] = (100_000, 250_000, 500_000, 1_000_000)
+    #: Scale experiment: routed lookups measured per population point.
+    scale_queries: int = 2000
+    #: Scale experiment: churn events (join/leave/fail round-robin) used
+    #: to measure maintenance messages per event at each point.
+    scale_churn_events: int = 60
     #: Install :class:`~repro.sim.invariants.ChurnGuard` on every built
     #: service, validating overlay invariants and directory conservation
     #: after each churn event (the runner's ``--invariants`` flag).
@@ -159,4 +168,7 @@ SMOKE_CONFIG = ExperimentConfig(
     recovery_churn_rates=(0.0,),
     recovery_horizon=60.0,
     num_recovery_queries=8,
+    scale_sizes=(2048, 8192),
+    scale_queries=200,
+    scale_churn_events=24,
 )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import io
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -19,6 +20,11 @@ from repro.utils.formatting import render_table
 from repro.utils.validation import require
 
 __all__ = ["DistributionResult", "DistributionRow", "FigureResult"]
+
+
+def _finite_or_empty(value: float) -> float | str:
+    """A CSV cell: the value itself, or an empty cell for NaN/inf."""
+    return value if math.isfinite(value) else ""
 
 
 @dataclass
@@ -152,19 +158,28 @@ class DistributionResult:
         raise KeyError(f"{self.figure_id}: no row named {name!r}")
 
     def to_csv(self) -> str:
-        """CSV with columns series,mean,p01,p99."""
+        """CSV with columns series,mean,p01,p99.
+
+        Non-finite statistics (an empty measured series) emit as empty
+        cells rather than ``nan`` tokens, so downstream CSV/JSON
+        consumers never see NaN.
+        """
         buffer = io.StringIO()
         writer = csv.writer(buffer)
         writer.writerow(["series", "mean", "p01", "p99"])
         for r in self.rows:
-            writer.writerow([r.name, r.mean, r.p01, r.p99])
+            writer.writerow([r.name] + [_finite_or_empty(v) for v in (r.mean, r.p01, r.p99)])
         return buffer.getvalue()
 
     def to_table(self) -> str:
-        """Aligned text table."""
+        """Aligned text table (empty-series statistics render as ``-``)."""
         return render_table(
             ["series", f"mean {self.value_label}", "p01", "p99"],
-            [[r.name, r.mean, r.p01, r.p99] for r in self.rows],
+            [
+                [r.name]
+                + [v if math.isfinite(v) else "-" for v in (r.mean, r.p01, r.p99)]
+                for r in self.rows
+            ],
             title=f"{self.figure_id}: {self.title}",
         )
 

@@ -20,10 +20,17 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.latency import run_latency
 from repro.experiments.maintenance import run_maintenance
 from repro.experiments.recovery import run_recovery
+from repro.experiments.scale import run_scale
 from repro.experiments.staleness import run_staleness
 from repro.experiments.theorem_table import run_theorem_table
 
-__all__ = ["FIGURES", "run_figure", "run_all_figures", "run_figures_parallel"]
+__all__ = [
+    "FIGURES",
+    "run_figure",
+    "run_all_figures",
+    "run_figures_parallel",
+    "run_points_parallel",
+]
 
 #: Figure ID → runner.  Each runner takes a config and returns a result
 #: object with ``render()`` and ``save(directory)``.
@@ -44,6 +51,7 @@ FIGURES: dict[str, Callable] = {
     "maintenance": run_maintenance,  # extension figure: repair traffic vs R
     "availability": run_availability,  # extension: completeness vs loss x r
     "recovery": run_recovery,  # extension: time-to-reconverge vs interval
+    "scale": run_scale,  # extension: 100k-1M-node hops/maintenance sweep
 }
 
 
@@ -121,6 +129,7 @@ def run_all_figures(
     fig6a, fig6b = figure6.run_fig6(config)
     emit("fig6a", fig6a)
     emit("fig6b", fig6b)
+    emit("scale", run_scale(config))
     return results
 
 
@@ -166,4 +175,31 @@ def run_figures_parallel(
         for future in as_completed(futures):
             figure_id, result = future.result()
             results[figure_id] = result
+    return results
+
+
+def run_points_parallel(
+    job: Callable,
+    points: Sequence,
+    config: ExperimentConfig,
+    *,
+    max_workers: int | None = None,
+) -> list:
+    """Shard independent sweep *points* of one experiment across processes.
+
+    ``run_figures_parallel`` parallelises whole figures; this fans out the
+    points *inside* one sweep — ``job(config, point)`` per point, where
+    ``job`` is a module-level callable (it must pickle) that derives all
+    randomness from ``(config.seed, point)``.  Results come back in
+    ``points`` order, identical to a serial ``[job(config, p) for p in
+    points]`` loop.
+    """
+    results: list = [None] * len(points)
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            pool.submit(job, config, point): index
+            for index, point in enumerate(points)
+        }
+        for future in as_completed(futures):
+            results[futures[future]] = future.result()
     return results

@@ -1,0 +1,423 @@
+"""Flat array-backed ring state — the struct-of-arrays simulation core.
+
+The paper stops every figure at n = 2048 because an object-per-node,
+dict-routed simulation thrashes long before the 10^5–10^6-peer regime the
+single-hop and ReCord literature argues about.  This module breaks that
+ceiling in two layers:
+
+* :class:`RingVector` — a sorted, machine-width flat vector of ring
+  identifiers (``array('q')``).  It is the membership index *both* object
+  overlays now keep: :class:`~repro.overlay.chord.ChordRing` and
+  :class:`~repro.overlay.cycloid.CycloidOverlay` are thin views over it
+  (their node objects and routing pointers are materialised views of this
+  vector), so the invariant, differential-replay, trace and durability
+  harnesses all pass unchanged while the sorted index itself stops being a
+  list of boxed Python ints.
+
+* :class:`CompactChordRing` — the full struct-of-arrays representation
+  used by the ``repro scale`` experiment: node state is *only* flat
+  integer arrays (sorted id vector, implicit successor/predecessor by
+  index adjacency, an ``(n, bits)`` finger table of node indices) plus
+  :class:`IndexedDirectory` for index-keyed directory storage.  Routing
+  replays :meth:`ChordRing._lookup_plain` hop for hop (the equivalence is
+  pinned by tests), and churn accounting mirrors the object ring's
+  maintenance-message formulas, so large-n figures are directly
+  comparable with the paper-scale ones.
+
+View contract / cache invalidation
+----------------------------------
+``RingVector`` is the single source of truth for membership; everything
+derived from it — the object overlays' routing pointers and memo caches,
+``CompactChordRing``'s finger table, ``IndexedDirectory`` placements — is
+a cache keyed on the membership epoch.  Mutating the vector (``add`` /
+``remove``) therefore invalidates: the object overlays already funnel
+every mutation through their churn entry points (which flush their
+caches), and ``CompactChordRing`` marks its finger table dirty and
+rebuilds it lazily before the next routed operation (the stabilized-ring
+semantics of ``build`` + ``stabilize_all``).  Directories are placed by
+node *index*, so a membership change invalidates placements too;
+:meth:`IndexedDirectory.place` recomputes from keys, which the scale
+experiment does after churn settles.
+"""
+
+from __future__ import annotations
+
+import bisect
+from array import array
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = ["CompactChordRing", "IndexedDirectory", "RingVector"]
+
+#: Largest identifier ``array('q')`` (signed 64-bit) can hold.
+_INT64_MAX = (1 << 63) - 1
+
+
+class RingVector:
+    """A sorted flat vector of integer ring identifiers.
+
+    Backed by ``array('q')`` — one machine word per id, no boxed-int
+    objects, cache-friendly bisects — with a transparent plain-list
+    fallback for id spaces beyond 63 bits (:class:`~repro.overlay.idspace.
+    IdSpace` allows up to 160).  The sequence protocol matches a sorted
+    list, so ``bisect.bisect_*`` and :func:`~repro.overlay.idspace.
+    closest_on_ring` work on it directly.
+
+    Examples
+    --------
+    >>> v = RingVector([9, 1, 5])
+    >>> list(v), len(v), 5 in v, 4 in v
+    ([1, 5, 9], 3, True, False)
+    >>> v.add(4); v.remove(9); list(v)
+    [1, 4, 5]
+    >>> v.successor_index(6)  # wraps past the end
+    0
+    """
+
+    #: The raw backing storage (sorted), exposed for hot-path reads: C
+    #: bisect probes a ``RingVector`` through Python ``__getitem__`` calls
+    #: (~5x a plain list), so hot callers bisect ``v.data`` directly and
+    #: stay in C.  A slot attribute, not a property — the descriptor read
+    #: itself must be free on these paths.  Treat it as read-only; mutate
+    #: through :meth:`add` / :meth:`remove`.
+    __slots__ = ("data",)
+
+    def __init__(self, ids: Iterable[int] = (), *, max_id: int = _INT64_MAX) -> None:
+        ordered = sorted(ids)
+        if max_id <= _INT64_MAX and (not ordered or ordered[-1] <= _INT64_MAX):
+            self.data: array | list[int] = array("q", ordered)
+        else:  # beyond int64: keep Python ints
+            self.data = ordered
+
+    # -- sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __bool__(self) -> bool:
+        return bool(self.data)
+
+    def __getitem__(self, index):
+        return self.data[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.data)
+
+    def __contains__(self, value: int) -> bool:
+        idx = bisect.bisect_left(self.data, value)
+        return idx < len(self.data) and self.data[idx] == value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RingVector):
+            return list(self.data) == list(other.data)
+        if isinstance(other, (list, tuple)):
+            return list(self.data) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingVector({list(self.data)!r})"
+
+    # -- sorted-set mutation ----------------------------------------------
+    def add(self, value: int) -> None:
+        """Insert ``value`` keeping the vector sorted."""
+        bisect.insort(self.data, value)
+
+    def remove(self, value: int) -> None:
+        """Remove ``value`` (which must be present)."""
+        idx = bisect.bisect_left(self.data, value)
+        del self.data[idx]
+
+    # -- ring queries ------------------------------------------------------
+    def bisect_left(self, value: int) -> int:
+        """``bisect.bisect_left`` over the vector."""
+        return bisect.bisect_left(self.data, value)
+
+    def bisect_right(self, value: int) -> int:
+        """``bisect.bisect_right`` over the vector."""
+        return bisect.bisect_right(self.data, value)
+
+    def successor_index(self, key: int) -> int:
+        """Index of the first id at or after ``key``, wrapping to 0."""
+        idx = bisect.bisect_left(self.data, key)
+        return 0 if idx == len(self.data) else idx
+
+    def as_list(self) -> list[int]:
+        """The ids as a plain list (ring order)."""
+        return list(self.data)
+
+    def to_numpy(self) -> np.ndarray:
+        """The ids as a sorted ``int64`` numpy vector (bulk consumers)."""
+        return np.frombuffer(self.data, dtype=np.int64).copy() if isinstance(
+            self.data, array
+        ) and len(self.data) else np.asarray(list(self.data), dtype=np.int64)
+
+
+class IndexedDirectory:
+    """Index-keyed directory storage for the compact core.
+
+    Per-node directory load is a counts vector indexed by node *index*
+    (position in the sorted id vector), one vector per namespace — the
+    struct-of-arrays replacement for per-node ``dict`` stores.  Placement
+    is vectorised: a batch of key ids maps to owner indices with one
+    ``searchsorted`` and accumulates with one ``bincount``.
+    """
+
+    def __init__(self, ring: "CompactChordRing") -> None:
+        self._ring = ring
+        self._counts: dict[str, np.ndarray] = {}
+
+    def place(self, namespace: str, keys: np.ndarray) -> None:
+        """Store one piece per key id in ``keys`` at each key's owner."""
+        owners = self._ring.owner_indices(keys)
+        counts = np.bincount(owners, minlength=self._ring.num_nodes)
+        existing = self._counts.get(namespace)
+        if existing is None:
+            self._counts[namespace] = counts.astype(np.int64)
+        else:
+            existing += counts
+
+    def sizes(self, namespace: str | None = None) -> np.ndarray:
+        """Per-node directory sizes (the Figure 3 metric), by node index."""
+        n = self._ring.num_nodes
+        if namespace is not None:
+            counts = self._counts.get(namespace)
+            return counts.copy() if counts is not None else np.zeros(n, np.int64)
+        total = np.zeros(n, np.int64)
+        for counts in self._counts.values():
+            total += counts
+        return total
+
+
+class CompactChordRing:
+    """A stabilized Chord ring as flat integer arrays — no node objects.
+
+    State is exactly three arrays: the sorted id vector, the ``(n, bits)``
+    finger table of node indices (``fingers[i, j]`` = index of
+    ``successor(ids[i] + 2**j)``) and the per-namespace directory counts
+    in :class:`IndexedDirectory`.  Successor and predecessor are index
+    adjacency (``i ± 1 mod n``) — the ring is always in its stabilized
+    state, which is the regime every paper figure measures.
+
+    Routing replays :meth:`ChordRing._lookup_plain` exactly — same stop
+    test, same greedy closest-preceding-finger scan, same termination
+    guard — so measured hop counts at any ``n`` extend the paper's Figure
+    4 curves rather than approximating them.  Churn (:meth:`join` /
+    :meth:`leave` / :meth:`fail`) mutates the id vector, counts the same
+    maintenance messages the object ring counts, and lazily rebuilds the
+    finger table before the next routed operation.
+
+    Examples
+    --------
+    >>> ring = CompactChordRing(bits=4, ids=[1, 5, 9, 13])
+    >>> int(ring.ids[ring.owner_index(6)])
+    9
+    >>> owner, hops = ring.lookup(ring.index_of(1), 6)
+    >>> int(ring.ids[owner])
+    9
+    """
+
+    def __init__(
+        self,
+        bits: int,
+        ids: Iterable[int],
+        *,
+        successor_list_len: int = 4,
+    ) -> None:
+        require(1 <= bits <= 62, f"compact core needs bits in [1, 62], got {bits}")
+        require(successor_list_len >= 1, "successor_list_len must be >= 1")
+        self.bits = bits
+        self.size = 1 << bits
+        self.successor_list_len = successor_list_len
+        unique = np.unique(np.asarray(list(ids), dtype=np.int64) % self.size)
+        require(unique.size > 0, "cannot build an empty ring")
+        self.ids: np.ndarray = unique  # sorted ascending
+        self.fingers: np.ndarray | None = None  # built lazily, (n, bits)
+        self._fingers_dirty = True
+        #: Maintenance-message accounting (same formulas as the object
+        #: ring's ``count_maintenance`` call sites).
+        self.maintenance_messages = 0
+        self.routing_hops = 0
+        self.directory = IndexedDirectory(self)
+
+    @classmethod
+    def sampled(
+        cls, num_nodes: int, *, bits: int | None = None, seed: int = 0
+    ) -> "CompactChordRing":
+        """A ring of ``num_nodes`` ids sampled uniformly without replacement.
+
+        ``bits`` defaults to ``ceil(log2(n)) + 4`` — a 16x-sparse id space,
+        enough headroom that collisions stay negligible while the finger
+        table stays ``O(n log n)`` ints.
+        """
+        require(num_nodes >= 1, "num_nodes must be >= 1")
+        if bits is None:
+            bits = max(1, int(num_nodes - 1).bit_length()) + 4
+        rng = np.random.default_rng(seed)
+        size = 1 << bits
+        # Sampling without replacement from 2**bits directly would
+        # materialise the whole space; sample with replacement and top up
+        # the (rare, sparse-space) collisions instead.
+        ids = np.unique(rng.integers(size, size=num_nodes, dtype=np.int64))
+        while ids.size < num_nodes:
+            extra = rng.integers(size, size=num_nodes - ids.size, dtype=np.int64)
+            ids = np.unique(np.concatenate([ids, extra]))
+        return cls(bits, ids)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Current population."""
+        return int(self.ids.size)
+
+    def index_of(self, node_id: int) -> int:
+        """Index of the node with identifier ``node_id``."""
+        idx = int(np.searchsorted(self.ids, node_id))
+        require(
+            idx < self.ids.size and int(self.ids[idx]) == node_id,
+            f"node {node_id} not present",
+        )
+        return idx
+
+    def owner_index(self, key: int) -> int:
+        """Index of the node owning ``key`` (first id at or after it)."""
+        idx = int(np.searchsorted(self.ids, key % self.size))
+        return 0 if idx == self.ids.size else idx
+
+    def owner_indices(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`owner_index` over a key batch."""
+        idx = np.searchsorted(self.ids, np.asarray(keys, dtype=np.int64) % self.size)
+        return idx % self.ids.size
+
+    # ------------------------------------------------------------------
+    # Finger table
+    # ------------------------------------------------------------------
+    def build_fingers(self) -> None:
+        """(Re)build the full ``(n, bits)`` finger table, column-wise.
+
+        Column ``j`` is one vectorised successor resolution of every
+        node's ``id + 2**j`` target — the array equivalent of a global
+        ``stabilize_all`` + ``fix_fingers`` sweep.
+        """
+        n = self.ids.size
+        dtype = np.int32 if n < (1 << 31) else np.int64
+        fingers = np.empty((n, self.bits), dtype=dtype)
+        for j in range(self.bits):
+            targets = (self.ids + (1 << j)) % self.size
+            idx = np.searchsorted(self.ids, targets)
+            fingers[:, j] = idx % n
+        self.fingers = fingers
+        self._fingers_dirty = False
+
+    def _ensure_fingers(self) -> None:
+        if self._fingers_dirty or self.fingers is None:
+            self.build_fingers()
+
+    def state_bytes(self) -> int:
+        """Bytes held by the flat ring state (id vector + finger table)."""
+        self._ensure_fingers()
+        assert self.fingers is not None
+        return int(self.ids.nbytes + self.fingers.nbytes)
+
+    # ------------------------------------------------------------------
+    # Routing (mirrors ChordRing._lookup_plain / _closest_preceding)
+    # ------------------------------------------------------------------
+    def lookup(self, start_index: int, key: int) -> tuple[int, int]:
+        """Greedy closest-preceding-finger route; returns (owner_index, hops).
+
+        Hop-for-hop identical to the object ring's fault-free lookup on
+        the same (stabilized) membership — the equivalence tests diff the
+        two implementations query by query.
+        """
+        self._ensure_fingers()
+        ids = self.ids
+        fingers = self.fingers
+        n = ids.size
+        size = self.size
+        key %= size
+        cur = start_index
+        hops = 0
+        max_hops = 8 * self.bits + n  # termination guard (as ChordRing)
+        while hops < max_hops:
+            cur_id = int(ids[cur])
+            pred_id = int(ids[cur - 1]) if cur else int(ids[n - 1])
+            # Stop test: key in (pred, cur] — the stabilized _owns check.
+            dist_cur = (cur_id - pred_id) % size
+            if dist_cur == 0 or 0 < (key - pred_id) % size <= dist_cur:
+                break
+            succ = cur + 1 if cur + 1 < n else 0
+            succ_id = int(ids[succ])
+            dist_key = (key - cur_id) % size
+            dist_succ = (succ_id - cur_id) % size
+            if dist_succ == 0 or 0 < dist_key <= dist_succ:
+                cur = succ
+            else:
+                # Closest preceding finger: highest finger in (cur, key).
+                span = dist_key or size
+                nxt = succ
+                for f in fingers[cur, ::-1].tolist():
+                    if f != cur and 0 < (int(ids[f]) - cur_id) % size < span:
+                        nxt = f
+                        break
+                cur = nxt
+            hops += 1
+        self.routing_hops += hops
+        return cur, hops
+
+    def measure_lookups(
+        self, num_queries: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Hop counts of ``num_queries`` uniform (start, key) lookups."""
+        n = self.ids.size
+        starts = rng.integers(n, size=num_queries)
+        keys = rng.integers(self.size, size=num_queries, dtype=np.int64)
+        return np.array(
+            [self.lookup(int(s), int(k))[1] for s, k in zip(starts, keys)],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------
+    # Churn (maintenance accounting mirrors the object ring)
+    # ------------------------------------------------------------------
+    def _neighbourhood_repair_cost(self) -> int:
+        """Messages ``_repair_neighbourhood`` sends: one per refreshed
+        successor-list neighbour plus one for the predecessor."""
+        return min(self.successor_list_len + 1, self.num_nodes) + 1
+
+    def join(self, node_id: int) -> None:
+        """A node joins: id vector grows, fingers go stale, messages count.
+
+        Cost model is the object ring's: ``bits`` messages to build the
+        newcomer's state plus the neighbourhood repair sweep.
+        """
+        node_id %= self.size
+        idx = int(np.searchsorted(self.ids, node_id))
+        require(
+            idx >= self.ids.size or int(self.ids[idx]) != node_id,
+            f"node {node_id} already present",
+        )
+        self.ids = np.insert(self.ids, idx, node_id)
+        self._fingers_dirty = True
+        self.maintenance_messages += self.bits + self._neighbourhood_repair_cost()
+
+    def leave(self, node_id: int) -> None:
+        """Graceful departure: two departure notifications + repair."""
+        require(self.num_nodes > 1, "cannot remove the last ring node")
+        self.ids = np.delete(self.ids, self.index_of(node_id))
+        self._fingers_dirty = True
+        self.maintenance_messages += 2 + self._neighbourhood_repair_cost()
+
+    def fail(self, node_id: int) -> None:
+        """Crash: neighbours detect and repair; no departure handoff."""
+        require(self.num_nodes > 1, "cannot remove the last ring node")
+        self.ids = np.delete(self.ids, self.index_of(node_id))
+        self._fingers_dirty = True
+        self.maintenance_messages += self._neighbourhood_repair_cost()
+
+    def stabilize_all(self) -> None:
+        """Full stabilization sweep: rebuild fingers, one message per node."""
+        self.build_fingers()
+        self.maintenance_messages += self.num_nodes

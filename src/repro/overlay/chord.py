@@ -30,6 +30,7 @@ from collections import Counter
 from collections.abc import Iterable
 from typing import Any
 
+from repro.overlay.arraystore import RingVector
 from repro.overlay.idspace import IdSpace
 from repro.overlay.node import LookupResult, OverlayNode, WalkResult, trace_fault_step
 from repro.sim.durability import (
@@ -149,7 +150,10 @@ class ChordRing:
         #: has no active fault injector.
         self.lookup_policy: LookupPolicy = DEFAULT_POLICY
         self._nodes: dict[int, ChordNode] = {}
-        self._sorted_ids: list[int] = []
+        #: The flat array-backed membership core (``repro.overlay.
+        #: arraystore``); the node objects and their routing pointers are
+        #: views over this sorted id vector.
+        self._sorted_ids: RingVector = RingVector(max_id=self.space.size - 1)
         #: Derived-routing caches (pure memoisation, no observable effect):
         #: ``_succ_cache`` memoises :meth:`successor_of` and ``_cpf_cache``
         #: holds each node's deduplicated descending live-finger list for
@@ -194,7 +198,7 @@ class ChordRing:
     @property
     def node_ids(self) -> list[int]:
         """Live node IDs in ring order."""
-        return list(self._sorted_ids)
+        return self._sorted_ids.as_list()
 
     def node(self, node_id: int) -> ChordNode:
         """The live node with identifier ``node_id``."""
@@ -209,7 +213,7 @@ class ChordRing:
         ids = sorted(set(self.space.wrap(i) for i in node_ids))
         require(bool(ids), "cannot build an empty ring")
         self._nodes = {i: ChordNode(i, self.bits) for i in ids}
-        self._sorted_ids = ids
+        self._sorted_ids = RingVector(ids, max_id=self.space.size - 1)
         self.invalidate_routing_caches()
         for node in self._nodes.values():
             self._refresh_routing_state(node)
@@ -228,34 +232,35 @@ class ChordRing:
         ``id + 2**i`` targets from many nodes, so the cache turns the
         stabilization sweep's repeated bisects into dict hits.
         """
-        require(bool(self._sorted_ids), "ring is empty")
+        require(bool(self._sorted_ids.data), "ring is empty")
         key = self.space.wrap(key)
         node = self._succ_cache.get(key)
         if node is None:
-            idx = bisect.bisect_left(self._sorted_ids, key)
-            if idx == len(self._sorted_ids):
-                idx = 0
-            node = self._nodes[self._sorted_ids[idx]]
+            ids = self._sorted_ids.data
+            idx = bisect.bisect_left(ids, key)
+            node = self._nodes[ids[idx if idx < len(ids) else 0]]
             if self.routing_cache:
                 self._succ_cache[key] = node
         return node
 
     def predecessor_of(self, key: int) -> ChordNode:
         """The last live node strictly before ``key`` on the ring."""
-        require(bool(self._sorted_ids), "ring is empty")
+        require(bool(self._sorted_ids.data), "ring is empty")
         key = self.space.wrap(key)
-        idx = bisect.bisect_left(self._sorted_ids, key) - 1
-        return self._nodes[self._sorted_ids[idx]]
+        ids = self._sorted_ids.data
+        idx = bisect.bisect_left(ids, key) - 1
+        return self._nodes[ids[idx]]
 
     def _successors_from(self, key: int, count: int) -> list[ChordNode]:
         """Up to ``count`` distinct live nodes clockwise from ``key``."""
         result: list[ChordNode] = []
-        if not self._sorted_ids:
+        if not self._sorted_ids.data:
             return result
-        idx = bisect.bisect_left(self._sorted_ids, self.space.wrap(key))
-        n = len(self._sorted_ids)
+        ids = self._sorted_ids.data
+        idx = bisect.bisect_left(ids, self.space.wrap(key))
+        n = len(ids)
         for offset in range(min(count, n)):
-            result.append(self._nodes[self._sorted_ids[(idx + offset) % n]])
+            result.append(self._nodes[ids[(idx + offset) % n]])
         return result
 
     def _refresh_routing_state(self, node: ChordNode) -> None:
@@ -787,7 +792,7 @@ class ChordRing:
         require(node_id not in self._nodes, f"node {node_id} already present")
         had_members = bool(self._sorted_ids)
         node = ChordNode(node_id, self.bits)
-        bisect.insort(self._sorted_ids, node_id)
+        self._sorted_ids.add(node_id)
         self._nodes[node_id] = node
         self.invalidate_routing_caches()
         self._refresh_routing_state(node)
@@ -816,7 +821,7 @@ class ChordRing:
         """
         require(len(self._sorted_ids) > 1, "cannot remove the last ring node")
         node = self._nodes.pop(node_id)
-        del self._sorted_ids[bisect.bisect_left(self._sorted_ids, node_id)]
+        self._sorted_ids.remove(node_id)
         node.alive = False
         self.invalidate_routing_caches()
         successor = self.successor_of(node_id)
@@ -845,7 +850,7 @@ class ChordRing:
         """
         require(len(self._sorted_ids) > 1, "cannot remove the last ring node")
         node = self._nodes.pop(node_id)
-        del self._sorted_ids[bisect.bisect_left(self._sorted_ids, node_id)]
+        self._sorted_ids.remove(node_id)
         node.alive = False
         self.invalidate_routing_caches()
         node.clear_storage()  # the crashed node's memory is gone

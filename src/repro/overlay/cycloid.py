@@ -44,6 +44,7 @@ from collections import Counter
 from collections.abc import Iterable
 from typing import Any, NamedTuple
 
+from repro.overlay.arraystore import RingVector
 from repro.overlay.idspace import IdSpace, closest_on_ring
 from repro.overlay.node import LookupResult, OverlayNode, WalkResult, trace_fault_step
 from repro.sim.durability import (
@@ -187,10 +188,11 @@ class CycloidOverlay:
         #: the network has no active fault injector.
         self.lookup_policy: LookupPolicy = DEFAULT_POLICY
         self._nodes: dict[CycloidId, CycloidNode] = {}
-        #: cluster -> sorted list of present cyclic indices
-        self._clusters: dict[int, list[int]] = {}
-        #: sorted list of non-empty cluster cubical indices
-        self._cluster_ids: list[int] = []
+        #: cluster -> sorted flat vector of present cyclic indices (the
+        #: array-backed membership core, ``repro.overlay.arraystore``)
+        self._clusters: dict[int, RingVector] = {}
+        #: sorted flat vector of non-empty cluster cubical indices
+        self._cluster_ids: RingVector = RingVector()
         #: Memoised :meth:`closest_node` resolution (normalised key ->
         #: owner).  Pure derived state: valid only for the current
         #: membership, so every churn entry point (:meth:`join` /
@@ -251,12 +253,11 @@ class CycloidOverlay:
                       for k, a in node_ids})
         require(bool(ids), "cannot build an empty overlay")
         self._nodes = {cid: CycloidNode(cid, self.dimension) for cid in ids}
-        self._clusters = {}
+        grouped: dict[int, list[int]] = {}
         for cid in ids:
-            self._clusters.setdefault(cid.a, []).append(cid.k)
-        for ks in self._clusters.values():
-            ks.sort()
-        self._cluster_ids = sorted(self._clusters)
+            grouped.setdefault(cid.a, []).append(cid.k)
+        self._clusters = {a: RingVector(ks) for a, ks in grouped.items()}
+        self._cluster_ids = RingVector(self._clusters)
         self.invalidate_routing_caches()
         for node in self._nodes.values():
             self._refresh_routing_state(node)
@@ -278,11 +279,11 @@ class CycloidOverlay:
         Bisect over the maintained sorted cluster index — with ``2**d``
         clusters a linear closest-scan dominated every lookup.
         """
-        require(bool(self._cluster_ids), "overlay is empty")
+        require(bool(self._cluster_ids.data), "overlay is empty")
         a = self.cubical_space.wrap(a)
         if a in self._clusters:
             return a
-        return closest_on_ring(a, self._cluster_ids, self.cubical_space.size)
+        return closest_on_ring(a, self._cluster_ids.data, self.cubical_space.size)
 
     def closest_node(self, target: CycloidId) -> CycloidNode:
         """The live node owning key ``target`` (cluster-first closeness).
@@ -298,7 +299,7 @@ class CycloidOverlay:
         node = self._owner_cache.get(key)
         if node is None:
             cluster = self.nearest_cluster(key.a)
-            best = closest_on_ring(key.k, self._clusters[cluster], d)
+            best = closest_on_ring(key.k, self._clusters[cluster].data, d)
             node = self._nodes[CycloidId(best, cluster)]
             if self.routing_cache:
                 self._owner_cache[key] = node
@@ -310,7 +311,7 @@ class CycloidOverlay:
         Wraps around the large cycle; returns ``None`` only when ``a`` is
         the sole non-empty cluster.
         """
-        ids = self._cluster_ids
+        ids = self._cluster_ids.data
         if not ids:
             return None
         if len(ids) == 1:
@@ -331,7 +332,7 @@ class CycloidOverlay:
         k, a = node.cid
 
         # Inside leaf set: cyclic predecessor and successor in own cluster.
-        ks = self._clusters[a]
+        ks = self._clusters[a].data
         if len(ks) == 1:
             node.inside_leaf = (None, None)
         else:
@@ -345,11 +346,11 @@ class CycloidOverlay:
         prev_cluster = self._cluster_neighbor(a, -1)
         next_cluster = self._cluster_neighbor(a, +1)
         out_prev = (
-            self._nodes[CycloidId(self._clusters[prev_cluster][-1], prev_cluster)]
+            self._nodes[CycloidId(self._clusters[prev_cluster].data[-1], prev_cluster)]
             if prev_cluster is not None else None
         )
         out_next = (
-            self._nodes[CycloidId(self._clusters[next_cluster][-1], next_cluster)]
+            self._nodes[CycloidId(self._clusters[next_cluster].data[-1], next_cluster)]
             if next_cluster is not None else None
         )
         node.outside_leaf = (
@@ -850,7 +851,7 @@ class CycloidOverlay:
         ``key_id`` is the linearized ``(k, a)`` storage identifier."""
         owner = self.closest_node(self.delinearize(key_id))
         members = self.cluster_members(owner.a)
-        idx = bisect.bisect_left(self._clusters[owner.a], owner.k)
+        idx = bisect.bisect_left(self._clusters[owner.a].data, owner.k)
         count = min(count, len(members))
         return [members[(idx + offset) % len(members)] for offset in range(count)]
 
@@ -861,7 +862,7 @@ class CycloidOverlay:
         if self._native_placement:
             owner = self.closest_node(key)
             members = self.cluster_members(owner.a)
-            idx = bisect.bisect_left(self._clusters[owner.a], owner.k)
+            idx = bisect.bisect_left(self._clusters[owner.a].data, owner.k)
             count = min(self.replication, len(members))
             return [
                 members[(idx + offset) % len(members)] for offset in range(count)
@@ -921,10 +922,10 @@ class CycloidOverlay:
         had_members = bool(self._nodes)
 
         self._nodes[cid] = node
-        ks = self._clusters.setdefault(cid.a, [])
-        bisect.insort(ks, cid.k)
+        ks = self._clusters.setdefault(cid.a, RingVector())
+        ks.add(cid.k)
         if len(ks) == 1:
-            bisect.insort(self._cluster_ids, cid.a)
+            self._cluster_ids.add(cid.a)
         self.invalidate_routing_caches()
 
         self._refresh_routing_state(node)
@@ -972,10 +973,10 @@ class CycloidOverlay:
         require(len(self._nodes) > 1, "cannot remove the last node")
         node = self._nodes.pop(cid)
         ks = self._clusters[cid.a]
-        del ks[bisect.bisect_left(ks, cid.k)]
+        ks.remove(cid.k)
         if not ks:
             del self._clusters[cid.a]
-            del self._cluster_ids[bisect.bisect_left(self._cluster_ids, cid.a)]
+            self._cluster_ids.remove(cid.a)
         node.alive = False
         self.invalidate_routing_caches()
         outgoing: dict[tuple[str, int], Counter] = {}
@@ -1004,10 +1005,10 @@ class CycloidOverlay:
         require(len(self._nodes) > 1, "cannot remove the last node")
         node = self._nodes.pop(cid)
         ks = self._clusters[cid.a]
-        del ks[bisect.bisect_left(ks, cid.k)]
+        ks.remove(cid.k)
         if not ks:
             del self._clusters[cid.a]
-            del self._cluster_ids[bisect.bisect_left(self._cluster_ids, cid.a)]
+            self._cluster_ids.remove(cid.a)
         node.alive = False
         self.invalidate_routing_caches()
         node.clear_storage()  # the crashed node's memory is gone

@@ -32,18 +32,28 @@ class SummaryStats:
     maximum: float
     total: float
 
-    def as_dict(self) -> dict[str, float]:
-        """Flat dict form for CSV emission."""
+    def as_dict(self) -> dict[str, float | None]:
+        """Flat dict form for CSV/JSON emission.
+
+        Non-finite values (the NaN statistics of an empty series) come
+        out as ``None`` — ``csv`` renders that as an empty cell and
+        ``json`` as ``null``, whereas a raw NaN would serialise as the
+        ``NaN`` token, which is not valid JSON.
+        """
+
+        def emit(value: float) -> float | None:
+            return value if np.isfinite(value) else None
+
         return {
             "count": self.count,
-            "mean": self.mean,
-            "std": self.std,
-            "min": self.minimum,
-            "p01": self.p01,
-            "median": self.median,
-            "p99": self.p99,
-            "max": self.maximum,
-            "total": self.total,
+            "mean": emit(self.mean),
+            "std": emit(self.std),
+            "min": emit(self.minimum),
+            "p01": emit(self.p01),
+            "median": emit(self.median),
+            "p99": emit(self.p99),
+            "max": emit(self.maximum),
+            "total": emit(self.total),
         }
 
 

@@ -35,10 +35,13 @@ def publish_stats(stats: "MessageStats", registry, prefix: str = "network") -> N
     otherwise stays trapped in the network object; publishing it lets the
     experiment report tables show what the lookup policy actually paid.
     Pass a ``delta_since`` result to publish one measurement window.
+
+    Every field is published, including zero values: a window with zero
+    retries must yield a ``<prefix>.retries`` counter that *reads* 0, so
+    report tables can distinguish "measured zero" from "never measured".
     """
     for field_name, value in stats.as_dict().items():
-        if value:
-            registry.incr(f"{prefix}.{field_name}", value)
+        registry.incr(f"{prefix}.{field_name}", value)
 
 
 @dataclass

@@ -67,8 +67,22 @@ class BoundedPareto:
             / self._norm
         )
 
-    def ppf(self, q: float) -> float:
-        """Quantile function (inverse CDF); exact inverse of :meth:`cdf`."""
+    def ppf(self, q):
+        """Quantile function (inverse CDF); exact inverse of :meth:`cdf`.
+
+        Accepts a scalar or an array of quantiles; both go through the
+        same inverse transform and both clamp to ``[low, high]`` (the
+        array path used to re-implement the transform without the
+        clamping, letting roundoff at ``q`` near 1 exceed ``high``).
+        """
+        if np.ndim(q):
+            q = np.asarray(q, dtype=float)
+            require(
+                bool(((q >= 0.0) & (q <= 1.0)).all()),
+                "quantiles must be in [0, 1]",
+            )
+            x = self.low / (1.0 - q * self._norm) ** (1.0 / self.alpha)
+            return np.clip(x, self.low, self.high)
         require(0.0 <= q <= 1.0, f"quantile must be in [0, 1], got {q}")
         if q <= 0.0:
             return self.low
@@ -77,17 +91,27 @@ class BoundedPareto:
         return self.low / (1.0 - q * self._norm) ** (1.0 / self.alpha)
 
     def mean(self) -> float:
-        """Analytic mean of the bounded distribution."""
+        """Analytic mean of the bounded distribution.
+
+        For ``alpha != 1`` the mean is ``a*L*(1 - (L/H)^(a-1)) / ((a-1)
+        * (1 - (L/H)^a))``; the textbook form cancels catastrophically
+        as ``alpha -> 1``, so the numerator is evaluated as ``-expm1((a-1)
+        * log(L/H))``, which keeps full precision arbitrarily close to 1
+        and converges to the exact ``alpha == 1`` branch, ``L*log(H/L) /
+        (1 - L/H)``.
+        """
         a, lo, hi = self.alpha, self.low, self.high
+        log_ratio = float(np.log(lo / hi))
         if a == 1.0:
-            return lo * np.log(hi / lo) / self._norm
-        num = (a / (a - 1.0)) * (lo - lo * (lo / hi) ** (a - 1.0))
+            return -lo * log_ratio / self._norm
+        num = a * lo * -float(np.expm1((a - 1.0) * log_ratio)) / (a - 1.0)
         return num / self._norm
 
     def sample(self, rng: np.random.Generator, size: int | None = None):
-        """Draw samples via inverse-transform sampling."""
+        """Draw samples via inverse-transform sampling.
+
+        Scalar and vector draws share :meth:`ppf` (one implementation of
+        the inverse transform, one clamping policy).
+        """
         u = rng.random(size)
-        if size is None:
-            return self.ppf(float(u))
-        # Vectorised inverse transform.
-        return self.low / (1.0 - u * self._norm) ** (1.0 / self.alpha)
+        return self.ppf(float(u)) if size is None else self.ppf(u)

@@ -96,3 +96,31 @@ class TestDistributionResult:
         dist = DistributionResult("f", "t", "v")
         dist.add_summary("x", summarize([1, 2, 3]))
         assert dist.row("x").mean == 2.0
+
+
+class TestEmptySeriesEmission:
+    """Regression: summarize([]) rows render as empty cells, never 'nan'."""
+
+    def make(self) -> DistributionResult:
+        from repro.sim.metrics import summarize
+
+        dist = DistributionResult("figE", "Empty", "pieces")
+        dist.add("measured", 4.0, 1.0, 9.0)
+        dist.add_summary("empty series", summarize([]))
+        return dist
+
+    def test_csv_has_no_nan_tokens(self):
+        csv_text = self.make().to_csv()
+        assert "nan" not in csv_text.lower()
+        lines = csv_text.strip().splitlines()
+        assert lines[2] == "empty series,,,"
+
+    def test_table_renders_dashes(self):
+        table = self.make().to_table()
+        assert "nan" not in table.lower()
+        assert "-" in table
+
+    def test_save_roundtrip_is_nan_free(self, tmp_path):
+        path = self.make().save(tmp_path)
+        assert "nan" not in path.read_text().lower()
+        assert "nan" not in (tmp_path / "figE.txt").read_text().lower()

@@ -13,7 +13,7 @@ class TestRegistry:
             "fig3a", "fig3b", "fig3c", "fig3d",
             "fig4a", "fig4b", "fig5a", "fig5b",
             "fig6a", "fig6b", "theorems", "latency", "staleness", "maintenance",
-            "availability", "recovery",
+            "availability", "recovery", "scale",
         }
 
     def test_unknown_figure_rejected(self, tiny_config):

@@ -1,0 +1,295 @@
+"""Tests for the flat array-backed ring core (``repro.overlay.arraystore``).
+
+The load-bearing property is *equivalence*: :class:`CompactChordRing` must
+route hop-for-hop like the object :class:`ChordRing` on the same stabilized
+membership, and count the same maintenance messages per churn event — that
+is what makes the 100k–1M-node scale figures comparable with the paper-scale
+ones.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+import pytest
+
+from repro.overlay.arraystore import CompactChordRing, RingVector
+from repro.overlay.chord import ChordRing
+
+
+class TestRingVector:
+    def test_init_sorts(self):
+        assert RingVector([9, 1, 5]).as_list() == [1, 5, 9]
+
+    def test_sequence_protocol(self):
+        v = RingVector([2, 4, 6])
+        assert len(v) == 3
+        assert bool(v)
+        assert not RingVector()
+        assert v[1] == 4
+        assert v[-1] == 6
+        assert list(v) == [2, 4, 6]
+
+    def test_contains_is_exact(self):
+        v = RingVector([2, 4, 6])
+        assert 4 in v
+        assert 5 not in v
+        assert 1 not in v
+        assert 7 not in v
+
+    def test_add_keeps_sorted(self):
+        v = RingVector([1, 9])
+        v.add(5)
+        v.add(0)
+        assert v.as_list() == [0, 1, 5, 9]
+
+    def test_remove(self):
+        v = RingVector([1, 5, 9])
+        v.remove(5)
+        assert v.as_list() == [1, 9]
+
+    def test_eq_against_list_tuple_and_self(self):
+        v = RingVector([3, 1])
+        assert v == [1, 3]
+        assert v == (1, 3)
+        assert v == RingVector([1, 3])
+        assert v != [1, 2]
+
+    def test_successor_index_wraps(self):
+        v = RingVector([2, 8, 12])
+        assert v.successor_index(8) == 1   # exact hit
+        assert v.successor_index(9) == 2
+        assert v.successor_index(13) == 0  # past the end wraps
+        assert v.successor_index(0) == 0
+
+    def test_bisect_helpers_match_module_bisect(self):
+        import bisect
+
+        v = RingVector([1, 5, 5, 9])
+        for key in (0, 1, 5, 6, 9, 10):
+            assert v.bisect_left(key) == bisect.bisect_left(v, key)
+            assert v.bisect_right(key) == bisect.bisect_right(v, key)
+
+    def test_to_numpy(self):
+        arr = RingVector([9, 1, 5]).to_numpy()
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [1, 5, 9]
+        assert RingVector().to_numpy().tolist() == []
+
+    def test_machine_width_backing_by_default(self):
+        assert isinstance(RingVector([1, 2, 3]).data, array)
+
+    def test_list_fallback_beyond_int64(self):
+        # 160-bit id spaces (IdSpace allows them) exceed array('q').
+        big = 1 << 100
+        v = RingVector([big, 7], max_id=(1 << 160) - 1)
+        assert isinstance(v.data, list)
+        assert v.as_list() == [7, big]
+        v.add(big + 1)
+        assert big + 1 in v
+        assert v.successor_index(big + 2) == 0
+
+    def test_auto_fallback_when_values_exceed_int64(self):
+        v = RingVector([1 << 70])
+        assert isinstance(v.data, list)
+        assert v.as_list() == [1 << 70]
+
+
+class TestIndexedDirectory:
+    def test_place_matches_bruteforce_owners(self):
+        ring = CompactChordRing(bits=6, ids=[3, 17, 30, 45, 60])
+        keys = np.arange(64, dtype=np.int64)
+        ring.directory.place("resource", keys)
+        expected = np.zeros(ring.num_nodes, np.int64)
+        for key in keys:
+            expected[ring.owner_index(int(key))] += 1
+        assert ring.directory.sizes("resource").tolist() == expected.tolist()
+        assert int(ring.directory.sizes("resource").sum()) == len(keys)
+
+    def test_sizes_sum_across_namespaces(self):
+        ring = CompactChordRing(bits=6, ids=[3, 17, 30])
+        ring.directory.place("a", np.array([1, 2], dtype=np.int64))
+        ring.directory.place("b", np.array([4], dtype=np.int64))
+        assert int(ring.directory.sizes().sum()) == 3
+        assert ring.directory.sizes("missing").tolist() == [0, 0, 0]
+
+    def test_repeated_place_accumulates(self):
+        ring = CompactChordRing(bits=6, ids=[3, 17, 30])
+        keys = np.array([5, 5], dtype=np.int64)
+        ring.directory.place("a", keys)
+        ring.directory.place("a", keys)
+        assert int(ring.directory.sizes("a").sum()) == 4
+
+    def test_matches_object_ring_directory(self):
+        bits = 8
+        rng = np.random.default_rng(11)
+        ids = sorted(int(i) for i in rng.choice(1 << bits, size=24, replace=False))
+        keys = rng.integers(1 << bits, size=200, dtype=np.int64)
+
+        obj = ChordRing(bits=bits)
+        obj.build(ids)
+        for key in keys:
+            obj.store("resource", int(key), f"item-{int(key)}")
+
+        compact = CompactChordRing(bits=bits, ids=ids)
+        compact.directory.place("resource", keys)
+
+        # Both report per-node sizes in sorted-id (ring) order.
+        assert compact.directory.sizes("resource").tolist() == obj.directory_sizes(
+            "resource"
+        )
+
+
+def _object_hops(ring: ChordRing, start_id: int, key: int) -> tuple[int, int]:
+    result = ring.lookup(ring.node(start_id), key)
+    return result.owner.node_id, result.hops
+
+
+class TestCompactChordRingEquivalence:
+    BITS = 10
+
+    def _paired_rings(self, seed: int = 5, n: int = 48):
+        rng = np.random.default_rng(seed)
+        ids = sorted(int(i) for i in rng.choice(1 << self.BITS, size=n, replace=False))
+        obj = ChordRing(bits=self.BITS)
+        obj.build(ids)
+        compact = CompactChordRing(bits=self.BITS, ids=ids)
+        return obj, compact, rng
+
+    def _assert_routes_match(self, obj, compact, rng, queries=150):
+        ids = compact.ids
+        starts = rng.integers(len(ids), size=queries)
+        keys = rng.integers(1 << self.BITS, size=queries, dtype=np.int64)
+        for s, key in zip(starts, keys):
+            start_id = int(ids[int(s)])
+            owner_idx, hops = compact.lookup(int(s), int(key))
+            obj_owner, obj_hops = _object_hops(obj, start_id, int(key))
+            assert int(ids[owner_idx]) == obj_owner, (start_id, int(key))
+            assert hops == obj_hops, (start_id, int(key))
+
+    def test_owner_and_hops_match_object_ring(self):
+        obj, compact, rng = self._paired_rings()
+        self._assert_routes_match(obj, compact, rng)
+
+    def test_owner_index_matches_successor_of(self):
+        obj, compact, _ = self._paired_rings(seed=6)
+        for key in range(0, 1 << self.BITS, 7):
+            assert (
+                int(compact.ids[compact.owner_index(key)])
+                == obj.successor_of(key).node_id
+            )
+
+    def test_equivalence_survives_churn(self):
+        obj, compact, rng = self._paired_rings(seed=7)
+        members = set(int(i) for i in compact.ids)
+        # A joined/left/failed mix, then re-stabilize both representations.
+        for event in range(9):
+            if event % 3 == 0:
+                node_id = int(rng.integers(1 << self.BITS))
+                while node_id in members:
+                    node_id = int(rng.integers(1 << self.BITS))
+                members.add(node_id)
+                obj.join(node_id)
+                compact.join(node_id)
+            else:
+                node_id = int(rng.choice(sorted(members)))
+                members.remove(node_id)
+                if event % 3 == 1:
+                    obj.leave(node_id)
+                    compact.leave(node_id)
+                else:
+                    obj.fail(node_id)
+                    compact.fail(node_id)
+        obj.stabilize_all()
+        compact.stabilize_all()
+        assert compact.ids.tolist() == obj.node_ids
+        self._assert_routes_match(obj, compact, rng, queries=100)
+
+
+class TestMaintenanceParity:
+    """Per-event maintenance messages match the object ring's accounting."""
+
+    BITS = 9
+
+    def _paired_rings(self):
+        rng = np.random.default_rng(13)
+        ids = sorted(int(i) for i in rng.choice(1 << self.BITS, size=20, replace=False))
+        obj = ChordRing(bits=self.BITS)
+        obj.build(ids)
+        compact = CompactChordRing(bits=self.BITS, ids=ids)
+        return obj, compact
+
+    def _deltas(self, obj, compact, action):
+        before_obj = obj.network.stats.maintenance_messages
+        before_compact = compact.maintenance_messages
+        action()
+        return (
+            obj.network.stats.maintenance_messages - before_obj,
+            compact.maintenance_messages - before_compact,
+        )
+
+    def test_join_parity(self):
+        obj, compact = self._paired_rings()
+        node_id = next(i for i in range(1 << self.BITS) if i not in obj.node_ids)
+        d_obj, d_compact = self._deltas(
+            obj, compact, lambda: (obj.join(node_id), compact.join(node_id))
+        )
+        assert d_obj == d_compact
+
+    def test_leave_parity(self):
+        obj, compact = self._paired_rings()
+        node_id = obj.node_ids[3]
+        d_obj, d_compact = self._deltas(
+            obj, compact, lambda: (obj.leave(node_id), compact.leave(node_id))
+        )
+        assert d_obj == d_compact
+
+    def test_fail_parity(self):
+        obj, compact = self._paired_rings()
+        node_id = obj.node_ids[5]
+        d_obj, d_compact = self._deltas(
+            obj, compact, lambda: (obj.fail(node_id), compact.fail(node_id))
+        )
+        assert d_obj == d_compact
+
+    def test_stabilize_all_parity(self):
+        obj, compact = self._paired_rings()
+        d_obj, d_compact = self._deltas(
+            obj, compact, lambda: (obj.stabilize_all(), compact.stabilize_all())
+        )
+        assert d_obj == d_compact == obj.num_nodes
+
+
+class TestCompactChordRingValidation:
+    def test_rejects_out_of_range_bits(self):
+        with pytest.raises(ValueError):
+            CompactChordRing(bits=63, ids=[1])
+        with pytest.raises(ValueError):
+            CompactChordRing(bits=0, ids=[1])
+
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValueError):
+            CompactChordRing(bits=4, ids=[])
+
+    def test_join_rejects_duplicate(self):
+        ring = CompactChordRing(bits=4, ids=[1, 5])
+        with pytest.raises(ValueError):
+            ring.join(5)
+
+    def test_cannot_remove_last_node(self):
+        ring = CompactChordRing(bits=4, ids=[1])
+        with pytest.raises(ValueError):
+            ring.leave(1)
+
+    def test_sampled_population_and_determinism(self):
+        a = CompactChordRing.sampled(500, seed=3)
+        b = CompactChordRing.sampled(500, seed=3)
+        assert a.num_nodes == 500
+        assert a.bits == b.bits
+        assert a.ids.tolist() == b.ids.tolist()
+
+    def test_state_bytes_counts_ids_and_fingers(self):
+        ring = CompactChordRing.sampled(100, seed=1)
+        expected = ring.ids.nbytes + 100 * ring.bits * 4  # int32 fingers
+        assert ring.state_bytes() == expected

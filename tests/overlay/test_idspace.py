@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.overlay.idspace import IdSpace
+from repro.overlay.idspace import IdSpace, closest_on_ring
 
 SPACE = IdSpace(6)  # 64 identifiers
 ids = st.integers(min_value=0, max_value=SPACE.size - 1)
@@ -108,3 +108,80 @@ class TestClosest:
         assert SPACE.ring_distance(target, best) == min(
             SPACE.ring_distance(target, c) for c in cands
         )
+
+
+class TestClosestOnRingEdges:
+    """Bisect-based closest_on_ring edge cases (mirrors IdSpace.closest)."""
+
+    def test_target_equals_a_candidate(self):
+        assert closest_on_ring(10, [3, 10, 20], 64) == 10
+        assert closest_on_ring(3, [3], 64) == 3
+
+    def test_insertion_point_past_last_candidate_wraps(self):
+        # target sorts after every candidate: successor must wrap to index 0.
+        assert closest_on_ring(63, [0, 55], 64) == 0
+        assert closest_on_ring(60, [1, 2], 64) == 1
+
+    def test_insertion_point_before_first_candidate_wraps(self):
+        # predecessor of index 0 is the last candidate, across the origin.
+        assert closest_on_ring(0, [10, 11], 16) == 11
+
+    def test_duplicate_candidate_ids(self):
+        assert closest_on_ring(5, [4, 4, 12], 16) == 4
+        assert closest_on_ring(4, [4, 4, 12], 16) == 4
+
+    def test_single_candidate(self):
+        assert closest_on_ring(9, [2], 16) == 2
+
+    def test_non_power_of_two_cycle(self):
+        # Cycloid's intra-cluster cycle length d is not a power of two.
+        assert closest_on_ring(0, [1, 5], 6) == 1
+        assert closest_on_ring(0, [2, 4], 6) == 2  # tie broken clockwise
+
+    @given(target=ids, cands=st.lists(ids, min_size=1, max_size=12))
+    def test_matches_linear_scan(self, target, cands):
+        cands = sorted(cands)
+        assert closest_on_ring(target, cands, SPACE.size) == SPACE.closest(
+            target, cands
+        )
+
+
+class TestIntervalEdges:
+    """in_interval degenerate bounds (a == b) and exact-endpoint hits."""
+
+    @pytest.mark.parametrize(
+        "closed_left,closed_right",
+        [(False, False), (False, True), (True, False), (True, True)],
+    )
+    def test_degenerate_interval_each_bound_combination(
+        self, closed_left, closed_right
+    ):
+        a = 7
+        # Any closed bound makes the degenerate interval the full ring.
+        expect_full = closed_left or closed_right
+        assert (
+            SPACE.in_interval(
+                a, a, a, closed_left=closed_left, closed_right=closed_right
+            )
+            is expect_full
+        )
+        # A point distinct from a is inside unless the interval is fully open
+        # at a single-node ring's own id -- i.e. always inside: the open
+        # degenerate interval covers the whole ring except ``a`` itself.
+        assert SPACE.in_interval(
+            a + 1, a, a, closed_left=closed_left, closed_right=closed_right
+        )
+
+    def test_x_equals_left_endpoint(self):
+        assert not SPACE.in_interval(3, 3, 9)  # default (a, b]
+        assert SPACE.in_interval(3, 3, 9, closed_left=True)
+
+    def test_x_equals_right_endpoint(self):
+        assert SPACE.in_interval(9, 3, 9)  # default (a, b]
+        assert not SPACE.in_interval(9, 3, 9, closed_right=False)
+
+    def test_wrapped_interval_endpoints(self):
+        assert SPACE.in_interval(5, 60, 5)
+        assert not SPACE.in_interval(5, 60, 5, closed_right=False)
+        assert not SPACE.in_interval(60, 60, 5)
+        assert SPACE.in_interval(60, 60, 5, closed_left=True)

@@ -100,3 +100,26 @@ class TestRegistry:
         m.record("x", 1)
         m.samples("x").append(99.0)
         assert m.samples("x") == [1.0]
+
+
+class TestNaNSafeEmission:
+    """Regression: empty-series summaries must not leak NaN into reports."""
+
+    def test_empty_summary_as_dict_emits_none(self):
+        d = summarize([]).as_dict()
+        assert d["count"] == 0
+        for key in ("mean", "std", "min", "p01", "median", "p99", "max"):
+            assert d[key] is None, key
+        assert d["total"] == 0.0
+
+    def test_empty_summary_as_dict_is_strict_json(self):
+        import json
+
+        # allow_nan=False raises on NaN/Infinity; None serialises as null.
+        payload = json.loads(json.dumps(summarize([]).as_dict(), allow_nan=False))
+        assert payload["mean"] is None
+
+    def test_populated_summary_unchanged(self):
+        d = summarize([1.0, 3.0]).as_dict()
+        assert d["mean"] == 2.0
+        assert all(v is not None for v in d.values())

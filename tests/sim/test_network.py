@@ -83,3 +83,43 @@ class TestLatency:
     def test_invalid_latency_rejected(self):
         with pytest.raises(ValueError):
             SimulatedNetwork(hop_latency=0.0)
+
+
+class TestPublishStats:
+    """Regression: zero-valued fields are published, not skipped."""
+
+    def _registry(self):
+        from repro.sim.metrics import MetricsRegistry
+
+        return MetricsRegistry()
+
+    def test_all_fields_published_including_zeros(self):
+        registry = self._registry()
+        net = SimulatedNetwork()
+        net.count_hop(3)  # leaves retries/timeouts/... at zero
+        net.publish_stats(registry)
+        expected = {f"network.{name}" for name in MessageStats().as_dict()}
+        assert set(registry.counter_names) == expected
+        assert registry.counter("network.retries") == 0
+        assert registry.counter("network.routing_hops") == 3
+
+    def test_fresh_window_publishes_full_counter_set(self):
+        # A window with no traffic at all still yields every counter, so
+        # report tables can tell "measured zero" from "never measured".
+        registry = self._registry()
+        net = SimulatedNetwork()
+        delta = net.stats.delta_since(MessageStats())
+        from repro.sim.network import publish_stats
+
+        publish_stats(delta, registry, prefix="window")
+        assert len(registry.counter_names) == len(MessageStats().as_dict())
+        assert registry.counter("window.messages") == 0
+
+    def test_values_accumulate_across_windows(self):
+        registry = self._registry()
+        net = SimulatedNetwork()
+        net.count_retry(0.5)
+        net.publish_stats(registry)
+        net.publish_stats(registry)
+        assert registry.counter("network.retries") == 2
+        assert registry.counter("network.backoff_seconds") == 1.0

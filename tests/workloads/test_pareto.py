@@ -112,3 +112,78 @@ class TestValidation:
             BoundedPareto(alpha=1.0, low=0.0, high=2.0)
         with pytest.raises(ValueError):
             BoundedPareto(alpha=1.0, low=2.0, high=2.0)
+
+
+class TestMeanNearAlphaOne:
+    """Regression: the textbook mean formula cancels catastrophically as
+    alpha -> 1 (and divides by zero at exactly 1)."""
+
+    LOW, HIGH = 1.0, 100.0
+
+    def _mean(self, alpha: float) -> float:
+        return BoundedPareto(alpha=alpha, low=self.LOW, high=self.HIGH).mean()
+
+    def test_finite_and_positive_at_one(self):
+        value = self._mean(1.0)
+        assert np.isfinite(value)
+        # Exact alpha == 1 value: L*log(H/L) / (1 - L/H).
+        assert value == pytest.approx(
+            self.LOW * np.log(self.HIGH / self.LOW) / (1 - self.LOW / self.HIGH)
+        )
+
+    def test_continuous_across_one(self):
+        at_one = self._mean(1.0)
+        for eps in (1e-12, 1e-9):
+            assert self._mean(1.0 - eps) == pytest.approx(at_one, rel=1e-6)
+            assert self._mean(1.0 + eps) == pytest.approx(at_one, rel=1e-6)
+
+    def test_monotone_decreasing_in_alpha_near_one(self):
+        # More shape mass at low values => smaller mean; the unstable
+        # formula violates this on both sides of 1.
+        assert self._mean(1.0 - 1e-9) > self._mean(1.0) > self._mean(1.0 + 1e-9)
+
+    @pytest.mark.parametrize("alpha", [1.0, 1.0 - 1e-9, 1.0 + 1e-9])
+    def test_analytic_mean_matches_monte_carlo(self, alpha):
+        dist = BoundedPareto(alpha=alpha, low=self.LOW, high=self.HIGH)
+        rng = np.random.default_rng(42)
+        samples = dist.sample(rng, 200_000)
+        assert dist.mean() == pytest.approx(float(samples.mean()), rel=0.02)
+
+    def test_far_from_one_unchanged(self):
+        # The stable form agrees with the textbook formula where the
+        # latter is well-conditioned.
+        a, lo, hi = 2.5, 1.0, 100.0
+        textbook = (
+            a * lo * (1 - (lo / hi) ** (a - 1)) / ((a - 1) * (1 - (lo / hi) ** a))
+        )
+        assert BoundedPareto(alpha=a, low=lo, high=hi).mean() == pytest.approx(
+            textbook, rel=1e-12
+        )
+
+
+class TestSampleUnified:
+    """Regression: scalar and vector draws share one inverse transform."""
+
+    def test_vector_matches_scalar_transform(self):
+        rng_vec = np.random.default_rng(9)
+        rng_scalar = np.random.default_rng(9)
+        vector = DIST.sample(rng_vec, 64)
+        scalars = np.array([DIST.sample(rng_scalar) for _ in range(64)])
+        np.testing.assert_allclose(vector, scalars, rtol=1e-12)
+
+    def test_vector_ppf_clamped_to_bounds(self):
+        q = np.array([0.0, 1.0 - 1e-17, 1.0])
+        x = DIST.ppf(q)
+        assert x[0] == DIST.low
+        assert (x <= DIST.high).all()
+        assert x[-1] == DIST.high
+
+    def test_vector_ppf_matches_scalar_ppf(self):
+        q = np.linspace(0.0, 1.0, 33)
+        np.testing.assert_allclose(
+            DIST.ppf(q), [DIST.ppf(float(v)) for v in q], rtol=1e-12
+        )
+
+    def test_vector_ppf_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DIST.ppf(np.array([0.5, 1.5]))
