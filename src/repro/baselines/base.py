@@ -11,6 +11,7 @@ tests run identical workloads through this interface.
 
 from __future__ import annotations
 
+import dataclasses
 from abc import ABC, abstractmethod
 from collections.abc import Iterable
 from typing import Any, ClassVar
@@ -59,6 +60,11 @@ class DiscoveryService(ABC):
     #: without ``__init__`` cooperation) keeps all traced code paths
     #: bypassed.
     tracer: Any | None = None
+
+    #: The overlay network while a latency model is attached (``None``
+    #: otherwise — a class attribute for the same reason as ``tracer``,
+    #: so the no-latency hot path stays one ``is None`` check).
+    _latency_net: Any | None = None
 
     metrics: MetricsRegistry
     schema: AttributeSchema
@@ -124,18 +130,43 @@ class DiscoveryService(ABC):
         """Resolve one single-attribute query from entry node ``start``
         (random when omitted)."""
         if self.tracer is None:
-            return self._query_impl(q, start)
+            if self._latency_net is None:
+                return self._query_impl(q, start)
+            return self._timed_query(q, start)
         with self.tracer.span(
             "subquery", f"{self.name}.query",
             attribute=q.attribute, range=q.is_range,
         ) as span:
-            result = self._query_impl(q, start)
+            if self._latency_net is None:
+                result = self._query_impl(q, start)
+            else:
+                result = self._timed_query(q, start)
+                span.attrs["latency"] = result.latency
             span.attrs.update(
                 hops=result.hops, visited=result.visited_nodes,
                 complete=result.complete, retries=result.retries,
                 matches=len(result.matches),
             )
         return result
+
+    def _timed_query(self, q: Query, start: Any | None) -> QueryResult:
+        """Resolve one sub-query under the attached latency model and stamp
+        the requester-observed response time onto the result.
+
+        The fault-path delivery loop accumulates the requester's waits
+        (responses, timeout windows, backoffs) onto the network's
+        ``route_clock``; this wrapper reads the per-query delta.  A query
+        that never touched the timed loop (fault-free routing, or the
+        injector's fast path) costs its hop chain under the model instead.
+        """
+        net = self._latency_net
+        before = net.route_clock
+        result = self._query_impl(q, start)
+        elapsed = net.route_clock - before
+        if elapsed == 0.0 and result.hops:
+            elapsed = net.latency_model.route(result.hops)
+        self.metrics.record("query.latency", elapsed)
+        return dataclasses.replace(result, latency=elapsed)
 
     @abstractmethod
     def _query_impl(self, q: Query, start: Any | None = None) -> QueryResult:
@@ -163,6 +194,8 @@ class DiscoveryService(ABC):
                 providers=len(result.providers),
                 complete=result.complete,
             )
+            if self._latency_net is not None:
+                span.attrs["latency"] = result.latency
         return result
 
     def _multi_query_impl(
@@ -181,6 +214,8 @@ class DiscoveryService(ABC):
             self.metrics.incr("multi_query.incomplete")
         if result.retries:
             self.metrics.record("multi_query.retries", result.retries)
+        if self._latency_net is not None:
+            self.metrics.record("multi_query.latency", result.latency)
         return result
 
     # ------------------------------------------------------------------
@@ -195,6 +230,23 @@ class DiscoveryService(ABC):
         ``complete=False`` results.
         """
         raise NotImplementedError(f"{type(self).__name__} has no overlay binding")
+
+    def configure_latency(self, model: Any | None) -> None:
+        """Attach a :class:`~repro.sim.latency.LatencyModel` to the
+        service's overlay network (``None`` detaches it).
+
+        While attached, queries come back with a measured ``latency`` and
+        the RTT estimators start learning; detached (the default), no
+        randomness is drawn and query results are byte-identical to the
+        pre-latency world.  Attaching resets the RTT book so back-to-back
+        measurement cells never share estimator state.
+        """
+        from repro.sim.invariants import overlay_of
+
+        net = overlay_of(self).network
+        net.latency_model = model
+        net.reset_rtt()
+        self._latency_net = net if model is not None else None
 
     # ------------------------------------------------------------------
     # Structure metrics (Figure 3)

@@ -250,6 +250,52 @@ def _arraystore_ops(config: ExperimentConfig, seeds: SeedFactory) -> list[BenchO
     ]
 
 
+def _latency_ops(seeds: SeedFactory) -> list[BenchOp]:
+    """Micro-ops over the fail-slow latency substrate.
+
+    ``latency.sample`` times the lognormal per-message draw (the tail
+    experiment's hot inner call); ``latency.deliver_hedged`` times one
+    full timed delivery round — latency sample, adaptive timeout, hedge
+    race, estimator update — under a gray-failing destination.  Both ops
+    rebuild their seeded state per call, so checksums are repeat-stable.
+    """
+    from repro.sim.faults import HEDGED_POLICY, FaultInjector, FaultPlan, deliver_first
+    from repro.sim.latency import LognormalLatency
+    from repro.sim.network import SimulatedNetwork
+
+    model_seed = seeds.child_seed("latency-model") % (2**31)
+
+    def run_sample(iterations: int) -> int:
+        model = LognormalLatency(median=0.05, sigma=0.35, seed=model_seed)
+        acc = 0.0
+        for _ in range(iterations):
+            acc += model.sample()
+        return _mask(int(acc * 1e6))
+
+    def run_hedged(iterations: int) -> int:
+        net = SimulatedNetwork()
+        injector = FaultInjector(FaultPlan(seed=model_seed))
+        injector.mark_slow(7, 20.0, 0.6)
+        net.faults = injector
+        net.latency_model = LognormalLatency(
+            median=0.05, sigma=0.35, seed=model_seed
+        )
+        candidates = [(7, "slow"), (9, "healthy")]
+        acc = 0
+        for i in range(iterations):
+            _, retries, skipped = deliver_first(
+                net, i % 32, candidates, HEDGED_POLICY
+            )
+            acc += retries + skipped
+        acc += net.stats.hedges + net.stats.timeouts + net.stats.retries
+        return _mask(acc + int(net.route_clock * 1e6))
+
+    return [
+        BenchOp(name="latency.sample", kind="micro", iterations=20000, run=run_sample),
+        BenchOp(name="latency.deliver_hedged", kind="micro", iterations=2000, run=run_hedged),
+    ]
+
+
 def _metrics_ops() -> list[BenchOp]:
     def run_record(iterations: int) -> int:
         registry = MetricsRegistry()
@@ -382,6 +428,7 @@ def build_ops(config: ExperimentConfig, profile: str = "all") -> list[BenchOp]:
         ops.extend(_chord_ops(config, seeds))
         ops.extend(_cycloid_ops(config, seeds))
         ops.extend(_arraystore_ops(config, seeds))
+        ops.extend(_latency_ops(seeds))
         ops.extend(_metrics_ops())
     if profile in ("macro", "all"):
         ops.extend(_macro_ops(config))

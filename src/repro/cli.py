@@ -13,6 +13,7 @@ Examples
     repro chaos --smoke --seed 0
     repro durability --smoke --seed 0
     repro durability --policies replication:2 erasure:2+1 --systems LORM
+    repro tail --smoke --seed 0
     repro check --systems all --seed 0
     repro bench --smoke --seed 0
     repro bench compare benchmarks/baseline.json BENCH_20260805T120000Z.json
@@ -131,6 +132,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=["demo", "crash-storm"],
         help="chaos timelines to run (default: both)",
+    )
+
+    tail_p = sub.add_parser(
+        "tail",
+        help="tail-latency sweep under gray failures: p50/p99/p99.9 "
+        "response time vs slow-node fraction x requester policy "
+        "(fixed/adaptive/hedged timeouts); exits non-zero unless the "
+        "hedged policy cuts p99 >= 2x vs fixed on LORM and SWORD, meets "
+        "the p99 SLO and keeps hedge overhead bounded",
+    )
+    _add_common(tail_p)
+    tail_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="alias for --scale smoke (deterministic CI entry point)",
+    )
+    tail_p.add_argument(
+        "--fractions",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="F",
+        help="slow-node fractions to sweep (e.g. --fractions 0 0.05 0.1)",
+    )
+    tail_p.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="measured multi-attribute queries per cell",
+    )
+    tail_p.add_argument(
+        "--slo-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="p99 response-time SLO the hedged policy must meet",
     )
 
     scale_p = sub.add_parser(
@@ -558,6 +595,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(result.render())
         elapsed = time.perf_counter() - started
         verdict = "RECONVERGED" if result.ok else "FAILED TO RECONVERGE"
+        print(
+            f"[{args.scale} scale, seed {config.seed}] {verdict} in {elapsed:.1f}s",
+            file=sys.stderr,
+        )
+        if args.out:
+            result.save(args.out)
+            print(f"results written to {args.out}/", file=sys.stderr)
+        return 0 if result.ok else 1
+
+    if args.command == "tail":
+        from repro.experiments.tail import run_tail
+
+        if args.smoke:
+            args.scale = "smoke"
+        config = _config_from(args)
+        overrides = {}
+        if args.fractions is not None:
+            overrides["tail_slow_fractions"] = tuple(args.fractions)
+        if args.queries is not None:
+            overrides["tail_queries"] = args.queries
+        if args.slo_p99 is not None:
+            overrides["tail_slo_p99"] = args.slo_p99
+        if overrides:
+            config = config.scaled(**overrides)
+        started = time.perf_counter()
+        result = run_tail(config)
+        print(result.render())
+        elapsed = time.perf_counter() - started
+        verdict = "SLO MET" if result.ok else "SLO MISSED"
         print(
             f"[{args.scale} scale, seed {config.seed}] {verdict} in {elapsed:.1f}s",
             file=sys.stderr,

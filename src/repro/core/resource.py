@@ -176,6 +176,11 @@ class QueryResult:
     truncated, so ``matches`` is an honest partial answer rather than the
     full result set.  ``retries`` counts retransmission rounds spent and
     ``timed_out`` whether the route died waiting on unreachable nodes.
+
+    ``latency`` is the requester-observed response time in seconds —
+    populated only while a :class:`~repro.sim.latency.LatencyModel` is
+    attached to the service's network (0.0 otherwise, keeping the
+    constant-``hop_latency`` world's accounting untouched).
     """
 
     matches: tuple[ResourceInfo, ...]
@@ -184,6 +189,7 @@ class QueryResult:
     complete: bool = True
     retries: int = 0
     timed_out: bool = False
+    latency: float = 0.0
 
     @property
     def providers(self) -> frozenset[str]:
@@ -218,6 +224,13 @@ class MultiQueryResult:
         """Hops on the critical path: sub-queries resolve in parallel, so
         the slowest one bounds response time."""
         return max((r.hops for r in self.sub_results), default=0)
+
+    @property
+    def latency(self) -> float:
+        """Measured response time in seconds: sub-queries resolve in
+        parallel, so the slowest one's requester-observed latency bounds
+        the answer (0.0 when no latency model was attached)."""
+        return max((r.latency for r in self.sub_results), default=0.0)
 
     @property
     def num_matches(self) -> int:

@@ -89,6 +89,26 @@ class ExperimentConfig:
     #: Scale experiment: churn events (join/leave/fail round-robin) used
     #: to measure maintenance messages per event at each point.
     scale_churn_events: int = 60
+    #: Tail experiment (``repro tail``): slow-node fractions swept under
+    #: the gray-failure scenario (0.0 = the healthy baseline cell).
+    tail_slow_fractions: tuple[float, ...] = (0.0, 0.1)
+    #: Tail experiment: measured multi-attribute queries per cell.
+    tail_queries: int = 400
+    #: Tail experiment: warmup queries per cell (RTT estimators learn the
+    #: healthy latency picture before the measurement window opens).
+    tail_warmup: int = 40
+    #: Tail experiment: latency multiplier of a gray-failing node.
+    tail_slow_multiplier: float = 20.0
+    #: Tail experiment: probability a message touching a slow node is
+    #: actually degraded (gray failures are intermittent).
+    tail_intermittency: float = 0.6
+    #: Tail experiment: lognormal sigma of the base latency distribution.
+    tail_sigma: float = 0.35
+    #: Tail experiment: attributes per measured query.
+    tail_query_attributes: int = 3
+    #: Tail experiment: p99 response-time SLO (seconds) the defended
+    #: policy must meet under gray failure.
+    tail_slo_p99: float = 1.5
     #: Install :class:`~repro.sim.invariants.ChurnGuard` on every built
     #: service, validating overlay invariants and directory conservation
     #: after each churn event (the runner's ``--invariants`` flag).
@@ -171,4 +191,6 @@ SMOKE_CONFIG = ExperimentConfig(
     scale_sizes=(2048, 8192),
     scale_queries=200,
     scale_churn_events=24,
+    tail_queries=120,
+    tail_warmup=24,
 )

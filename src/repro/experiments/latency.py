@@ -19,6 +19,7 @@ from repro.analysis.models import AnalysisCurve
 from repro.experiments.common import ServiceBundle, build_services
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import FigureResult
+from repro.sim.latency import ConstantLatency, LatencyModel, critical_path_latency
 from repro.workloads.generator import QueryKind
 
 __all__ = ["run_latency"]
@@ -27,12 +28,18 @@ _APPROACHES = ("LORM", "Mercury", "SWORD", "MAAN")
 
 
 def run_latency(
-    config: ExperimentConfig, bundle: ServiceBundle | None = None
+    config: ExperimentConfig,
+    bundle: ServiceBundle | None = None,
+    model: LatencyModel | None = None,
 ) -> FigureResult:
     """Mean simulated response latency of range queries vs attribute count."""
     bundle = bundle if bundle is not None else build_services(config)
     bundle.set_collect_matches(False)
     hop_latency = bundle.lorm.overlay.network.hop_latency
+    if model is None:
+        # The seed's model — under it critical_path_latency reproduces
+        # ``latency_hops × hop_latency`` byte-for-byte.
+        model = ConstantLatency(hop_latency)
 
     xs = tuple(float(m) for m in range(1, config.max_query_attributes + 1))
     mean_latency: dict[str, list[float]] = {name: [] for name in _APPROACHES}
@@ -49,7 +56,8 @@ def run_latency(
             # Sub-queries run in parallel; a sub-query's own hops (routing
             # plus any sequential range-walk forwarding) are serial.
             samples = [
-                service.multi_query(q).latency_hops * hop_latency for q in queries
+                critical_path_latency(service.multi_query(q), model)
+                for q in queries
             ]
             mean_latency[service.name].append(float(np.mean(samples)))
     bundle.set_collect_matches(True)
@@ -58,7 +66,7 @@ def run_latency(
         figure_id="latency",
         title="Simulated response latency of range queries (parallel sub-queries)",
         x_label="attributes per query",
-        y_label=f"mean latency (s, {hop_latency * 1000:.0f} ms/hop)",
+        y_label=f"mean latency (s, {model.mean() * 1000:.0f} ms/hop)",
         log_y=True,
     )
     for name in ("MAAN", "Mercury", "LORM", "SWORD"):

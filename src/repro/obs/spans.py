@@ -62,7 +62,7 @@ _SINK_KIND: dict[SpanKind, TraceEventKind] = {
 }
 
 #: Fault annotation kinds emitted by the overlays' fault paths.
-FAULT_EVENT_KINDS = ("drop", "retry", "timeout", "failover", "truncated")
+FAULT_EVENT_KINDS = ("drop", "retry", "timeout", "failover", "truncated", "hedge")
 
 
 @dataclass(frozen=True)

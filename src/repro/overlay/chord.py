@@ -436,8 +436,12 @@ class ChordRing:
         path = [cur.node_id]
         budget = policy.hop_budget or 8 * self.bits + self.num_nodes
         drops: list[tuple[int, int]] = []
+        hedges: list[tuple[int, bool]] = []
         on_drop = None if tracer is None else (
             lambda dst_id, attempt: drops.append((dst_id, attempt))
+        )
+        on_hedge = None if tracer is None else (
+            lambda dst_id, won: hedges.append((dst_id, won))
         )
         while True:
             if self._owns_local(cur, key):
@@ -452,7 +456,7 @@ class ChordRing:
                 )
             candidates = self._hop_candidates(cur, key, policy)
             nxt, used, skipped = deliver_first(
-                self.network, cur.node_id, candidates, policy, on_drop
+                self.network, cur.node_id, candidates, policy, on_drop, on_hedge
             )
             retries += used
             if tracer is not None:
@@ -462,7 +466,7 @@ class ChordRing:
                     cur.node_id,
                     nxt.node_id if advanced else None,
                     self.edge_kind(cur, nxt) if advanced else "",
-                    used, skipped, drops,
+                    used, skipped, drops, hedges,
                 )
             if nxt is None or nxt is cur:
                 # Every candidate timed out (or none exist): the route is

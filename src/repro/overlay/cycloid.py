@@ -582,8 +582,12 @@ class CycloidOverlay:
             or 10 * self.dimension + 3 * self.cubical_space.size + 4
         )
         drops: list[tuple[int, int]] = []
+        hedges: list[tuple[int, bool]] = []
         on_drop = None if tracer is None else (
             lambda dst_id, attempt: drops.append((dst_id, attempt))
+        )
+        on_hedge = None if tracer is None else (
+            lambda dst_id, won: hedges.append((dst_id, won))
         )
         while True:
             own = self._key_badness(cur, tk, ta)
@@ -610,6 +614,7 @@ class CycloidOverlay:
                 [(self.linearize(n.cid), n) for n in improving],
                 policy,
                 on_drop,
+                on_hedge,
             )
             retries += used
             if tracer is not None:
@@ -618,7 +623,7 @@ class CycloidOverlay:
                     cur.cid,
                     nxt.cid if nxt is not None else None,
                     self.edge_kind(cur, nxt) if nxt is not None else "",
-                    used, skipped, drops,
+                    used, skipped, drops, hedges,
                 )
             if nxt is None:
                 return LookupResult(

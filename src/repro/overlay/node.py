@@ -184,6 +184,7 @@ def trace_fault_step(
     used: int,
     skipped: int,
     drops: list,
+    hedges: list | None = None,
 ) -> None:
     """Emit one fault-path routing step into ``tracer`` (shared by both
     overlays' ``_lookup_faulty`` loops).
@@ -196,12 +197,18 @@ def trace_fault_step(
     span tree always equals the ``LookupResult.retries`` accounting.
     ``drops`` holds the ``(dst_id, attempt)`` pairs observed by
     :func:`repro.sim.faults.deliver_first` and is cleared for the next step.
+    ``hedges`` likewise holds ``(dst_id, won)`` pairs from hedged backup
+    requests — each becomes a "hedge" event and marks the hop span with
+    ``hedge``/``hedge_won`` attributes.
     """
     if dst is None:
         for dropped_id, attempt in drops:
             tracer.event("drop", target=dropped_id, attempt=attempt)
         for _ in range(used):
             tracer.event("retry")
+        if hedges:
+            for hedged_id, won in hedges:
+                tracer.event("hedge", target=hedged_id, won=won)
         tracer.event("timeout", stuck_at=src)
     else:
         hop = tracer.hop(src, dst, choice)
@@ -211,4 +218,11 @@ def trace_fault_step(
             tracer.event("retry", span=hop)
         if skipped:
             tracer.event("failover", span=hop, skipped=skipped)
+        if hedges:
+            hop.attrs["hedge"] = True
+            hop.attrs["hedge_won"] = any(won for _, won in hedges)
+            for hedged_id, won in hedges:
+                tracer.event("hedge", span=hop, target=hedged_id, won=won)
     drops.clear()
+    if hedges:
+        hedges.clear()

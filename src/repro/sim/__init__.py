@@ -18,11 +18,14 @@ placement × replication/erasure redundancy (:mod:`~repro.sim.durability`).
 from repro.sim.chaos import (
     CRASH_STORM_SCENARIO,
     DEMO_SCENARIO,
+    GRAY_FAILURE_SCENARIO,
     ChaosScenario,
     CrashBurst,
+    GrayFailureWindow,
     LossRamp,
     NodeFlap,
     PartitionWindow,
+    SlowBurst,
 )
 from repro.sim.churn import ChurnEvent, ChurnProcess
 from repro.sim.durability import (
@@ -39,13 +42,26 @@ from repro.sim.durability import (
 )
 from repro.sim.engine import Event, Simulator
 from repro.sim.faults import (
+    ADAPTIVE_POLICY,
     DEFAULT_POLICY,
+    HEDGED_POLICY,
     NO_RETRY_POLICY,
     ArcPartition,
     CrashStorm,
+    DegradedLink,
     FaultInjector,
     FaultPlan,
     LookupPolicy,
+    SlowNode,
+)
+from repro.sim.latency import (
+    BoundedParetoLatency,
+    ConstantLatency,
+    LatencyModel,
+    LognormalLatency,
+    RttBook,
+    RttEstimator,
+    critical_path_latency,
 )
 from repro.sim.invariants import (
     ChurnGuard,
@@ -71,19 +87,24 @@ from repro.sim.recovery import RecoverySample, RecoveryTracker, replica_deficit
 from repro.sim.trace import TraceEvent, TraceEventKind, TraceRecorder
 
 __all__ = [
+    "ADAPTIVE_POLICY",
     "ArcPartition",
+    "BoundedParetoLatency",
     "ChaosScenario",
     "ChurnEvent",
     "ChurnGuard",
     "ChurnProcess",
+    "ConstantLatency",
     "CrashBurst",
     "CrashStorm",
     "check_overlay",
     "check_replica_placement",
+    "critical_path_latency",
     "CRASH_STORM_SCENARIO",
     "DEFAULT_BUDGET",
     "DEFAULT_POLICY",
     "DEFAULT_POLICY_SPECS",
+    "DegradedLink",
     "DEMO_SCENARIO",
     "decodable_level",
     "directory_census",
@@ -92,8 +113,13 @@ __all__ = [
     "Event",
     "FaultInjector",
     "FaultPlan",
+    "GRAY_FAILURE_SCENARIO",
+    "GrayFailureWindow",
+    "HEDGED_POLICY",
     "install_churn_guards",
     "InvariantViolation",
+    "LatencyModel",
+    "LognormalLatency",
     "LookupPolicy",
     "LossRamp",
     "MaintenanceBudget",
@@ -112,8 +138,12 @@ __all__ = [
     "RecoveryTracker",
     "RepairProgress",
     "replica_deficit",
+    "RttBook",
+    "RttEstimator",
     "SimulatedNetwork",
     "Simulator",
+    "SlowBurst",
+    "SlowNode",
     "SuccessorPlacement",
     "successor_replication",
     "SummaryStats",

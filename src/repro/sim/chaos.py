@@ -42,10 +42,15 @@ __all__ = [
     "CrashBurst",
     "NodeFlap",
     "LossRamp",
+    "SlowBurst",
+    "GrayFailureWindow",
     "ChaosScenario",
     "id_space_of",
+    "network_ids_of",
+    "slow_victims",
     "DEMO_SCENARIO",
     "CRASH_STORM_SCENARIO",
+    "GRAY_FAILURE_SCENARIO",
 ]
 
 
@@ -59,6 +64,37 @@ def id_space_of(overlay: Any) -> int:
     if space is not None:
         return space.size
     return overlay.capacity
+
+
+def network_ids_of(overlay: Any) -> list[int]:
+    """Every live node's identifier in the *network's* integer space.
+
+    Chord node IDs are already ring integers; Cycloid ``(k, a)`` IDs are
+    linearized — the same mapping the fault path hands to
+    ``deliver_first``, so fail-slow marks land on the IDs messages
+    actually travel between.
+    """
+    linearize = getattr(overlay, "linearize", None)
+    if linearize is not None:
+        return sorted(linearize(cid) for cid in overlay.node_ids)
+    return sorted(int(nid) for nid in overlay.node_ids)
+
+
+def slow_victims(overlay: Any, fraction: float) -> list[int]:
+    """The deterministic gray-failure victim set: ``fraction`` of the live
+    population, evenly strided across the sorted identifier list.
+
+    Deterministic (no RNG) so one scenario marks comparable victim sets
+    on every overlay it is installed on — the times are declared, the
+    victims are a pure function of membership.
+    """
+    require(0.0 <= fraction <= 1.0, "slow fraction must be in [0, 1]")
+    ids = network_ids_of(overlay)
+    count = round(fraction * len(ids))
+    if count <= 0:
+        return []
+    stride = len(ids) / count
+    return [ids[min(int(i * stride), len(ids) - 1)] for i in range(count)]
 
 
 @dataclass(frozen=True)
@@ -152,6 +188,56 @@ class LossRamp:
 
 
 @dataclass(frozen=True)
+class SlowBurst:
+    """A transient straggler spike: ``fraction`` of the live population
+    turns gray (latency × ``multiplier``) at ``at`` and heals after
+    ``duration`` seconds.  The short, severe form of fail-slow — think a
+    co-located batch job or a network brown-out."""
+
+    at: float
+    duration: float
+    fraction: float
+    multiplier: float = 10.0
+    intermittency: float = 1.0
+
+    def __post_init__(self) -> None:
+        require(self.at >= 0, "bursts cannot strike before t=0")
+        require(self.duration > 0, "burst duration must be positive")
+        require(0.0 < self.fraction <= 1.0, "fraction must be in (0, 1]")
+        require(self.multiplier >= 1.0, "multiplier must be >= 1")
+        require(0.0 < self.intermittency <= 1.0, "intermittency must be in (0, 1]")
+
+    @property
+    def heals_at(self) -> float:
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class GrayFailureWindow:
+    """A sustained gray failure: ``fraction`` of the population is
+    *intermittently* degraded during ``[starts_at, heals_at)`` — each
+    message to a victim is slowed with probability ``intermittency``.
+
+    The long, sneaky form of fail-slow: victims pass health checks (most
+    messages are fine) while the latency tail quietly grows — exactly the
+    regime where fixed timeouts bleed and hedging pays.
+    """
+
+    starts_at: float
+    heals_at: float
+    fraction: float
+    multiplier: float = 10.0
+    intermittency: float = 0.6
+
+    def __post_init__(self) -> None:
+        require(self.starts_at >= 0, "windows cannot start before t=0")
+        require(self.heals_at > self.starts_at, "heals_at must follow starts_at")
+        require(0.0 < self.fraction <= 1.0, "fraction must be in (0, 1]")
+        require(self.multiplier >= 1.0, "multiplier must be >= 1")
+        require(0.0 < self.intermittency <= 1.0, "intermittency must be in (0, 1]")
+
+
+@dataclass(frozen=True)
 class ChaosScenario:
     """A seeded, declarative fault timeline.
 
@@ -165,6 +251,8 @@ class ChaosScenario:
     bursts: tuple[CrashBurst, ...] = ()
     flaps: tuple[NodeFlap, ...] = ()
     ramps: tuple[LossRamp, ...] = field(default=())
+    slow_bursts: tuple[SlowBurst, ...] = ()
+    gray_windows: tuple[GrayFailureWindow, ...] = ()
 
     def fault_times(self) -> list[float]:
         """Every fault *onset* instant, sorted (recovery clocks start here)."""
@@ -174,6 +262,8 @@ class ChaosScenario:
         for flap in self.flaps:
             times.update(flap.down_times())
         times.update(r.starts_at for r in self.ramps)
+        times.update(s.at for s in self.slow_bursts)
+        times.update(g.starts_at for g in self.gray_windows)
         return sorted(times)
 
     def heal_times(self) -> list[float]:
@@ -183,6 +273,8 @@ class ChaosScenario:
         for flap in self.flaps:
             times.update(flap.up_times())
         times.update(r.ends_at for r in self.ramps)
+        times.update(s.heals_at for s in self.slow_bursts)
+        times.update(g.heals_at for g in self.gray_windows)
         return sorted(times)
 
     def horizon(self) -> float:
@@ -250,6 +342,44 @@ class ChaosScenario:
             )
             scheduled += 1
 
+        def mark(victims: list[int], multiplier: float, intermittency: float) -> None:
+            for victim in victims:
+                injector.mark_slow(victim, multiplier, intermittency)
+
+        def heal(victims: list[int]) -> None:
+            for victim in victims:
+                injector.clear_slow(victim)
+
+        # Victim sets are materialised at install time from the current
+        # membership; overlapping windows heal only their own victims.
+        for slow in self.slow_bursts:
+            victims = slow_victims(overlay, slow.fraction)
+            sim.schedule_at(
+                slow.at,
+                (lambda v=victims, s=slow: mark(v, s.multiplier, s.intermittency)),
+                name=f"{self.name}:slow-burst",
+            )
+            sim.schedule_at(
+                slow.heals_at,
+                (lambda v=victims: heal(v)),
+                name=f"{self.name}:slow-heal",
+            )
+            scheduled += 2
+
+        for gray in self.gray_windows:
+            victims = slow_victims(overlay, gray.fraction)
+            sim.schedule_at(
+                gray.starts_at,
+                (lambda v=victims, g=gray: mark(v, g.multiplier, g.intermittency)),
+                name=f"{self.name}:gray-onset",
+            )
+            sim.schedule_at(
+                gray.heals_at,
+                (lambda v=victims: heal(v)),
+                name=f"{self.name}:gray-heal",
+            )
+            scheduled += 2
+
         return scheduled
 
 
@@ -272,4 +402,19 @@ CRASH_STORM_SCENARIO = ChaosScenario(
     name="crash-storm",
     bursts=(CrashBurst(at=2.0, count=12), CrashBurst(at=10.0, count=12)),
     flaps=(NodeFlap(first_down=16.0, period=4.0, cycles=1),),
+)
+
+#: Pure fail-slow pressure, nothing crashes and nothing drops: a sharp
+#: straggler spike followed by a long intermittent gray-failure window.
+#: Every query still succeeds — only the latency distribution moves, which
+#: is what the tail experiment's requester policies defend against.
+GRAY_FAILURE_SCENARIO = ChaosScenario(
+    name="gray-failure",
+    slow_bursts=(SlowBurst(at=2.0, duration=4.0, fraction=0.2, multiplier=20.0),),
+    gray_windows=(
+        GrayFailureWindow(
+            starts_at=8.0, heals_at=20.0, fraction=0.1,
+            multiplier=20.0, intermittency=0.6,
+        ),
+    ),
 )

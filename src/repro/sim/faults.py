@@ -30,7 +30,7 @@ range-walk primitives.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, ClassVar, Sequence
 
 import numpy as np
 
@@ -42,11 +42,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports us)
 __all__ = [
     "ArcPartition",
     "CrashStorm",
+    "SlowNode",
+    "DegradedLink",
     "FaultPlan",
     "FaultInjector",
     "LookupPolicy",
     "DEFAULT_POLICY",
     "NO_RETRY_POLICY",
+    "ADAPTIVE_POLICY",
+    "HEDGED_POLICY",
     "deliver_first",
 ]
 
@@ -96,6 +100,42 @@ class CrashStorm:
 
 
 @dataclass(frozen=True)
+class SlowNode:
+    """A gray-failing node: alive, answering, but *slow*.
+
+    Messages to or from ``node_id`` have their sampled latency multiplied
+    by ``multiplier``.  ``intermittency`` is the probability any given
+    message is degraded (1.0 = persistently slow; below 1.0 models the
+    transient stalls — GC pauses, queue buildup — that make gray failures
+    hard to detect and hedging effective).  IDs live in the network's
+    linearized identifier space, like :class:`ArcPartition` bounds.
+    """
+
+    node_id: int
+    multiplier: float
+    intermittency: float = 1.0
+
+    def __post_init__(self) -> None:
+        require(self.multiplier >= 1.0, "slow-node multiplier must be >= 1")
+        require(
+            0.0 < self.intermittency <= 1.0,
+            "intermittency must be in (0, 1]",
+        )
+
+
+@dataclass(frozen=True)
+class DegradedLink:
+    """A directed ``src → dst`` link whose latency is multiplied."""
+
+    src: int
+    dst: int
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        require(self.multiplier >= 1.0, "link multiplier must be >= 1")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Immutable, seedable description of a fault scenario.
 
@@ -107,6 +147,8 @@ class FaultPlan:
     loss_rate: float = 0.0
     partitions: tuple[ArcPartition, ...] = ()
     crash_storms: tuple[CrashStorm, ...] = ()
+    slow_nodes: tuple[SlowNode, ...] = ()
+    degraded_links: tuple[DegradedLink, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -115,7 +157,13 @@ class FaultPlan:
     @property
     def is_null(self) -> bool:
         """True when the plan injects nothing (the identity plan)."""
-        return not (self.loss_rate > 0.0 or self.partitions or self.crash_storms)
+        return not (
+            self.loss_rate > 0.0
+            or self.partitions
+            or self.crash_storms
+            or self.slow_nodes
+            or self.degraded_links
+        )
 
 
 class FaultInjector:
@@ -134,6 +182,14 @@ class FaultInjector:
         self.enabled = True
         self._partitions: list[ArcPartition] = list(self.plan.partitions)
         self._loss_rate = self.plan.loss_rate
+        self._slow: dict[int, tuple[float, float]] = {
+            s.node_id: (s.multiplier, s.intermittency)
+            for s in self.plan.slow_nodes
+        }
+        self._degraded: dict[tuple[int, int], float] = {
+            (link.src, link.dst): link.multiplier
+            for link in self.plan.degraded_links
+        }
 
     # ------------------------------------------------------------------
     # State
@@ -145,6 +201,8 @@ class FaultInjector:
             self._loss_rate > 0.0
             or bool(self._partitions)
             or bool(self.plan.crash_storms)
+            or bool(self._slow)
+            or bool(self._degraded)
         )
 
     @property
@@ -188,6 +246,70 @@ class FaultInjector:
     def heal_partitions(self) -> None:
         """Disarm every partition (the split heals)."""
         self._partitions.clear()
+
+    # ------------------------------------------------------------------
+    # Fail-slow state (gray failures)
+    # ------------------------------------------------------------------
+    @property
+    def slow_nodes(self) -> dict[int, tuple[float, float]]:
+        """Currently gray nodes: ``node_id → (multiplier, intermittency)``."""
+        return dict(self._slow)
+
+    def mark_slow(
+        self, node_id: int, multiplier: float, intermittency: float = 1.0
+    ) -> None:
+        """Turn ``node_id`` gray: its messages slow down by ``multiplier``
+        with probability ``intermittency`` each (chaos timelines flip this
+        mid-run; the loss stream is untouched)."""
+        require(multiplier >= 1.0, "slow-node multiplier must be >= 1")
+        require(0.0 < intermittency <= 1.0, "intermittency must be in (0, 1]")
+        self._slow[node_id] = (float(multiplier), float(intermittency))
+
+    def clear_slow(self, node_id: int | None = None) -> None:
+        """Heal one gray node — or all of them when ``node_id`` is None."""
+        if node_id is None:
+            self._slow.clear()
+        else:
+            self._slow.pop(node_id, None)
+
+    def degrade_link(self, src: int, dst: int, multiplier: float) -> None:
+        """Degrade the directed ``src → dst`` link by ``multiplier``."""
+        require(multiplier >= 1.0, "link multiplier must be >= 1")
+        self._degraded[(src, dst)] = float(multiplier)
+
+    def restore_link(self, src: int, dst: int) -> None:
+        """Restore one degraded link to full speed."""
+        self._degraded.pop((src, dst), None)
+
+    def latency_factor(
+        self, src: int | None, dst: int | None, rng: np.random.Generator
+    ) -> float:
+        """Multiplier applied to one delivered message's sampled latency.
+
+        The worst applicable degradation wins: a gray *destination*
+        contributes its multiplier with its intermittency probability
+        (a fail-slow node is slow to *serve* — messages sent to it come
+        back late; its own outbound requests are answered by healthy
+        peers at full speed, which is what makes requester-side defenses
+        meaningful), a degraded ``src → dst`` link always contributes.
+        ``rng`` is the *latency* stream (the model's own generator) —
+        intermittency draws must never perturb the seeded loss stream,
+        or requester policies would change which messages drop.
+        """
+        if not self.enabled or not (self._slow or self._degraded):
+            return 1.0
+        factor = 1.0
+        if self._slow and dst is not None:
+            spec = self._slow.get(dst)
+            if spec is not None:
+                multiplier, intermittency = spec
+                if intermittency >= 1.0 or float(rng.random()) < intermittency:
+                    factor = max(factor, multiplier)
+        if self._degraded and src is not None and dst is not None:
+            link = self._degraded.get((src, dst))
+            if link is not None:
+                factor = max(factor, link)
+        return factor
 
     # ------------------------------------------------------------------
     # The per-message question
@@ -247,6 +369,19 @@ class LookupPolicy:
     hop_budget:
         Per-lookup hop ceiling before the attempt is declared timed out;
         ``None`` uses the overlay's structural bound.
+    adaptive_timeout:
+        Replace the fixed ``timeout`` with the requester's
+        :class:`~repro.sim.latency.RttEstimator`-derived timeout (never
+        above ``timeout``, so the fixed value stays the conservative cap).
+        Only meaningful while a latency model is attached.
+    hedge:
+        After the observed ``hedge_quantile`` delay with no answer, fire
+        one backup copy of the message and take whichever response lands
+        first.  Hedging is *result-transparent*: the backup goes to the
+        same destination, so only latency and hedge counters can change.
+    hedge_quantile:
+        Observed response-time quantile at which the hedge fires (the
+        "tail at scale" p95 rule).
     """
 
     max_retries: int = 2
@@ -256,6 +391,13 @@ class LookupPolicy:
     successor_failover: bool = True
     finger_fallback: bool = True
     hop_budget: int | None = None
+    adaptive_timeout: bool = False
+    hedge: bool = False
+    hedge_quantile: float = 0.95
+
+    #: Exponent ceiling for :meth:`backoff_for` — far beyond any plausible
+    #: retry budget, small enough that ``factor ** cap`` stays finite.
+    _BACKOFF_EXPONENT_CAP: ClassVar[int] = 32
 
     def __post_init__(self) -> None:
         require(self.max_retries >= 0, "max_retries must be >= 0")
@@ -266,10 +408,38 @@ class LookupPolicy:
             self.hop_budget is None or self.hop_budget >= 1,
             "hop_budget must be >= 1 when given",
         )
+        require(
+            0.0 < self.hedge_quantile < 1.0,
+            "hedge_quantile must be in (0, 1)",
+        )
 
     def backoff_for(self, round_index: int) -> float:
-        """Backoff seconds before retransmission round ``round_index >= 1``."""
-        return self.backoff_base * self.backoff_factor ** (round_index - 1)
+        """Backoff seconds before retransmission round ``round_index >= 1``.
+
+        The exponent is capped: uncapped ``base * factor**(k-1)`` overflows
+        to ``inf`` for large round indices (``2.0**1100`` already does),
+        and one ``inf`` poisons every ``backoff_seconds`` total it touches.
+        """
+        exponent = min(round_index - 1, self._BACKOFF_EXPONENT_CAP)
+        return self.backoff_base * self.backoff_factor**exponent
+
+    def effective_timeout(self, estimator: Any | None = None) -> float:
+        """The timeout charged for one unanswered message.
+
+        The fixed ``timeout`` — unless ``adaptive_timeout`` is set and an
+        estimator view is available, in which case the estimator's
+        (tighter, floor-clamped) adaptive value applies.
+        """
+        if not self.adaptive_timeout or estimator is None:
+            return self.timeout
+        return estimator.timeout(self.timeout)
+
+    def hedge_delay(self, estimator: Any | None) -> float | None:
+        """Seconds after which a hedge fires, or ``None`` while the
+        estimator is still too cold to know its ``hedge_quantile``."""
+        if not self.hedge or estimator is None:
+            return None
+        return estimator.hedge_delay(self.hedge_quantile)
 
 
 #: The default requester behaviour: 2 retransmission rounds, full failover.
@@ -281,6 +451,22 @@ NO_RETRY_POLICY = LookupPolicy(
     max_retries=0, successor_failover=False, finger_fallback=False
 )
 
+#: Adaptive timeouts only: the estimator replaces the fixed timeout.
+#: Adaptive rounds are cheap (the window is the observed RTT picture, not
+#: the fixed worst case), so the defended policies afford a larger retry
+#: budget before waiting a straggler out.  They also drop the exponential
+#: backoff: retransmissions are paced by the adaptive deadline itself, and
+#: a gray failure is not congestive — backoff would only stretch the very
+#: tail the defense exists to cut.
+ADAPTIVE_POLICY = LookupPolicy(
+    adaptive_timeout=True, max_retries=4, backoff_base=0.0
+)
+
+#: The full tail-latency defense: adaptive timeouts + p95 hedging.
+HEDGED_POLICY = LookupPolicy(
+    adaptive_timeout=True, hedge=True, max_retries=4, backoff_base=0.0
+)
+
 
 def deliver_first(
     network: Any,
@@ -288,6 +474,7 @@ def deliver_first(
     candidates: Sequence[tuple[int, Any]],
     policy: LookupPolicy,
     on_drop: Callable[[int, int], None] | None = None,
+    on_hedge: Callable[[int, bool], None] | None = None,
 ) -> tuple[Any, int, int]:
     """Deliver one message to the first reachable candidate.
 
@@ -300,18 +487,27 @@ def deliver_first(
     ``on_drop(dst_id, attempt)`` — when given — observes every failed
     delivery attempt (the hop-level tracer sources its "drop" annotations
     from here, so annotations reflect the injector's actual decisions).
+    ``on_hedge(dst_id, won)`` likewise observes every hedge fired on the
+    latency-aware path.
 
     Returns ``(node, retries_used, skipped)`` where ``skipped`` is the
     number of candidates given up on before ``node`` answered, or
     ``(None, retries_used, len(candidates))`` when every candidate failed.
 
     With no injector active this is exact-identity: the first candidate
-    wins, nothing is counted, no randomness is drawn.
+    wins, nothing is counted, no randomness is drawn.  With an injector
+    but no latency model the seed's loss-only loop runs unchanged; a
+    latency model routes through :func:`_deliver_first_timed`, which adds
+    the requester clock, adaptive timeouts and hedging.
     """
     if not candidates:
         return None, 0, 0
     if not network.faults_active:
         return candidates[0][1], 0, 0
+    if network.latency_model is not None:
+        return _deliver_first_timed(
+            network, src_id, candidates, policy, on_drop, on_hedge
+        )
     retries_used = 0
     for position, (dst_id, node) in enumerate(candidates):
         for attempt in range(policy.max_retries + 1):
@@ -324,3 +520,133 @@ def deliver_first(
             if on_drop is not None:
                 on_drop(dst_id, attempt)
     return None, retries_used, len(candidates)
+
+
+def _fire_hedge(
+    network: Any,
+    src_id: int,
+    dst_id: int,
+    hedge_at: float,
+    primary: float,
+    on_hedge: Callable[[int, bool], None] | None,
+) -> float:
+    """Fire one backup request at ``hedge_at`` and race the primary.
+
+    The backup is a fresh transmission to the *same* destination (an iid
+    latency draw — the "tail at scale" defense against stragglers and
+    intermittent gray failures), so results cannot change, only response
+    time.  Returns ``(response, sample)``: the winning response time
+    measured from the primary's send instant, and the winning
+    transmission's *own* RTT (the backup's latency excludes the hedge
+    delay) — the value safe to feed the estimator.  A dropped backup
+    leaves the primary racing alone.
+    """
+    if not network.try_deliver(src_id, dst_id):
+        network.count_hedge(won=False, delivered=False)
+        if on_hedge is not None:
+            on_hedge(dst_id, False)
+        return primary, primary
+    backup_rtt = network.last_latency
+    backup = hedge_at + backup_rtt
+    won = backup < primary
+    network.count_hedge(won=won)
+    if on_hedge is not None:
+        on_hedge(dst_id, won)
+    if won:
+        return backup, backup_rtt
+    return primary, primary
+
+
+def _deliver_first_timed(
+    network: Any,
+    src_id: int,
+    candidates: Sequence[tuple[int, Any]],
+    policy: LookupPolicy,
+    on_drop: Callable[[int, int], None] | None,
+    on_hedge: Callable[[int, bool], None] | None,
+) -> tuple[Any, int, int]:
+    """The latency-aware delivery loop (a latency model is attached).
+
+    Semantics on top of the loss-only loop:
+
+    * every delivered message carries a sampled response time;
+    * the timeout charged per unanswered window is the policy's
+      *effective* timeout (adaptive when enabled);
+    * a delivered-but-late response (slower than the timeout) is treated
+      as lost — the requester retransmits to the *same* destination — but
+      once retransmissions are exhausted the requester waits the slow
+      reply out rather than failing over: the node is alive, and failing
+      over would change query results under a pure fail-slow fault;
+    * with hedging enabled, a response slower than the observed
+      ``hedge_quantile`` races a backup copy; the first answer wins;
+    * responses accepted within the timeout feed the requester's RTT
+      estimator; forced (retries-exhausted) straggler accepts do not
+      (Karn's rule), and the requester-observed elapsed time (responses
+      + timeout windows + backoffs) accumulates on
+      ``network.route_clock``.
+
+    Only latencies, latency-side counters and the estimator differ from
+    the loss-only loop: which node answers is decided by the same
+    drop/failover logic, so owner sets stay policy-independent under
+    pure fail-slow plans (the result-transparency property).
+    """
+    estimator = network.rtt_for(src_id)
+    retries_used = 0
+    elapsed = 0.0
+    try:
+        for position, (dst_id, node) in enumerate(candidates):
+            for attempt in range(policy.max_retries + 1):
+                if attempt:
+                    retries_used += 1
+                    backoff = policy.backoff_for(attempt)
+                    network.count_retry(backoff=backoff)
+                    elapsed += backoff
+                timeout = policy.effective_timeout(estimator)
+                if not network.try_deliver(src_id, dst_id):
+                    # Dropped outright: the requester burns the full
+                    # timeout window before acting.
+                    network.count_timeout(timeout)
+                    elapsed += timeout
+                    if on_drop is not None:
+                        on_drop(dst_id, attempt)
+                    continue
+                response = network.last_latency
+                sample = response
+                window = timeout
+                hedge_at = policy.hedge_delay(estimator)
+                if hedge_at is not None and response > hedge_at:
+                    response, sample = _fire_hedge(
+                        network, src_id, dst_id, hedge_at, response, on_hedge
+                    )
+                    # The backup got its own deadline, clocked from its
+                    # own send instant: the round is given up only once
+                    # both transmissions' windows expired.
+                    window = hedge_at + timeout
+                if response <= window:
+                    if sample <= timeout:
+                        # Only responses within their own transmission's
+                        # deadline train the estimator — accepted
+                        # stragglers would inflate it until stragglers
+                        # pass unchallenged (Karn's rule).
+                        estimator.observe(sample)
+                    elapsed += response
+                    return node, retries_used, position
+                if attempt == policy.max_retries:
+                    # Retries exhausted: the node is alive, so the
+                    # requester waits the straggler out (failing over
+                    # would change results under pure fail-slow).  The
+                    # sample does NOT feed the estimator — Karn's rule:
+                    # straggler accepts would inflate the adaptive
+                    # timeout until stragglers pass unchallenged,
+                    # defeating the defense they triggered.
+                    elapsed += response
+                    return node, retries_used, position
+                # Delivered but slower than the deadline(s): declared
+                # lost, retransmit to the same destination.
+                network.count_timeout(window)
+                elapsed += window
+                if on_drop is not None:
+                    on_drop(dst_id, attempt)
+        return None, retries_used, len(candidates)
+    finally:
+        network.route_clock += elapsed

@@ -1,0 +1,352 @@
+"""Per-message latency models and requester-side RTT estimation.
+
+The seed's latency story was a single constant: ``response time = hops ×
+hop_latency``.  Real message latencies are distributions with heavy upper
+tails, and the D1HT line of work (PAPERS.md) argues lookup *latency* — not
+hop count — is the axis DHTs actually compete on.  This module supplies the
+fail-slow substrate:
+
+* :class:`LatencyModel` — a pluggable, seeded per-message latency source.
+  :class:`ConstantLatency` reproduces the seed behaviour exactly;
+  :class:`LognormalLatency` is the classic WAN RTT shape;
+  :class:`BoundedParetoLatency` reuses the paper's own
+  :class:`~repro.workloads.pareto.BoundedPareto` for a power-law tail.
+* :class:`RttEstimator` / :class:`RttBook` — the requester-side defenses:
+  an EWMA (Jacobson/Karels) smoothed-RTT tracker plus a sliding-window
+  quantile tracker, from which :class:`~repro.sim.faults.LookupPolicy`
+  derives adaptive timeouts and hedge-fire delays.
+* :func:`critical_path_latency` — the response time of a multi-attribute
+  query: sub-queries resolve in *parallel* (Section III), so the answer
+  arrives when the slowest sub-query's serial hop chain completes.
+
+A ``None`` latency model (the default everywhere) is a strict identity: no
+randomness is drawn and no behaviour changes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+
+import numpy as np
+
+from repro.utils.validation import require, require_positive
+from repro.workloads.pareto import BoundedPareto
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "LognormalLatency",
+    "BoundedParetoLatency",
+    "RttEstimator",
+    "RttBook",
+    "critical_path_latency",
+]
+
+
+class LatencyModel(ABC):
+    """Seeded source of one-way message latencies (seconds).
+
+    ``sample()`` draws the latency of one overlay message; ``route(hops)``
+    draws a full serial hop chain.  Implementations own a
+    ``numpy.random.Generator`` (exposed as :attr:`rng` so fail-slow
+    intermittency draws share the latency stream, never the loss stream).
+    """
+
+    rng: np.random.Generator
+
+    @abstractmethod
+    def sample(self) -> float:
+        """Latency of one message, in seconds."""
+
+    @abstractmethod
+    def route(self, hops: int) -> float:
+        """Total latency of ``hops`` serial messages."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Analytic mean per-message latency (reporting/normalisation)."""
+
+
+class ConstantLatency(LatencyModel):
+    """The seed's model: every message takes exactly ``hop_latency`` seconds.
+
+    ``route`` computes ``hops * hop_latency`` — the byte-identical
+    expression the experiments used before latency models existed.
+
+    Examples
+    --------
+    >>> ConstantLatency(0.05).route(7)
+    0.35000000000000003
+    """
+
+    def __init__(self, hop_latency: float, seed: int = 0) -> None:
+        require_positive(hop_latency, "hop_latency")
+        self.hop_latency = float(hop_latency)
+        self.rng = np.random.default_rng(seed)
+
+    def sample(self) -> float:
+        return self.hop_latency
+
+    def route(self, hops: int) -> float:
+        return hops * self.hop_latency
+
+    def mean(self) -> float:
+        return self.hop_latency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConstantLatency({self.hop_latency})"
+
+
+class LognormalLatency(LatencyModel):
+    """Lognormal per-message latency: ``median * exp(sigma * N(0, 1))``.
+
+    The standard model of WAN round-trip times: most messages land near
+    the median, a long multiplicative upper tail supplies the stragglers
+    that hedging is designed to absorb.
+    """
+
+    def __init__(self, median: float, sigma: float = 0.35, seed: int = 0) -> None:
+        require_positive(median, "median")
+        require(sigma >= 0.0, "sigma must be >= 0")
+        self.median = float(median)
+        self.sigma = float(sigma)
+        self.rng = np.random.default_rng(seed)
+
+    def sample(self) -> float:
+        return self.median * float(np.exp(self.sigma * self.rng.standard_normal()))
+
+    def route(self, hops: int) -> float:
+        if hops <= 0:
+            return 0.0
+        draws = np.exp(self.sigma * self.rng.standard_normal(hops))
+        return self.median * float(draws.sum())
+
+    def mean(self) -> float:
+        return self.median * float(np.exp(0.5 * self.sigma**2))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LognormalLatency(median={self.median}, sigma={self.sigma})"
+
+
+class BoundedParetoLatency(LatencyModel):
+    """Bounded-Pareto per-message latency on ``[low, high]`` seconds.
+
+    Reuses the paper's :class:`~repro.workloads.pareto.BoundedPareto` —
+    the same distribution that generates resource values generates the
+    power-law latency tail, so its CDF/quantile machinery (and tests)
+    carry over unchanged.
+    """
+
+    def __init__(
+        self, alpha: float, low: float, high: float, seed: int = 0
+    ) -> None:
+        self.dist = BoundedPareto(alpha=alpha, low=low, high=high)
+        self.rng = np.random.default_rng(seed)
+
+    def sample(self) -> float:
+        return float(self.dist.sample(self.rng))
+
+    def route(self, hops: int) -> float:
+        if hops <= 0:
+            return 0.0
+        return float(np.asarray(self.dist.sample(self.rng, hops)).sum())
+
+    def mean(self) -> float:
+        return self.dist.mean()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        d = self.dist
+        return f"BoundedParetoLatency(alpha={d.alpha}, low={d.low}, high={d.high})"
+
+
+class RttEstimator:
+    """EWMA + sliding-window quantile tracker of observed response times.
+
+    Two complementary views of the same sample stream:
+
+    * Jacobson/Karels smoothing — ``srtt`` (EWMA, gain ``alpha``) and
+      ``rttvar`` (mean absolute deviation, gain ``beta``), giving the
+      classic retransmission timeout ``srtt + k * rttvar``;
+    * a bounded window of raw samples, giving empirical quantiles — the
+      p95 at which hedges fire, and a robust timeout ``margin * q`` that
+      stays tight even when a few accepted stragglers inflate ``rttvar``.
+
+    :meth:`timeout` takes the *tighter* of the two (never above the
+    policy's fixed fallback, never below ``floor``), so a gray-failure
+    burst cannot talk the estimator into waiting longer than a fixed
+    timeout would have.
+    """
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.125,
+        beta: float = 0.25,
+        k: float = 4.0,
+        margin: float = 1.5,
+        window: int = 128,
+        min_samples: int = 8,
+        floor: float = 1e-3,
+    ) -> None:
+        require(0.0 < alpha <= 1.0, "alpha must be in (0, 1]")
+        require(0.0 < beta <= 1.0, "beta must be in (0, 1]")
+        require_positive(k, "k")
+        require_positive(margin, "margin")
+        require(window >= 2, "window must be >= 2")
+        require(min_samples >= 1, "min_samples must be >= 1")
+        require_positive(floor, "floor")
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+        self.margin = margin
+        self.min_samples = min_samples
+        self.floor = floor
+        self._srtt: float | None = None
+        self._rttvar = 0.0
+        self._window: deque[float] = deque(maxlen=window)
+
+    @property
+    def srtt(self) -> float | None:
+        """Smoothed RTT (None before the first observation)."""
+        return self._srtt
+
+    @property
+    def rttvar(self) -> float:
+        """Smoothed mean absolute RTT deviation."""
+        return self._rttvar
+
+    @property
+    def samples_seen(self) -> int:
+        """Samples currently held in the quantile window."""
+        return len(self._window)
+
+    @property
+    def ready(self) -> bool:
+        """Whether the window holds enough samples to trust quantiles."""
+        return len(self._window) >= self.min_samples
+
+    def observe(self, rtt: float) -> None:
+        """Fold one requester-observed response time into both trackers."""
+        rtt = float(rtt)
+        if self._srtt is None:
+            self._srtt = rtt
+            self._rttvar = rtt / 2.0
+        else:
+            err = rtt - self._srtt
+            self._rttvar += self.beta * (abs(err) - self._rttvar)
+            self._srtt += self.alpha * err
+        self._window.append(rtt)
+
+    def quantile_estimate(self, q: float) -> float | None:
+        """Empirical ``q``-quantile of the window (None until warm)."""
+        if not self.ready:
+            return None
+        return float(np.quantile(np.asarray(self._window), q))
+
+    def timeout(self, fallback: float) -> float:
+        """Adaptive timeout: tightest of EWMA, quantile and ``fallback``."""
+        candidates = [fallback]
+        if self._srtt is not None:
+            candidates.append(self._srtt + self.k * self._rttvar)
+        q95 = self.quantile_estimate(0.95)
+        if q95 is not None:
+            candidates.append(self.margin * q95)
+        return max(self.floor, min(candidates))
+
+    def reset(self) -> None:
+        """Forget everything (fresh measurement window)."""
+        self._srtt = None
+        self._rttvar = 0.0
+        self._window.clear()
+
+
+class _RequesterRtt:
+    """One requester's view into a :class:`RttBook`.
+
+    Observations feed both the requester's own estimator and the book's
+    aggregate; reads prefer the requester's estimator once it is warm and
+    fall back to the aggregate before that — so sparse requesters defend
+    themselves from the population-wide picture instead of flying blind.
+    """
+
+    __slots__ = ("_own", "_aggregate")
+
+    def __init__(self, own: RttEstimator, aggregate: RttEstimator) -> None:
+        self._own = own
+        self._aggregate = aggregate
+
+    def observe(self, rtt: float) -> None:
+        self._own.observe(rtt)
+        self._aggregate.observe(rtt)
+
+    def _best(self) -> RttEstimator:
+        return self._own if self._own.ready else self._aggregate
+
+    def timeout(self, fallback: float) -> float:
+        return self._best().timeout(fallback)
+
+    def hedge_delay(self, quantile: float) -> float | None:
+        return self._best().quantile_estimate(quantile)
+
+
+class RttBook:
+    """Per-requester :class:`RttEstimator` registry with a shared aggregate.
+
+    ``for_requester(src_id)`` returns the requester's view (created on
+    first use).  The aggregate estimator sees every observation, which is
+    what lets adaptive timeouts and hedging engage after a handful of
+    warmup queries instead of per-node sample counts.
+    """
+
+    def __init__(self, **estimator_kwargs) -> None:
+        self._kwargs = dict(estimator_kwargs)
+        self.aggregate = RttEstimator(**self._kwargs)
+        self._per: dict = {}
+
+    def for_requester(self, src_id) -> _RequesterRtt:
+        own = self._per.get(src_id)
+        if own is None:
+            own = RttEstimator(**self._kwargs)
+            self._per[src_id] = own
+        return _RequesterRtt(own, self.aggregate)
+
+    def estimator(self, src_id) -> RttEstimator:
+        """The raw per-requester estimator (tests and reporting)."""
+        own = self._per.get(src_id)
+        if own is None:
+            own = RttEstimator(**self._kwargs)
+            self._per[src_id] = own
+        return own
+
+    @property
+    def requesters(self) -> tuple:
+        """Requester IDs with at least one dedicated estimator."""
+        return tuple(self._per)
+
+    def reset(self) -> None:
+        """Drop every estimator (fresh measurement window)."""
+        self.aggregate = RttEstimator(**self._kwargs)
+        self._per.clear()
+
+
+def critical_path_latency(result, model: LatencyModel) -> float:
+    """Response time of a multi-attribute query under ``model``.
+
+    Sub-queries of one request resolve in parallel (Section III), so the
+    requester's response time is the *max* over sub-queries — each
+    sub-query's own hop chain (routed lookup plus sequential range-walk
+    forwarding) is serial.  Sub-results that already carry a measured
+    ``latency`` (the fault-path requester clock) are used as-is; the rest
+    are drawn from ``model`` over their recorded hop counts.
+
+    Under :class:`ConstantLatency` this reproduces the seed's
+    ``latency_hops × hop_latency`` byte-for-byte: every sub-query's
+    latency is ``hops * rate`` and multiplication by a positive constant
+    preserves the max.
+    """
+    latencies = [
+        r.latency if r.latency > 0.0 else model.route(r.hops)
+        for r in result.sub_results
+    ]
+    return max(latencies, default=0.0)

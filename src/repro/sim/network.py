@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.sim.faults import FaultInjector
+from repro.sim.latency import LatencyModel, RttBook
 from repro.utils.validation import require_positive
 
 __all__ = ["MessageStats", "SimulatedNetwork", "publish_stats"]
@@ -58,6 +59,15 @@ class MessageStats:
     walk_truncations: int = 0
     timeout_seconds: float = 0.0
     backoff_seconds: float = 0.0
+    #: Sum of sampled per-message latencies of delivered messages (only
+    #: accumulated while a :class:`~repro.sim.latency.LatencyModel` is
+    #: attached — zero otherwise).
+    latency_seconds: float = 0.0
+    #: Hedged (backup) requests fired / won by the backup / discarded
+    #: because the primary answered first.
+    hedges: int = 0
+    hedges_won: int = 0
+    hedges_cancelled: int = 0
 
     def as_dict(self) -> dict[str, float]:
         """Flat field → value mapping (counter publication and CSV rows)."""
@@ -72,6 +82,10 @@ class MessageStats:
             "walk_truncations": self.walk_truncations,
             "timeout_seconds": self.timeout_seconds,
             "backoff_seconds": self.backoff_seconds,
+            "latency_seconds": self.latency_seconds,
+            "hedges": self.hedges,
+            "hedges_won": self.hedges_won,
+            "hedges_cancelled": self.hedges_cancelled,
         }
 
     def snapshot(self) -> "MessageStats":
@@ -87,6 +101,10 @@ class MessageStats:
             walk_truncations=self.walk_truncations,
             timeout_seconds=self.timeout_seconds,
             backoff_seconds=self.backoff_seconds,
+            latency_seconds=self.latency_seconds,
+            hedges=self.hedges,
+            hedges_won=self.hedges_won,
+            hedges_cancelled=self.hedges_cancelled,
         )
 
     def delta_since(self, earlier: "MessageStats") -> "MessageStats":
@@ -102,6 +120,10 @@ class MessageStats:
             walk_truncations=self.walk_truncations - earlier.walk_truncations,
             timeout_seconds=self.timeout_seconds - earlier.timeout_seconds,
             backoff_seconds=self.backoff_seconds - earlier.backoff_seconds,
+            latency_seconds=self.latency_seconds - earlier.latency_seconds,
+            hedges=self.hedges - earlier.hedges,
+            hedges_won=self.hedges_won - earlier.hedges_won,
+            hedges_cancelled=self.hedges_cancelled - earlier.hedges_cancelled,
         )
 
 
@@ -118,19 +140,58 @@ class SimulatedNetwork:
         Optional :class:`~repro.sim.faults.FaultInjector` consulted per
         message by ``try_deliver``.  ``None`` (the default) keeps the
         network perfectly reliable.
+    latency_model:
+        Optional :class:`~repro.sim.latency.LatencyModel` sampled once per
+        delivered message on the fault path.  ``None`` (the default) keeps
+        the constant-``hop_latency`` world: no randomness is drawn, the
+        latency counters stay zero and every fast path is byte-identical.
     """
 
     hop_latency: float = 0.05
     stats: MessageStats = field(default_factory=MessageStats)
     faults: FaultInjector | None = None
+    latency_model: LatencyModel | None = None
+    #: Latency of the most recent delivered message (fault path only,
+    #: meaningful only while a latency model is attached).
+    last_latency: float = 0.0
+    #: Requester-observed elapsed seconds accumulated by
+    #: :func:`~repro.sim.faults.deliver_first` — response waits, timeout
+    #: windows and backoffs.  Services snapshot/delta it per query.
+    route_clock: float = 0.0
 
     def __post_init__(self) -> None:
         require_positive(self.hop_latency, "hop_latency")
+        self._rtt = RttBook()
 
     @property
     def faults_active(self) -> bool:
         """Whether an attached injector is currently injecting anything."""
         return self.faults is not None and self.faults.active
+
+    @property
+    def rtt(self) -> RttBook:
+        """The per-requester RTT estimators (adaptive timeouts, hedging)."""
+        return self._rtt
+
+    def rtt_for(self, src_id):
+        """The :class:`~repro.sim.latency.RttBook` view of requester
+        ``src_id`` (created on first use)."""
+        return self._rtt.for_requester(src_id)
+
+    def reset_rtt(self) -> None:
+        """Drop all RTT estimator state (fresh measurement window)."""
+        self._rtt.reset()
+
+    def sample_latency(self, src: int | None, dst: int | None) -> float:
+        """One message's latency under the attached model and fail-slow
+        faults: a model draw scaled by the injector's ``latency_factor``
+        (slow nodes, degraded links).  Accumulates ``latency_seconds``."""
+        latency = self.latency_model.sample()
+        if self.faults is not None:
+            latency *= self.faults.latency_factor(src, dst, self.latency_model.rng)
+        self.last_latency = latency
+        self.stats.latency_seconds += latency
+        return latency
 
     def try_deliver(self, src: int | None = None, dst: int | None = None) -> bool:
         """Attempt one ``src → dst`` message against the fault injector.
@@ -141,10 +202,16 @@ class SimulatedNetwork:
         toward ``routing_hops`` — hop accounting stays with the actual
         routing movement so successful paths cost exactly what they did
         before faults existed.
+
+        With a latency model attached, every *delivered* message gets a
+        per-message latency sample (readable as :attr:`last_latency`);
+        without one, nothing latency-related happens.
         """
         if not self.faults_active:
             return True
         if self.faults.delivered(src, dst):
+            if self.latency_model is not None:
+                self.sample_latency(src, dst)
             return True
         self.stats.messages += 1
         self.stats.dropped += 1
@@ -163,6 +230,22 @@ class SimulatedNetwork:
     def count_walk_truncation(self, n: int = 1) -> None:
         """Record ``n`` range walks cut short (dead chain / safety valve)."""
         self.stats.walk_truncations += n
+
+    def count_hedge(self, won: bool, delivered: bool = True) -> None:
+        """Record one hedged (backup) request.
+
+        ``won`` — the backup answered before the primary.  ``delivered``
+        — the backup survived the fault plan; a dropped backup was
+        already counted by ``try_deliver``, so only delivered backups add
+        to ``messages`` here (hedge bandwidth overhead = ``hedges``).
+        """
+        self.stats.hedges += 1
+        if delivered:
+            self.stats.messages += 1
+        if won:
+            self.stats.hedges_won += 1
+        else:
+            self.stats.hedges_cancelled += 1
 
     def count_hop(self, n: int = 1) -> None:
         """Record ``n`` routing hops (each hop is one message)."""
@@ -188,5 +271,8 @@ class SimulatedNetwork:
         return hops * self.hop_latency
 
     def reset(self) -> None:
-        """Zero all counters."""
+        """Zero all counters (RTT estimators are kept; see
+        :meth:`reset_rtt`)."""
         self.stats = MessageStats()
+        self.route_clock = 0.0
+        self.last_latency = 0.0

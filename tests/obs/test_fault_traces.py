@@ -10,11 +10,20 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs.replay import SYSTEMS, replay_queries
+from repro.obs.replay import SYSTEMS, build_traced_service, replay_queries
 from repro.obs.spans import QueryTracer, SpanKind
 from repro.overlay.chord import ChordRing
 from repro.overlay.cycloid import CycloidOverlay
-from repro.sim.faults import FaultInjector, FaultPlan, LookupPolicy
+from repro.sim.chaos import network_ids_of, slow_victims
+from repro.sim.faults import (
+    DEFAULT_POLICY,
+    HEDGED_POLICY,
+    FaultInjector,
+    FaultPlan,
+    LookupPolicy,
+)
+from repro.sim.invariants import overlay_of
+from repro.sim.latency import LognormalLatency
 from repro.testing import assert_trace_bounds
 from repro.workloads.generator import QueryKind
 
@@ -104,6 +113,116 @@ class TestCycloidFaultTraces:
         for seed in range(6):
             _, tracer, result = self._traced_lookup(seed=seed)
             assert tracer.traces[0].hop_count() == result.hops
+
+
+class TestHedgeTraces:
+    """Hedged backup requests surface as ``hedge`` span events whose
+    accounting reconciles with the network's hedge counters."""
+
+    def _traced_hedged_lookup(self, *, seed=5, intermittency=0.6):
+        ring = ChordRing(6)
+        ring.build_full()
+        net = ring.network
+        injector = FaultInjector(FaultPlan(seed=seed))
+        # Every destination is intermittently gray, so primaries straggle
+        # often enough to arm hedges while backups still win sometimes.
+        for node_id in network_ids_of(ring):
+            injector.mark_slow(node_id, 40.0, intermittency)
+        net.faults = injector
+        net.latency_model = LognormalLatency(
+            median=net.hop_latency, sigma=0.35, seed=seed
+        )
+        for _ in range(12):  # warm the shared aggregate estimator
+            net.rtt_for(0).observe(net.hop_latency)
+        tracer = QueryTracer()
+        ring.tracer = tracer
+        result = ring.lookup(ring.node(0), 47, HEDGED_POLICY)
+        return ring, tracer, result
+
+    def test_hedge_events_reconcile_with_network_stats(self):
+        fired = 0
+        for seed in range(8):
+            ring, tracer, _ = self._traced_hedged_lookup(seed=seed)
+            events = tracer.traces[0].events_of("hedge")
+            assert len(events) == ring.network.stats.hedges
+            won = sum(1 for ev in events if ev.detail["won"])
+            assert won == ring.network.stats.hedges_won
+            fired += len(events)
+        assert fired > 0, "gray destinations over 8 seeds never hedged"
+
+    def test_hedge_events_carry_target_and_verdict(self):
+        for seed in range(8):
+            _, tracer, _ = self._traced_hedged_lookup(seed=seed)
+            events = tracer.traces[0].events_of("hedge")
+            if events:
+                assert all(
+                    "target" in ev.detail and ev.detail["won"] in (True, False)
+                    for ev in events
+                )
+                return
+        pytest.fail("gray destinations over 8 seeds never hedged")
+
+    def test_hedged_hop_spans_are_annotated(self):
+        for seed in range(8):
+            _, tracer, _ = self._traced_hedged_lookup(seed=seed)
+            (trace,) = tracer.traces
+            hedged_hops = [
+                span for span in trace.spans_of(SpanKind.HOP)
+                if span.attrs.get("hedge")
+            ]
+            if hedged_hops:
+                for span in hedged_hops:
+                    own = [ev for ev in span.events if ev.kind == "hedge"]
+                    assert own
+                    assert span.attrs["hedge_won"] == any(
+                        ev.detail["won"] for ev in own
+                    )
+                return
+        pytest.fail("gray destinations over 8 seeds never hedged on a hop")
+
+    def test_hedging_marks_the_trace_faulted(self):
+        for seed in range(8):
+            _, tracer, _ = self._traced_hedged_lookup(seed=seed)
+            (trace,) = tracer.traces
+            if trace.events_of("hedge"):
+                assert trace.faulted
+                return
+        pytest.fail("gray destinations over 8 seeds never hedged")
+
+
+def test_latency_spans_reconcile_with_metrics_and_route_clock():
+    """Under a gray-failure replay every query span carries a measured
+    ``latency`` attribute; the per-sub metric samples sum to the network's
+    requester clock, and each multi-query's latency is its critical path."""
+    service, workload, tracer = build_traced_service("lorm")
+    overlay = overlay_of(service)
+    net = overlay.network
+    injector = FaultInjector(FaultPlan(seed=3))
+    for victim in slow_victims(overlay, 0.1):
+        injector.mark_slow(victim, 20.0, 0.6)
+    service.configure_faults(injector, HEDGED_POLICY)
+    service.configure_latency(
+        LognormalLatency(median=net.hop_latency, sigma=0.35, seed=3)
+    )
+    try:
+        queries = workload.query_stream(4, 2, QueryKind.RANGE, label="hedge-spans")
+        results = [service.multi_query(q) for q in queries]
+    finally:
+        service.configure_latency(None)
+        service.configure_faults(None, DEFAULT_POLICY)
+    sub_latencies = []
+    for trace, result in zip(tracer.traces, results):
+        (root,) = trace.spans_of(SpanKind.QUERY)
+        assert root.attrs["latency"] == result.latency
+        subs = trace.spans_of(SpanKind.SUBQUERY)
+        assert [s.attrs["latency"] for s in subs] == [
+            r.latency for r in result.sub_results
+        ]
+        assert result.latency == max(s.attrs["latency"] for s in subs)
+        sub_latencies.extend(s.attrs["latency"] for s in subs)
+    samples = service.metrics.samples("query.latency")
+    assert sorted(samples) == pytest.approx(sorted(sub_latencies))
+    assert sum(samples) == pytest.approx(net.route_clock)
 
 
 @pytest.mark.parametrize("system", sorted(SYSTEMS))

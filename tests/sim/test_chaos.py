@@ -9,12 +9,17 @@ from repro.overlay.chord import ChordRing
 from repro.overlay.cycloid import CycloidOverlay
 from repro.sim.chaos import (
     DEMO_SCENARIO,
+    GRAY_FAILURE_SCENARIO,
     ChaosScenario,
     CrashBurst,
+    GrayFailureWindow,
     LossRamp,
     NodeFlap,
     PartitionWindow,
+    SlowBurst,
     id_space_of,
+    network_ids_of,
+    slow_victims,
 )
 from repro.sim.engine import Simulator
 from repro.sim.faults import FaultInjector, FaultPlan
@@ -157,3 +162,75 @@ class TestChaosScenario:
     def test_demo_scenario_shape(self):
         assert DEMO_SCENARIO.fault_times() == [2.0, 8.0, 10.0]
         assert DEMO_SCENARIO.horizon() == 12.0
+
+
+class TestSlowEvents:
+    def test_slow_burst_validation_and_heal_time(self):
+        burst = SlowBurst(at=2.0, duration=4.0, fraction=0.2)
+        assert burst.heals_at == 6.0
+        with pytest.raises(ValueError):
+            SlowBurst(at=2.0, duration=0.0, fraction=0.2)
+        with pytest.raises(ValueError):
+            SlowBurst(at=2.0, duration=4.0, fraction=0.0)
+        with pytest.raises(ValueError):
+            SlowBurst(at=2.0, duration=4.0, fraction=0.2, multiplier=0.5)
+
+    def test_gray_window_validation(self):
+        with pytest.raises(ValueError):
+            GrayFailureWindow(starts_at=5.0, heals_at=5.0, fraction=0.1)
+        with pytest.raises(ValueError):
+            GrayFailureWindow(
+                starts_at=0.0, heals_at=1.0, fraction=0.1, intermittency=0.0
+            )
+
+    def test_network_ids_linearize_cycloid(self):
+        overlay = CycloidOverlay(3)
+        overlay.build_full()
+        ids = network_ids_of(overlay)
+        assert len(ids) == overlay.num_nodes
+        assert ids == sorted(ids)
+        assert all(0 <= i < 3 * 2**3 for i in ids)
+
+    def test_slow_victims_are_a_deterministic_stride(self, full_ring):
+        victims = slow_victims(full_ring, 0.1)
+        assert victims == slow_victims(full_ring, 0.1)
+        assert len(victims) == round(0.1 * full_ring.num_nodes)
+        assert set(victims) <= set(network_ids_of(full_ring))
+        assert len(set(victims)) == len(victims)
+
+    def test_zero_fraction_marks_nobody(self, full_ring):
+        assert slow_victims(full_ring, 0.0) == []
+
+    def test_slow_timeline_marks_and_heals(self, schema):
+        service = MercuryService.build(6, 24, schema, seed=11, replication=2)
+        injector = FaultInjector(FaultPlan())
+        sim = Simulator()
+        scenario = ChaosScenario(
+            slow_bursts=(SlowBurst(at=1.0, duration=2.0, fraction=0.25, multiplier=8.0),),
+            gray_windows=(
+                GrayFailureWindow(
+                    starts_at=4.0, heals_at=6.0, fraction=0.125,
+                    multiplier=20.0, intermittency=0.6,
+                ),
+            ),
+        )
+        assert scenario.fault_times() == [1.0, 4.0]
+        assert scenario.heal_times() == [3.0, 6.0]
+        assert scenario.install(sim, injector, service) == 4
+        sim.run_until(1.0)
+        assert injector.active
+        marked = injector.slow_nodes
+        assert len(marked) == round(0.25 * service.ring.num_nodes)
+        assert all(spec == (8.0, 1.0) for spec in marked.values())
+        sim.run_until(3.0)
+        assert not injector.slow_nodes  # burst healed
+        sim.run_until(4.0)
+        gray = injector.slow_nodes
+        assert len(gray) == round(0.125 * service.ring.num_nodes)
+        assert all(spec == (20.0, 0.6) for spec in gray.values())
+        sim.run_until(6.0)
+        assert not injector.active
+
+    def test_gray_failure_scenario_shape(self):
+        assert GRAY_FAILURE_SCENARIO.fault_times() == [2.0, 8.0]
+        assert GRAY_FAILURE_SCENARIO.horizon() == 20.0

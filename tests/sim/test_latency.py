@@ -1,0 +1,249 @@
+"""Tests for latency models, RTT estimation and critical-path latency."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.sim.faults import FaultInjector, FaultPlan
+from repro.sim.latency import (
+    BoundedParetoLatency,
+    ConstantLatency,
+    LognormalLatency,
+    RttBook,
+    RttEstimator,
+    critical_path_latency,
+)
+from repro.sim.network import SimulatedNetwork
+
+
+class TestConstantLatency:
+    def test_sample_is_the_constant(self):
+        model = ConstantLatency(0.05)
+        assert all(model.sample() == 0.05 for _ in range(10))
+
+    def test_route_reproduces_seed_expression(self):
+        # Byte-identical to the seed's ``hops * hop_latency``.
+        assert ConstantLatency(0.05).route(7) == 7 * 0.05
+
+    def test_mean(self):
+        assert ConstantLatency(0.08).mean() == 0.08
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(0.0)
+
+
+class TestLognormalLatency:
+    def test_seeded_stream_reproducible(self):
+        a = LognormalLatency(median=0.05, seed=11)
+        b = LognormalLatency(median=0.05, seed=11)
+        assert [a.sample() for _ in range(50)] == [b.sample() for _ in range(50)]
+
+    def test_sigma_zero_degenerates_to_the_median(self):
+        model = LognormalLatency(median=0.05, sigma=0.0, seed=1)
+        assert all(model.sample() == pytest.approx(0.05) for _ in range(10))
+
+    def test_analytic_mean_matches_empirical(self):
+        model = LognormalLatency(median=0.05, sigma=0.5, seed=3)
+        draws = [model.sample() for _ in range(20000)]
+        assert np.mean(draws) == pytest.approx(model.mean(), rel=0.05)
+
+    def test_route_sums_hops(self):
+        model = LognormalLatency(median=0.05, sigma=0.35, seed=5)
+        assert model.route(0) == 0.0
+        total = model.route(2000)
+        assert total == pytest.approx(2000 * model.mean(), rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(median=0.0)
+        with pytest.raises(ValueError):
+            LognormalLatency(median=0.05, sigma=-0.1)
+
+
+class TestBoundedParetoLatency:
+    def test_samples_respect_the_bounds(self):
+        model = BoundedParetoLatency(alpha=2.0, low=0.01, high=1.0, seed=7)
+        draws = [model.sample() for _ in range(500)]
+        assert all(0.01 <= d <= 1.0 for d in draws)
+
+    def test_seeded_stream_reproducible(self):
+        a = BoundedParetoLatency(alpha=2.0, low=0.01, high=1.0, seed=9)
+        b = BoundedParetoLatency(alpha=2.0, low=0.01, high=1.0, seed=9)
+        assert [a.sample() for _ in range(20)] == [b.sample() for _ in range(20)]
+
+    def test_route_zero_hops(self):
+        model = BoundedParetoLatency(alpha=2.0, low=0.01, high=1.0, seed=1)
+        assert model.route(0) == 0.0
+
+
+class TestRttEstimator:
+    def test_first_observation_initialises_jacobson_state(self):
+        est = RttEstimator()
+        est.observe(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+
+    def test_timeout_falls_back_before_any_sample(self):
+        assert RttEstimator().timeout(0.5) == 0.5
+
+    def test_quantiles_need_min_samples(self):
+        est = RttEstimator(min_samples=4)
+        for _ in range(3):
+            est.observe(0.1)
+        assert not est.ready
+        assert est.quantile_estimate(0.95) is None
+        est.observe(0.1)
+        assert est.ready
+        assert est.quantile_estimate(0.95) == pytest.approx(0.1)
+
+    def test_timeout_tightens_on_a_stable_stream(self):
+        est = RttEstimator()
+        for _ in range(20):
+            est.observe(0.1)
+        # Stable 100ms RTTs must pull the timeout well under a fixed 1s.
+        assert est.timeout(1.0) < 0.2
+
+    def test_timeout_never_exceeds_the_fallback(self):
+        est = RttEstimator()
+        for _ in range(20):
+            est.observe(5.0)
+        assert est.timeout(0.5) == 0.5
+
+    def test_timeout_floor(self):
+        est = RttEstimator(floor=0.01)
+        for _ in range(20):
+            est.observe(1e-9)
+        assert est.timeout(0.5) == 0.01
+
+    def test_reset_forgets_everything(self):
+        est = RttEstimator()
+        for _ in range(20):
+            est.observe(0.1)
+        est.reset()
+        assert est.srtt is None
+        assert est.samples_seen == 0
+        assert est.timeout(0.5) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RttEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            RttEstimator(window=1)
+
+
+class TestRttBook:
+    def test_observations_feed_requester_and_aggregate(self):
+        book = RttBook()
+        view = book.for_requester(1)
+        view.observe(0.1)
+        assert book.estimator(1).samples_seen == 1
+        assert book.aggregate.samples_seen == 1
+
+    def test_cold_requester_defends_from_the_aggregate(self):
+        book = RttBook(min_samples=4)
+        for _ in range(10):
+            book.for_requester(1).observe(0.1)
+        # Requester 2 has no samples of its own but inherits the
+        # population-wide picture instead of flying blind.
+        assert book.for_requester(2).timeout(1.0) < 0.2
+        assert book.for_requester(2).hedge_delay(0.95) == pytest.approx(0.1)
+
+    def test_warm_requester_prefers_its_own_estimator(self):
+        book = RttBook(min_samples=2)
+        for _ in range(10):
+            book.for_requester(1).observe(1.0)
+        for _ in range(10):
+            book.for_requester(2).observe(0.01)
+        assert book.for_requester(2).hedge_delay(0.95) == pytest.approx(0.01)
+
+    def test_requesters_and_reset(self):
+        book = RttBook()
+        book.for_requester(3).observe(0.1)
+        assert book.requesters == (3,)
+        book.reset()
+        assert book.requesters == ()
+        assert book.aggregate.samples_seen == 0
+
+
+class TestNetworkLatencySampling:
+    def test_no_model_keeps_latency_counters_zero(self):
+        injector = FaultInjector(FaultPlan(loss_rate=0.3, seed=1))
+        net = SimulatedNetwork(faults=injector)
+        for _ in range(50):
+            net.try_deliver(0, 1)
+        assert net.stats.latency_seconds == 0.0
+        assert net.last_latency == 0.0
+
+    def test_no_active_faults_is_the_fast_path(self):
+        # A model alone (no injector) must not draw any randomness.
+        net = SimulatedNetwork(latency_model=LognormalLatency(0.05, seed=2))
+        state = net.latency_model.rng.bit_generator.state
+        assert net.try_deliver(0, 1)
+        assert net.stats.latency_seconds == 0.0
+        assert net.latency_model.rng.bit_generator.state == state
+
+    def test_delivered_messages_sample_the_model(self):
+        injector = FaultInjector(FaultPlan(seed=1))
+        injector.mark_slow(99, 2.0)  # activates the injector; dst 1 healthy
+        net = SimulatedNetwork(
+            faults=injector, latency_model=ConstantLatency(0.05)
+        )
+        assert net.try_deliver(0, 1)
+        assert net.last_latency == pytest.approx(0.05)
+        assert net.stats.latency_seconds == pytest.approx(0.05)
+
+    def test_slow_destination_multiplies_the_sample(self):
+        injector = FaultInjector(FaultPlan(seed=1))
+        injector.mark_slow(1, 10.0)  # persistent (intermittency 1.0)
+        net = SimulatedNetwork(
+            faults=injector, latency_model=ConstantLatency(0.05)
+        )
+        assert net.try_deliver(0, 1)
+        assert net.last_latency == pytest.approx(0.5)
+
+    def test_count_hedge_accounting(self):
+        net = SimulatedNetwork()
+        net.count_hedge(won=True)
+        net.count_hedge(won=False)
+        net.count_hedge(won=False, delivered=False)
+        assert net.stats.hedges == 3
+        assert net.stats.hedges_won == 1
+        assert net.stats.hedges_cancelled == 2
+        assert net.stats.messages == 2  # dropped backup already counted
+
+    def test_reset_keeps_rtt_state(self):
+        net = SimulatedNetwork()
+        net.rtt_for(5).observe(0.1)
+        net.route_clock = 3.0
+        net.reset()
+        assert net.route_clock == 0.0
+        assert net.rtt.estimator(5).samples_seen == 1
+        net.reset_rtt()
+        assert net.rtt.requesters == ()
+
+
+class TestCriticalPathLatency:
+    @staticmethod
+    def _result(*subs):
+        return SimpleNamespace(sub_results=subs)
+
+    def test_constant_model_reproduces_seed_expression(self):
+        result = self._result(
+            SimpleNamespace(latency=0.0, hops=3),
+            SimpleNamespace(latency=0.0, hops=7),
+        )
+        assert critical_path_latency(result, ConstantLatency(0.05)) == 7 * 0.05
+
+    def test_measured_latencies_take_precedence(self):
+        result = self._result(
+            SimpleNamespace(latency=1.25, hops=3),
+            SimpleNamespace(latency=0.0, hops=2),
+        )
+        assert critical_path_latency(result, ConstantLatency(0.05)) == 1.25
+
+    def test_empty_result(self):
+        assert critical_path_latency(self._result(), ConstantLatency(0.05)) == 0.0
