@@ -66,6 +66,11 @@ class DiscoveryService(ABC):
     #: so the no-latency hot path stays one ``is None`` check).
     _latency_net: Any | None = None
 
+    #: Optional :class:`~repro.sim.loadstats.LoadStats` sink.  ``None``
+    #: (the default, same class-attribute pattern as ``tracer``) keeps
+    #: query paths free of load accounting — one ``is None`` check.
+    load_stats: Any | None = None
+
     metrics: MetricsRegistry
     schema: AttributeSchema
 
@@ -85,6 +90,14 @@ class DiscoveryService(ABC):
 
         self.tracer = tracer
         overlay_of(self).tracer = tracer
+
+    def attach_load_stats(self, stats: Any | None) -> None:
+        """Attach a :class:`~repro.sim.loadstats.LoadStats` sink (``None``
+        detaches it).  While attached, every resolved sub-query records
+        serve load on the nodes that answered from their directory and
+        route load on the intermediate hops; detached, the query paths are
+        byte-for-byte the unmeasured ones."""
+        self.load_stats = stats
 
     # ------------------------------------------------------------------
     # Registration
@@ -344,6 +357,17 @@ class ChordBackedService(DiscoveryService):
     RNG and the churn bookkeeping.
     """
 
+    #: Optional :class:`~repro.core.hotspot.SaltPlan` spreading attribute
+    #: roots over salted replicas.  Must be set at construction (it
+    #: changes placement), hence a ctor kwarg; ``None`` keeps the seed
+    #: single-root placement byte-identical.
+    salting: Any | None = None
+
+    #: Optional :class:`~repro.core.hotspot.DynamicReplicator` (attached
+    #: via :meth:`attach_hot_replicator`; ``None`` keeps root reads on
+    #: the native owner).
+    hot_replicator: Any | None = None
+
     def __init__(
         self,
         ring: ChordRing,
@@ -352,8 +376,10 @@ class ChordBackedService(DiscoveryService):
         seed: int = 0,
         lph_kind: str = "cdf",
         attr_placement: str = "spread",
+        salting: Any | None = None,
     ) -> None:
         self.ring = ring
+        self.salting = salting
         self.schema = schema
         self.lph_kind = lph_kind
         #: When False, range queries skip gathering the matching infos and
@@ -425,6 +451,51 @@ class ChordBackedService(DiscoveryService):
                 f"attribute {attribute!r} is not in the globally-known schema "
                 f"({len(self.schema)} attributes)"
             ) from None
+
+    def attach_hot_replicator(self, replicator: Any | None) -> None:
+        """Attach a :class:`~repro.core.hotspot.DynamicReplicator`
+        (``None`` detaches; any placed replicas are dropped first so the
+        service returns to its unmitigated read path)."""
+        if replicator is None and self.hot_replicator is not None:
+            self.hot_replicator.clear()
+        self.hot_replicator = replicator
+
+    def attr_store_keys(self, attribute: str) -> tuple[int, ...]:
+        """Every ring key a registration for ``attribute``'s directory
+        writes: the native root, or all ``S`` salted roots.  Salted roots
+        use the plain consistent hash of the salted name (spread
+        placement only covers schema attributes)."""
+        if self.salting is not None and self.salting.applies_to(attribute):
+            return tuple(
+                self.attr_hash(name) for name in self.salting.salted_names(attribute)
+            )
+        return (self.attr_key(attribute),)
+
+    def attr_read_target(
+        self, attribute: str, requester: str, namespace: str
+    ) -> tuple[int, str, int]:
+        """``(route_key, directory_namespace, directory_key)`` for one
+        attribute-root read by ``requester``.
+
+        Unmitigated, all three collapse to the native root.  Under a
+        :attr:`salting` plan the requester's stable salted root is both
+        route and directory key.  Under an attached
+        :attr:`hot_replicator`, a replicated attribute may route to a
+        replica node's own id while the directory key stays the native
+        root (replica copies live under the replicator's namespace).
+        """
+        key = self.attr_key(attribute)
+        if self.salting is not None and self.salting.applies_to(attribute):
+            name = self.salting.salted_names(attribute)[
+                self.salting.choose(attribute, requester)
+            ]
+            salted = self.attr_hash(name)
+            return salted, namespace, salted
+        if self.hot_replicator is not None:
+            target = self.hot_replicator.route_for(attribute, requester)
+            if target is not None:
+                return target, self.hot_replicator.replica_namespace, key
+        return key, namespace, key
 
     def value_hash(self, attribute: str) -> LocalityPreservingHash:
         """The locality-preserving hash ℋ for ``attribute`` on this ring."""

@@ -41,23 +41,36 @@ class MaanService(ChordBackedService):
     # Registration
     # ------------------------------------------------------------------
     def _register_impl(self, info: ResourceInfo, *, routed: bool = True) -> int:
-        """Two insertions: attribute map and value map (two pieces stored)."""
-        attr_key = self.attr_key(info.attribute)
+        """Two insertions: attribute map and value map (two pieces stored).
+
+        A salting plan spreads the attribute-map insertion over all ``S``
+        salted roots; the value map is untouched (its load spreads by
+        value hashing already).
+        """
+        attr_keys = self.attr_store_keys(info.attribute)
         value_key = self.value_hash(info.attribute)(info.value)
         if not routed:
-            self.ring.store(_ATTR_NS, attr_key, info)
+            for attr_key in attr_keys:
+                self.ring.store(_ATTR_NS, attr_key, info)
             self.ring.store(_VALUE_NS, value_key, info)
-            return 0
-        origin = self.random_node()
-        first = self.ring.routed_store(origin, _ATTR_NS, attr_key, info)
-        second = self.ring.routed_store(origin, _VALUE_NS, value_key, info)
-        hops = first.hops + second.hops
-        self.metrics.record("register.hops", hops)
+            hops = 0
+        else:
+            origin = self.random_node()
+            hops = 0
+            for attr_key in attr_keys:
+                hops += self.ring.routed_store(origin, _ATTR_NS, attr_key, info).hops
+            hops += self.ring.routed_store(origin, _VALUE_NS, value_key, info).hops
+            self.metrics.record("register.hops", hops)
+        if self.hot_replicator is not None:
+            self.hot_replicator.on_register(info, attr_keys[0])
         return hops
 
     def deregister(self, info: ResourceInfo) -> int:
-        """Withdraw both stored copies (attribute map and value map)."""
-        removed = self.ring.discard(_ATTR_NS, self.attr_key(info.attribute), info)
+        """Withdraw all stored copies (attribute map roots and value map)."""
+        removed = sum(
+            self.ring.discard(_ATTR_NS, attr_key, info)
+            for attr_key in self.attr_store_keys(info.attribute)
+        )
         value_key = self.value_hash(info.attribute)(info.value)
         removed += self.ring.discard(_VALUE_NS, value_key, info)
         return removed
@@ -73,12 +86,17 @@ class MaanService(ChordBackedService):
         spec = self.schema.spec(q.attribute)
         vh = self.value_hash(q.attribute)
 
-        # Lookup 1: the attribute root (checks its directory).
-        attr_key = self.attr_key(q.attribute)
-        attr_lookup = self.ring.lookup(start, attr_key)
+        # Lookup 1: the attribute root (checks its directory) — under a
+        # mitigation, the requester's stable salted root or hot replica.
+        attr_route, _, _ = self.attr_read_target(q.attribute, q.requester, _ATTR_NS)
+        attr_lookup = self.ring.lookup(start, attr_route)
         if not attr_lookup.complete:
             return self._failed_result(attr_lookup)
         self.ring.network.count_directory_check(1)
+        stats = self.load_stats
+        if stats is not None:
+            stats.record_serve(attr_lookup.owner.uid, q.attribute)
+            stats.record_route_path(attr_lookup.path)
 
         if not q.is_range:
             # Lookup 2: the value root answers the point query.
@@ -99,6 +117,9 @@ class MaanService(ChordBackedService):
                 if info.attribute == q.attribute and constraint.matches(info.value)
             )
             self.ring.network.count_directory_check(1)
+            if stats is not None:
+                stats.record_serve(value_lookup.owner.uid, q.attribute)
+                stats.record_route_path(value_lookup.path)
             self._record(hops, 2)
             return QueryResult(
                 matches=matches, hops=hops, visited_nodes=2, retries=retries
@@ -130,6 +151,9 @@ class MaanService(ChordBackedService):
         visited = 1 + len(walk)  # attribute root + every walked value node
         self.ring.network.count_hop(len(walk) - 1)
         self.ring.network.count_directory_check(len(walk))
+        if stats is not None:
+            stats.record_serves((node.uid for node in walk), q.attribute)
+            stats.record_route_path(value_lookup.path)
         self._record(hops, visited)
         return QueryResult(
             matches=matches, hops=hops, visited_nodes=visited,

@@ -35,18 +35,29 @@ class SwordService(ChordBackedService):
     # Registration
     # ------------------------------------------------------------------
     def _register_impl(self, info: ResourceInfo, *, routed: bool = True) -> int:
-        """Insert at the attribute root, ``successor(H(attribute))``."""
-        key = self.attr_key(info.attribute)
+        """Insert at the attribute root, ``successor(H(attribute))`` —
+        or at all ``S`` salted roots under a salting plan."""
+        keys = self.attr_store_keys(info.attribute)
         if not routed:
-            self.ring.store(_NAMESPACE, key, info)
-            return 0
-        result = self.ring.routed_store(self.random_node(), _NAMESPACE, key, info)
-        self.metrics.record("register.hops", result.hops)
-        return result.hops
+            for key in keys:
+                self.ring.store(_NAMESPACE, key, info)
+            hops = 0
+        else:
+            origin = self.random_node()
+            hops = 0
+            for key in keys:
+                hops += self.ring.routed_store(origin, _NAMESPACE, key, info).hops
+            self.metrics.record("register.hops", hops)
+        if self.hot_replicator is not None:
+            self.hot_replicator.on_register(info, keys[0])
+        return hops
 
     def deregister(self, info: ResourceInfo) -> int:
-        """Withdraw the info from the attribute root."""
-        return self.ring.discard(_NAMESPACE, self.attr_key(info.attribute), info)
+        """Withdraw the info from the attribute root(s)."""
+        return sum(
+            self.ring.discard(_NAMESPACE, key, info)
+            for key in self.attr_store_keys(info.attribute)
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -56,16 +67,21 @@ class SwordService(ChordBackedService):
         alike from its pooled directory (no forwarding)."""
         start = self._resolve_start(start)
         constraint = q.constraint
-        key = self.attr_key(q.attribute)
-        lookup = self.ring.lookup(start, key)
+        route_key, dir_ns, dir_key = self.attr_read_target(
+            q.attribute, q.requester, _NAMESPACE
+        )
+        lookup = self.ring.lookup(start, route_key)
         if not lookup.complete:
             return self._failed_result(lookup)
         matches = tuple(
             info
-            for info in lookup.owner.items_at(_NAMESPACE, key)
+            for info in lookup.owner.items_at(dir_ns, dir_key)
             if info.attribute == q.attribute and constraint.matches(info.value)
         )
         self.ring.network.count_directory_check(1)
+        if self.load_stats is not None:
+            self.load_stats.record_serve(lookup.owner.uid, q.attribute)
+            self.load_stats.record_route_path(lookup.path)
         self.metrics.record_pair("query.hops", lookup.hops, "query.visited", 1)
         return QueryResult(
             matches=matches, hops=lookup.hops, visited_nodes=1,

@@ -14,6 +14,8 @@ Examples
     repro durability --smoke --seed 0
     repro durability --policies replication:2 erasure:2+1 --systems LORM
     repro tail --smoke --seed 0
+    repro hotspot --smoke --seed 0
+    repro hotspot --systems SWORD --zipf-s 0 1.1 --out results/
     repro check --systems all --seed 0
     repro bench --smoke --seed 0
     repro bench compare benchmarks/baseline.json BENCH_20260805T120000Z.json
@@ -123,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--systems",
         nargs="+",
         default=None,
-        choices=["LORM", "Mercury", "SWORD", "MAAN"],
+        metavar="SYSTEM",
         help="systems to subject to the sweep (default: LORM Mercury)",
     )
     durability_p.add_argument(
@@ -132,6 +134,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=["demo", "crash-storm"],
         help="chaos timelines to run (default: both)",
+    )
+
+    hotspot_p = sub.add_parser(
+        "hotspot",
+        help="load-balance sweep under zipf-skewed popularity: per-node "
+        "serve-load imbalance (max/mean, Gini, top-5 share) per system x "
+        "zipf-s x mitigation (none / salted roots / dynamic replication); "
+        "exits non-zero unless the best mitigation cuts SWORD's imbalance "
+        ">= 2x at the highest s with byte-identical answers and hop "
+        "counts within the structural ceilings",
+    )
+    _add_common(hotspot_p)
+    hotspot_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="alias for --scale smoke (deterministic CI entry point)",
+    )
+    hotspot_p.add_argument(
+        "--systems",
+        nargs="+",
+        default=None,
+        metavar="SYSTEM",
+        help="systems to sweep (default: LORM Mercury SWORD MAAN; "
+        "mitigations apply to SWORD and MAAN)",
+    )
+    hotspot_p.add_argument(
+        "--zipf-s",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="S",
+        help="zipf exponents to sweep (e.g. --zipf-s 0 0.8 1.1)",
+    )
+    hotspot_p.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="measured multi-attribute queries per cell",
+    )
+    hotspot_p.add_argument(
+        "--salts",
+        type=int,
+        default=None,
+        help="salted roots per attribute (S) for the salt mitigation",
     )
 
     tail_p = sub.add_parser(
@@ -351,7 +397,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--systems",
         nargs="+",
         default=["all"],
-        choices=["all", "LORM", "Mercury", "SWORD", "MAAN"],
         metavar="SYSTEM",
         help="systems to check: all (default) or any of LORM Mercury SWORD MAAN",
     )
@@ -419,9 +464,21 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     return config.scaled(**overrides) if overrides else config
 
 
+def _resolve_systems_arg(parser: argparse.ArgumentParser, names):
+    """Canonical system names, or a clean ``parser.error`` (exit 2,
+    valid choices listed) instead of an unhandled traceback."""
+    from repro.experiments.common import resolve_systems
+
+    try:
+        return resolve_systems(names)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
 
     if args.command == "list":
         for figure_id in sorted(FIGURES):
@@ -570,7 +627,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         systems = (
             ALL_SYSTEMS
             if "all" in args.systems
-            else tuple(dict.fromkeys(args.systems))
+            else _resolve_systems_arg(parser, args.systems)
         )
         started = time.perf_counter()
         report = run_check(
@@ -595,6 +652,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(result.render())
         elapsed = time.perf_counter() - started
         verdict = "RECONVERGED" if result.ok else "FAILED TO RECONVERGE"
+        print(
+            f"[{args.scale} scale, seed {config.seed}] {verdict} in {elapsed:.1f}s",
+            file=sys.stderr,
+        )
+        if args.out:
+            result.save(args.out)
+            print(f"results written to {args.out}/", file=sys.stderr)
+        return 0 if result.ok else 1
+
+    if args.command == "hotspot":
+        from repro.experiments.hotspot import run_hotspot
+
+        if args.smoke:
+            args.scale = "smoke"
+        config = _config_from(args)
+        overrides = {}
+        if args.zipf_s is not None:
+            overrides["hotspot_zipf_s"] = tuple(args.zipf_s)
+        if args.queries is not None:
+            overrides["hotspot_queries"] = args.queries
+        if args.salts is not None:
+            overrides["hotspot_salts"] = args.salts
+        if overrides:
+            config = config.scaled(**overrides)
+        systems = (
+            _resolve_systems_arg(parser, args.systems)
+            if args.systems is not None else None
+        )
+        started = time.perf_counter()
+        result = run_hotspot(config, systems=systems)
+        print(result.render())
+        elapsed = time.perf_counter() - started
+        verdict = "BALANCED" if result.ok else "GATE MISS"
         print(
             f"[{args.scale} scale, seed {config.seed}] {verdict} in {elapsed:.1f}s",
             file=sys.stderr,
@@ -644,15 +734,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.smoke:
             args.scale = "smoke"
         config = _config_from(args)
-        policies = (
-            tuple(parse_policy(spec) for spec in args.policies)
-            if args.policies else None
-        )
+        try:
+            policies = (
+                tuple(parse_policy(spec) for spec in args.policies)
+                if args.policies else None
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
         scenarios = (
             tuple(s for s in DEFAULT_SCENARIOS if s.name in args.scenarios)
             if args.scenarios else DEFAULT_SCENARIOS
         )
-        systems = tuple(args.systems) if args.systems else DEFAULT_SYSTEMS
+        systems = (
+            _resolve_systems_arg(parser, args.systems)
+            if args.systems else DEFAULT_SYSTEMS
+        )
         started = time.perf_counter()
         result = run_durability(
             config, policies=policies, scenarios=scenarios, systems=systems

@@ -174,6 +174,9 @@ class LormService(DiscoveryService):
                 if info.attribute == q.attribute and constraint.matches(info.value)
             )
             self.overlay.network.count_directory_check(1)
+            if self.load_stats is not None:
+                self.load_stats.record_serve(lookup.owner.uid, q.attribute)
+                self.load_stats.record_route_path(lookup.path)
             self._record(lookup.hops, 1)
             return QueryResult(
                 matches=matches, hops=lookup.hops, visited_nodes=1,
@@ -197,6 +200,9 @@ class LormService(DiscoveryService):
         hops = lookup.hops + (len(walk) - 1)
         self.overlay.network.count_hop(len(walk) - 1)
         self.overlay.network.count_directory_check(len(walk))
+        if self.load_stats is not None:
+            self.load_stats.record_serves((node.uid for node in walk), q.attribute)
+            self.load_stats.record_route_path(lookup.path)
         self._record(hops, len(walk))
         return QueryResult(
             matches=matches, hops=hops, visited_nodes=len(walk),

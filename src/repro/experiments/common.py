@@ -21,7 +21,45 @@ from repro.workloads.generator import GridWorkload
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.sim.durability import DurabilityPolicy
 
-__all__ = ["ServiceBundle", "build_services", "build_workload"]
+__all__ = [
+    "SYSTEM_NAMES",
+    "ServiceBundle",
+    "build_service",
+    "build_services",
+    "build_workload",
+    "resolve_system",
+    "resolve_systems",
+]
+
+#: Canonical approach names, report order — the single system registry
+#: every CLI ``--system``/``--systems`` flag validates against.
+SYSTEM_NAMES = ("LORM", "Mercury", "SWORD", "MAAN")
+
+_SYSTEM_CLASSES = {
+    "LORM": LormService,
+    "Mercury": MercuryService,
+    "SWORD": SwordService,
+    "MAAN": MaanService,
+}
+
+
+def resolve_system(name: str) -> str:
+    """The canonical registry name for ``name`` (case-insensitive).
+
+    Raises ``ValueError`` naming the valid choices — CLI entry points
+    turn that into a clean exit 2 instead of a traceback.
+    """
+    for known in SYSTEM_NAMES:
+        if known.lower() == name.lower():
+            return known
+    raise ValueError(
+        f"unknown system {name!r}; valid choices: {', '.join(SYSTEM_NAMES)}"
+    )
+
+
+def resolve_systems(names) -> tuple[str, ...]:
+    """Canonical, de-duplicated system names (order of first mention)."""
+    return tuple(dict.fromkeys(resolve_system(name) for name in names))
 
 
 @dataclass
@@ -60,6 +98,51 @@ def build_workload(config: ExperimentConfig) -> GridWorkload:
         seed=config.seed,
         mean_span_fraction=config.mean_span_fraction,
     )
+
+
+def build_service(
+    config: ExperimentConfig,
+    name: str,
+    *,
+    workload: GridWorkload | None = None,
+    register: bool = True,
+    salting=None,
+):
+    """One service at ``config`` scale, loaded with the workload.
+
+    Cheaper than :func:`build_services` when an experiment only sweeps a
+    subset of approaches (the hotspot sweep builds per-mitigation
+    variants).  ``salting`` forwards a :class:`~repro.core.hotspot.
+    SaltPlan` to Chord-backed services (LORM has no attribute-rooted
+    single directory, so salting it is rejected).
+    """
+    name = resolve_system(name)
+    cls = _SYSTEM_CLASSES[name]
+    if workload is None:
+        workload = build_workload(config)
+    schema = workload.schema
+    if cls is LormService:
+        if salting is not None:
+            raise ValueError("key salting applies to Chord-backed services only")
+        service = LormService.build_full(
+            config.dimension, schema, seed=config.seed, lph_kind=config.lph_kind
+        )
+    else:
+        kwargs = {"lph_kind": config.lph_kind}
+        if salting is not None:
+            kwargs["salting"] = salting
+        if config.population == (1 << config.chord_bits):
+            service = cls.build_full(
+                config.chord_bits, schema, seed=config.seed, **kwargs
+            )
+        else:
+            service = cls.build(
+                config.chord_bits, config.population, schema,
+                seed=config.seed, **kwargs,
+            )
+    if register:
+        service.register_all(workload.resource_infos(), routed=False)
+    return service
 
 
 def build_services(

@@ -109,6 +109,31 @@ class ExperimentConfig:
     #: Tail experiment: p99 response-time SLO (seconds) the defended
     #: policy must meet under gray failure.
     tail_slo_p99: float = 1.5
+    #: Hotspot experiment (``repro hotspot``): attribute-level Zipf
+    #: exponents swept (0.0 = the paper's uniform control).
+    hotspot_zipf_s: tuple[float, ...] = (0.0, 1.1)
+    #: Hotspot experiment: measured multi-attribute queries per cell,
+    #: split evenly into :attr:`hotspot_windows` load windows.
+    hotspot_queries: int = 2000
+    #: Hotspot experiment: load windows per cell.  The first window is
+    #: warm-up (dynamic replication needs one observed window before it
+    #: can react) and is excluded from every cell's imbalance metrics.
+    hotspot_windows: int = 4
+    #: Hotspot experiment: attributes per measured query.
+    hotspot_query_attributes: int = 2
+    #: Hotspot experiment: salted roots per attribute (S).
+    hotspot_salts: int = 4
+    #: Hotspot experiment: dynamic-replication trigger — an attribute is
+    #: hot when its window serve count exceeds this multiple of the mean
+    #: per-node load.
+    hotspot_trigger_ratio: float = 4.0
+    #: Hotspot experiment: replicas placed per hot directory.
+    hotspot_max_replicas: int = 3
+    #: Hotspot experiment: consecutive cold windows before replicas decay.
+    hotspot_decay_windows: int = 2
+    #: Hotspot experiment: value-level Zipf exponent (0 = uniform values,
+    #: the attribute-level sweep's default).
+    hotspot_value_s: float = 0.0
     #: Install :class:`~repro.sim.invariants.ChurnGuard` on every built
     #: service, validating overlay invariants and directory conservation
     #: after each churn event (the runner's ``--invariants`` flag).
@@ -128,6 +153,11 @@ class ExperimentConfig:
         require(
             self.population <= (1 << self.chord_bits),
             f"chord_bits={self.chord_bits} cannot host {self.population} nodes",
+        )
+        require(self.hotspot_windows >= 2, "hotspot needs a warm-up window + one measured")
+        require(
+            self.hotspot_queries >= self.hotspot_windows,
+            "hotspot_queries must cover every window",
         )
 
     # ------------------------------------------------------------------
@@ -193,4 +223,5 @@ SMOKE_CONFIG = ExperimentConfig(
     scale_churn_events=24,
     tail_queries=120,
     tail_warmup=24,
+    hotspot_queries=480,
 )

@@ -71,6 +71,14 @@ from repro.sim.invariants import (
     directory_census,
     install_churn_guards,
 )
+from repro.sim.loadstats import (
+    LoadStats,
+    LoadWindow,
+    gini,
+    load_histogram,
+    max_mean_ratio,
+    top_share,
+)
 from repro.sim.maintenance import (
     DEFAULT_BUDGET,
     UNLIMITED_BUDGET,
@@ -118,10 +126,15 @@ __all__ = [
     "HEDGED_POLICY",
     "install_churn_guards",
     "InvariantViolation",
+    "gini",
     "LatencyModel",
+    "load_histogram",
+    "LoadStats",
+    "LoadWindow",
     "LognormalLatency",
     "LookupPolicy",
     "LossRamp",
+    "max_mean_ratio",
     "MaintenanceBudget",
     "MaintenanceReport",
     "MaintenanceRound",
@@ -150,6 +163,7 @@ __all__ = [
     "summarize",
     "SymmetricPlacement",
     "symmetric_replication",
+    "top_share",
     "TraceEvent",
     "TraceEventKind",
     "TraceRecorder",

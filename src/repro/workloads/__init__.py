@@ -10,14 +10,24 @@ Theorem 4.9).
 from repro.workloads.attributes import AttributeSchema, AttributeSpec
 from repro.workloads.generator import GridWorkload, QueryKind
 from repro.workloads.pareto import BoundedPareto
+from repro.workloads.popularity import (
+    FlashCrowdPopularity,
+    PopularityModel,
+    UniformPopularity,
+    ZipfPopularity,
+)
 from repro.workloads.serialization import load_workload, save_workload
 
 __all__ = [
     "AttributeSchema",
     "AttributeSpec",
     "BoundedPareto",
+    "FlashCrowdPopularity",
     "GridWorkload",
+    "PopularityModel",
     "QueryKind",
+    "UniformPopularity",
+    "ZipfPopularity",
     "load_workload",
     "save_workload",
 ]

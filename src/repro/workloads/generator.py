@@ -27,6 +27,7 @@ from repro.core.resource import (
 from repro.utils.seeding import SeedFactory
 from repro.utils.validation import require
 from repro.workloads.attributes import AttributeSchema
+from repro.workloads.popularity import PopularityModel
 
 __all__ = ["GridWorkload", "QueryKind"]
 
@@ -57,12 +58,20 @@ class GridWorkload:
         Expected quantile-space fraction covered by a RANGE constraint
         (paper's average case: 0.25).  The span is drawn uniformly from
         ``[0, 2 * mean_span_fraction]``.
+    popularity:
+        Optional :class:`~repro.workloads.popularity.PopularityModel`
+        skewing attribute/value selection (Zipf, flash crowds).  ``None``
+        (the default) keeps the paper's uniform sampling byte-identical
+        to the pre-popularity code path; when set, query streams derive
+        one rng per query *index* so sharded generation reproduces the
+        serial stream exactly.
     """
 
     schema: AttributeSchema
     infos_per_attribute: int = 500
     seed: int = 0
     mean_span_fraction: float = 0.25
+    popularity: PopularityModel | None = None
     _seeds: SeedFactory = field(init=False, repr=False)
     _values: dict[str, np.ndarray] = field(init=False, repr=False)
 
@@ -123,6 +132,7 @@ class GridWorkload:
         attribute: str,
         kind: QueryKind = QueryKind.RANGE,
         rng: np.random.Generator | None = None,
+        index: int | None = None,
     ) -> AttributeConstraint:
         """One constraint on ``attribute`` of the requested ``kind``.
 
@@ -130,23 +140,44 @@ class GridWorkload:
         docstring) so their expected hashed span is ``mean_span_fraction``
         regardless of the Pareto skew.  POINT constraints sample an
         *existing* provider value so that non-range queries have hits.
+
+        With a :attr:`popularity` model that skews values, the model's
+        target quantile pulls the constraint toward hot values: POINT
+        picks the provider value at that quantile, RANGE covers it,
+        AT_LEAST anchors its lower bound near it.
         """
         rng = rng if rng is not None else self._seeds.numpy("adhoc-constraint")
         spec = self.schema.spec(attribute)
         dist = spec.distribution
+        target: float | None = None
+        if self.popularity is not None:
+            target = self.popularity.value_quantile(rng, 0 if index is None else index)
         if kind is QueryKind.POINT:
             values = self._values[attribute]
-            return AttributeConstraint.point(
-                attribute, float(values[int(rng.integers(len(values)))])
-            )
+            if target is None:
+                pick = int(rng.integers(len(values)))
+                return AttributeConstraint.point(attribute, float(values[pick]))
+            ordered = np.sort(values)
+            pick = min(int(target * len(ordered)), len(ordered) - 1)
+            return AttributeConstraint.point(attribute, float(ordered[pick]))
         if kind is QueryKind.AT_LEAST:
             # Lower bound placed so the expected covered quantile mass is
             # mean_span_fraction: U ~ Uniform(1 - 2*msf, 1) covers on
             # average msf of the space.
-            u = float(rng.uniform(1.0 - 2.0 * self.mean_span_fraction, 1.0))
+            lo = 1.0 - 2.0 * self.mean_span_fraction
+            if target is None:
+                u = float(rng.uniform(lo, 1.0))
+            else:
+                u = min(max(target, lo), 1.0)
             return AttributeConstraint.at_least(attribute, dist.ppf(u))
         span = float(rng.uniform(0.0, 2.0 * self.mean_span_fraction))
-        start = float(rng.uniform(0.0, 1.0 - span))
+        if target is None:
+            start = float(rng.uniform(0.0, 1.0 - span))
+        else:
+            # Cover the hot quantile: the span is placed uniformly among
+            # the positions that contain ``target``.
+            start = target - span * float(rng.uniform(0.0, 1.0))
+            start = min(max(start, 0.0), 1.0 - span)
         return AttributeConstraint.between(
             attribute, dist.ppf(start), dist.ppf(start + span)
         )
@@ -157,16 +188,27 @@ class GridWorkload:
         kind: QueryKind = QueryKind.RANGE,
         rng: np.random.Generator | None = None,
         requester: str = "requester",
+        index: int | None = None,
     ) -> MultiAttributeQuery:
-        """An m-attribute query over uniformly chosen distinct attributes."""
+        """An m-attribute query over distinct attributes.
+
+        Uniformly chosen without a :attr:`popularity` model (the paper's
+        workload); otherwise the model weights the draw and ``index``
+        positions the query in time (flash-crowd windows).
+        """
         require(
             1 <= num_attributes <= len(self.schema),
             f"num_attributes must be in [1, {len(self.schema)}], got {num_attributes}",
         )
         rng = rng if rng is not None else self._seeds.numpy("adhoc-query")
-        chosen = rng.choice(len(self.schema), size=num_attributes, replace=False)
+        if self.popularity is None:
+            chosen = rng.choice(len(self.schema), size=num_attributes, replace=False)
+        else:
+            chosen = self.popularity.choose_attributes(
+                rng, len(self.schema), num_attributes, 0 if index is None else index
+            )
         constraints = tuple(
-            self.sample_constraint(self.schema.specs[int(i)].name, kind, rng)
+            self.sample_constraint(self.schema.specs[int(i)].name, kind, rng, index=index)
             for i in chosen
         )
         return MultiAttributeQuery(constraints, requester=requester)
@@ -177,12 +219,30 @@ class GridWorkload:
         num_attributes: int,
         kind: QueryKind = QueryKind.RANGE,
         label: str = "queries",
+        start: int = 0,
     ) -> Iterator[MultiAttributeQuery]:
-        """A deterministic stream of ``count`` multi-attribute queries."""
-        rng = self._seeds.numpy(f"query-stream:{label}:{num_attributes}:{kind.value}")
-        for i in range(count):
+        """A deterministic stream of ``count`` multi-attribute queries.
+
+        Without a :attr:`popularity` model the stream consumes one
+        sequential rng (the seed behaviour, byte-identical).  With one,
+        every query index derives its own rng, so ``start`` can shard the
+        stream: generating ``[0, n)`` in one pass is identical to
+        concatenating ``[0, k)`` and ``[k, n)`` passes — flash-crowd
+        onsets land on the same queries under ``--parallel`` sharding.
+        """
+        if self.popularity is None:
+            require(start == 0, "sharded streams need a popularity model")
+            rng = self._seeds.numpy(f"query-stream:{label}:{num_attributes}:{kind.value}")
+            for i in range(count):
+                yield self.sample_multi_query(
+                    num_attributes, kind, rng, requester=f"requester-{i:05d}"
+                )
+            return
+        prefix = f"query-stream:{label}:{num_attributes}:{kind.value}"
+        for i in range(start, start + count):
+            rng = self._seeds.numpy(f"{prefix}:{i}")
             yield self.sample_multi_query(
-                num_attributes, kind, rng, requester=f"requester-{i:05d}"
+                num_attributes, kind, rng, requester=f"requester-{i:05d}", index=i
             )
 
     # ------------------------------------------------------------------

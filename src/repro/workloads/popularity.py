@@ -1,0 +1,234 @@
+"""Skewed-popularity models for the query workload.
+
+The paper samples query attributes *uniformly* (Section V), which makes
+every system look balanced by construction.  Production resource-discovery
+traffic is nothing like that: attribute popularity follows a Zipf law, and
+sudden flash crowds concentrate a large share of all queries on one or two
+attributes for a bounded time window.  This module supplies those models
+as drop-in strategies for :class:`~repro.workloads.generator.GridWorkload`:
+
+* :class:`UniformPopularity` — the paper's model, made explicit;
+* :class:`ZipfPopularity` — rank-``r`` attribute drawn with probability
+  proportional to ``1 / (r + 1) ** s``, with an optional *value-level*
+  Zipf (hot provider values / hot quantile cells for range queries);
+* :class:`FlashCrowdPopularity` — a base model plus a time-windowed crowd:
+  for query indices inside ``[onset, onset + duration)`` each query
+  targets the hot attribute set with probability ``crowd_share``.
+
+Every decision is a pure function of ``(model, per-query rng, index)``;
+the workload derives one rng per query index, so streams are reproducible
+across serial and sharded (``--parallel``) generation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import require
+
+__all__ = [
+    "PopularityModel",
+    "UniformPopularity",
+    "ZipfPopularity",
+    "FlashCrowdPopularity",
+    "stable_seed",
+    "zipf_weights",
+]
+
+#: Quantile cells the value-level Zipf chooses between for range queries.
+VALUE_CELLS = 16
+
+
+def stable_seed(*parts: object) -> int:
+    """A process-independent 63-bit seed from arbitrary labelled parts.
+
+    Python's built-in ``hash`` is salted per process for strings, so it
+    must never feed a reproducible rng; this digest-based derivation is a
+    pure function of its arguments.
+    """
+    digest = hashlib.blake2s("|".join(repr(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little") % (1 << 63)
+
+
+def zipf_weights(count: int, s: float) -> np.ndarray:
+    """Normalized Zipf probabilities over ``count`` ranks (rank 0 hottest)."""
+    require(count >= 1, "need at least one rank")
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = ranks ** (-s)
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class PopularityModel:
+    """Base popularity model: the paper's uniform-random selection.
+
+    Subclasses override :meth:`attribute_weights` (per-attribute selection
+    probabilities, possibly index-dependent) and :meth:`value_quantile`
+    (a target quantile in ``[0, 1)`` concentrating value-level load, or
+    ``None`` for the uniform value placement of the seed workload).
+    """
+
+    #: Seed of the model's internal permutations (which attribute is hot).
+    seed: int = 0
+
+    def attribute_weights(self, num_attributes: int, index: int) -> np.ndarray | None:
+        """Selection probabilities over the schema for query ``index``.
+
+        ``None`` means uniform — the caller then uses an unweighted draw.
+        """
+        return None
+
+    def value_quantile(self, rng: np.random.Generator, index: int) -> float | None:
+        """A target quantile for value-level skew (``None`` = uniform)."""
+        return None
+
+    def choose_attributes(
+        self, rng: np.random.Generator, num_attributes: int, count: int, index: int
+    ) -> np.ndarray:
+        """Draw ``count`` distinct attribute indices for query ``index``."""
+        weights = self.attribute_weights(num_attributes, index)
+        if weights is None:
+            return rng.choice(num_attributes, size=count, replace=False)
+        return rng.choice(num_attributes, size=count, replace=False, p=weights)
+
+    def describe(self) -> str:
+        """One-line human-readable summary for reports."""
+        return "uniform"
+
+
+@dataclass(frozen=True)
+class UniformPopularity(PopularityModel):
+    """The paper's uniform attribute selection, as an explicit model."""
+
+
+@dataclass(frozen=True)
+class ZipfPopularity(PopularityModel):
+    """Zipf-skewed attribute (and optionally value) popularity.
+
+    Parameters
+    ----------
+    s:
+        Attribute-level Zipf exponent; ``0`` degenerates to uniform.
+    value_s:
+        Value-level exponent.  When positive, point queries prefer hot
+        provider values and range queries concentrate around hot quantile
+        cells, so value-rooted directories (Mercury hubs, MAAN's value
+        map) develop hotspots too.
+    seed:
+        Seeds the rank permutations, so *which* attribute is hot is
+        deterministic but not simply "the first one in the schema".
+    """
+
+    s: float = 1.1
+    value_s: float = 0.0
+    _cache: dict = field(default_factory=dict, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        require(self.s >= 0.0, f"zipf exponent s must be >= 0, got {self.s}")
+        require(self.value_s >= 0.0, f"value_s must be >= 0, got {self.value_s}")
+
+    def _permutation(self, label: str, count: int) -> np.ndarray:
+        key = (label, count)
+        found = self._cache.get(key)
+        if found is None:
+            rng = np.random.default_rng(stable_seed("zipf-perm", self.seed, label, count))
+            found = rng.permutation(count)
+            self._cache[key] = found
+        return found
+
+    def rank_order(self, num_attributes: int) -> np.ndarray:
+        """Attribute indices from hottest to coldest (seeded permutation)."""
+        return self._permutation("attributes", num_attributes)
+
+    def hot_attributes(self, num_attributes: int, count: int = 1) -> tuple[int, ...]:
+        """The ``count`` hottest attribute indices under this model."""
+        return tuple(int(i) for i in self.rank_order(num_attributes)[:count])
+
+    def attribute_weights(self, num_attributes: int, index: int) -> np.ndarray | None:
+        if self.s == 0.0:
+            return None
+        key = ("weights", num_attributes)
+        weights = self._cache.get(key)
+        if weights is None:
+            by_rank = zipf_weights(num_attributes, self.s)
+            weights = np.empty(num_attributes)
+            weights[self.rank_order(num_attributes)] = by_rank
+            self._cache[key] = weights
+        return weights
+
+    def value_quantile(self, rng: np.random.Generator, index: int) -> float | None:
+        if self.value_s == 0.0:
+            return None
+        by_rank = zipf_weights(VALUE_CELLS, self.value_s)
+        cell_order = self._permutation("values", VALUE_CELLS)
+        cell = int(cell_order[int(rng.choice(VALUE_CELLS, p=by_rank))])
+        return (cell + float(rng.uniform(0.0, 1.0))) / VALUE_CELLS
+
+    def describe(self) -> str:
+        out = f"zipf(s={self.s:g})"
+        if self.value_s > 0.0:
+            out += f" x value-zipf(s={self.value_s:g})"
+        return out
+
+
+@dataclass(frozen=True)
+class FlashCrowdPopularity(PopularityModel):
+    """A base model plus a time-windowed flash crowd.
+
+    Query indices in ``[onset, onset + duration)`` are crowd queries with
+    probability ``crowd_share``; a crowd query draws all its attributes
+    from the ``hot_attributes`` hottest ranks of the base model (uniform
+    base: the first ranks of a seeded permutation).  Outside the window —
+    and for the non-crowd share inside it — the base model applies
+    unchanged, so the onset is visible as a step in per-node load.
+    """
+
+    base: PopularityModel = field(default_factory=UniformPopularity)
+    onset: int = 0
+    duration: int = 0
+    crowd_share: float = 0.8
+    hot_attributes: int = 1
+
+    def __post_init__(self) -> None:
+        require(self.onset >= 0, "onset must be >= 0")
+        require(self.duration >= 0, "duration must be >= 0")
+        require(0.0 <= self.crowd_share <= 1.0, "crowd_share must be in [0, 1]")
+        require(self.hot_attributes >= 1, "need at least one hot attribute")
+
+    def in_window(self, index: int) -> bool:
+        """Whether query ``index`` falls inside the crowd window."""
+        return self.onset <= index < self.onset + self.duration
+
+    def _hot_set(self, num_attributes: int) -> tuple[int, ...]:
+        count = min(self.hot_attributes, num_attributes)
+        if isinstance(self.base, ZipfPopularity):
+            return self.base.hot_attributes(num_attributes, count)
+        rng = np.random.default_rng(stable_seed("flash-hot", self.seed, num_attributes))
+        return tuple(int(i) for i in rng.permutation(num_attributes)[:count])
+
+    def choose_attributes(
+        self, rng: np.random.Generator, num_attributes: int, count: int, index: int
+    ) -> np.ndarray:
+        if self.in_window(index) and float(rng.uniform()) < self.crowd_share:
+            hot = self._hot_set(num_attributes)
+            if count <= len(hot):
+                return rng.choice(np.asarray(hot), size=count, replace=False)
+            # Crowd queries over more attributes than the hot set: the hot
+            # set plus uniform filler from the remaining attributes.
+            rest = np.setdiff1d(np.arange(num_attributes), np.asarray(hot))
+            filler = rng.choice(rest, size=count - len(hot), replace=False)
+            return np.concatenate([np.asarray(hot), filler])
+        return self.base.choose_attributes(rng, num_attributes, count, index)
+
+    def value_quantile(self, rng: np.random.Generator, index: int) -> float | None:
+        return self.base.value_quantile(rng, index)
+
+    def describe(self) -> str:
+        return (
+            f"flash-crowd(onset={self.onset}, duration={self.duration}, "
+            f"share={self.crowd_share:g}, hot={self.hot_attributes}) "
+            f"over {self.base.describe()}"
+        )

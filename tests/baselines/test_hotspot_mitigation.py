@@ -1,0 +1,204 @@
+"""Tests for hotspot mitigations: key salting and dynamic replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.sword import _NAMESPACE
+from repro.core.hotspot import DynamicReplicator, SaltPlan, route_choice
+from repro.core.resource import AttributeConstraint, MultiAttributeQuery, ResourceInfo
+from repro.experiments.common import build_service, build_workload
+from repro.experiments.config import SMOKE_CONFIG
+from repro.sim.loadstats import LoadStats
+from repro.sim.maintenance import MaintenanceBudget
+
+CONFIG = SMOKE_CONFIG.scaled(num_attributes=6, infos_per_attribute=12)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def base(workload):
+    return build_service(CONFIG, "SWORD", workload=workload)
+
+
+@pytest.fixture(scope="module")
+def salted(workload):
+    return build_service(CONFIG, "SWORD", workload=workload, salting=SaltPlan(salts=3))
+
+
+def _attr_query(service, attribute, requester):
+    spec = service.schema.spec(attribute)
+    constraint = AttributeConstraint.between(attribute, spec.lo, spec.hi)
+    return MultiAttributeQuery((constraint,), requester=requester)
+
+
+def _hammer(service, attribute, count):
+    """``count`` distinct-requester full-range queries on one attribute."""
+    stats = LoadStats()
+    service.attach_load_stats(stats)
+    try:
+        answers = []
+        for i in range(count):
+            q = _attr_query(service, attribute, f"req-{i:04d}")
+            answers.append(service.multi_query(q).providers)
+    finally:
+        service.attach_load_stats(None)
+    return stats.total, answers
+
+
+class TestRouteChoice:
+    def test_stable_and_in_range(self):
+        picks = [route_choice("cpu", f"req-{i}", 5) for i in range(100)]
+        assert all(0 <= p < 5 for p in picks)
+        assert picks == [route_choice("cpu", f"req-{i}", 5) for i in range(100)]
+
+    def test_spreads_over_requesters(self):
+        assert len({route_choice("cpu", f"req-{i}", 5) for i in range(100)}) == 5
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            route_choice("cpu", "req", 0)
+
+
+class TestSaltPlan:
+    def test_salted_names(self):
+        assert SaltPlan(salts=3).salted_names("cpu") == ("cpu#s0", "cpu#s1", "cpu#s2")
+
+    def test_applies_to_all_by_default(self):
+        assert SaltPlan().applies_to("anything")
+
+    def test_restricted_scope(self):
+        plan = SaltPlan(salts=2, attributes=["cpu"])
+        assert plan.applies_to("cpu")
+        assert not plan.applies_to("mem")
+
+    def test_choose_within_fanout(self):
+        plan = SaltPlan(salts=4)
+        assert all(0 <= plan.choose("cpu", f"r{i}") < 4 for i in range(50))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaltPlan(salts=0)
+
+    def test_describe(self):
+        assert "S=4" in SaltPlan(salts=4).describe()
+
+
+class TestSaltedService:
+    def test_lorm_rejects_salting(self, workload):
+        with pytest.raises(ValueError):
+            build_service(CONFIG, "LORM", workload=workload, salting=SaltPlan())
+
+    def test_store_keys_are_distinct_salted_roots(self, salted):
+        attribute = salted.schema.specs[0].name
+        keys = salted.attr_store_keys(attribute)
+        assert len(keys) == 3
+        assert len(set(keys)) == 3
+        assert salted.attr_key(attribute) not in keys
+
+    def test_every_salted_root_holds_the_full_directory(self, salted):
+        attribute = salted.schema.specs[0].name
+        for key in salted.attr_store_keys(attribute):
+            holder = salted.ring.successor_of(key)
+            assert len(holder.items_at(_NAMESPACE, key)) == CONFIG.infos_per_attribute
+
+    def test_answers_match_unsalted(self, base, salted, workload):
+        for i, q in enumerate(workload.query_stream(15, 2, label="salt-transparency")):
+            assert salted.multi_query(q).providers == base.multi_query(q).providers, i
+
+    def test_salting_spreads_serve_load(self, base, salted):
+        attribute = base.schema.specs[0].name
+        base_load, base_answers = _hammer(base, attribute, 30)
+        salt_load, salt_answers = _hammer(salted, attribute, 30)
+        assert salt_answers == base_answers
+        # Unmitigated: one root serves everything.  Salted: three roots
+        # split the same 30 queries, so the hottest node serves less.
+        assert len(base_load.serves) == 1
+        assert len(salt_load.serves) == 3
+        assert max(salt_load.serves.values()) < max(base_load.serves.values())
+
+
+class TestDynamicReplicator:
+    @pytest.fixture()
+    def service(self, workload):
+        # Function-scoped: replicator state must not leak across tests.
+        return build_service(CONFIG, "SWORD", workload=workload)
+
+    def _replicate(self, service, attribute, queries=30):
+        replicator = DynamicReplicator(
+            service, _NAMESPACE, trigger_ratio=2.0, max_replicas=2, decay_windows=1
+        )
+        service.attach_hot_replicator(replicator)
+        window, answers = _hammer(service, attribute, queries)
+        hot = replicator.observe(window, service.num_nodes())
+        report = replicator.tick(MaintenanceBudget(0, 0, 10_000))
+        return replicator, hot, report, answers
+
+    def test_hot_attribute_detected_and_replicated(self, service):
+        attribute = service.schema.specs[0].name
+        replicator, hot, report, _ = self._replicate(service, attribute)
+        assert hot == {attribute}
+        assert report["created"] == 1
+        assert report["copies"] == 2 * CONFIG.infos_per_attribute
+        assert len(replicator.holders(attribute)) == 2
+
+    def test_copies_charged_to_maintenance(self, service):
+        attribute = service.schema.specs[0].name
+        before = service.ring.network.stats.maintenance_messages
+        self._replicate(service, attribute)
+        assert service.ring.network.stats.maintenance_messages >= before + 24
+
+    def test_replicated_reads_spread_and_stay_transparent(self, service):
+        attribute = service.schema.specs[0].name
+        replicator, _, _, before = self._replicate(service, attribute)
+        load, after = _hammer(service, attribute, 30)
+        assert after == before
+        assert len(load.serves) == 3  # native root + 2 replicas
+        targets = {replicator.route_for(attribute, f"req-{i:04d}") for i in range(30)}
+        assert None in targets and len(targets) == 3
+
+    def test_on_register_mirrors_to_replicas(self, service, workload):
+        attribute = service.schema.specs[0].name
+        replicator, _, _, _ = self._replicate(service, attribute)
+        info = ResourceInfo(attribute, 1.0, "fresh-provider")
+        service.register(info, routed=False)
+        key = service.attr_key(attribute)
+        for node_id in replicator.holders(attribute):
+            items = service.ring.node(node_id).items_at(replicator.replica_namespace, key)
+            assert any(item.provider == "fresh-provider" for item in items)
+
+    def test_cold_windows_decay_replicas(self, service):
+        attribute = service.schema.specs[0].name
+        replicator, _, _, _ = self._replicate(service, attribute)
+        stats = LoadStats()
+        replicator.observe(stats.take_window(), service.num_nodes())  # cold window
+        report = replicator.tick(MaintenanceBudget(0, 0, 10_000))
+        assert report["dropped"] == 1
+        assert replicator.holders(attribute) == []
+        key = service.attr_key(attribute)
+        for node in service.ring.nodes():
+            assert not node.items_at(replicator.replica_namespace, key)
+
+    def test_detach_clears_replicas(self, service):
+        attribute = service.schema.specs[0].name
+        replicator, _, _, _ = self._replicate(service, attribute)
+        assert replicator.holders(attribute)
+        service.attach_hot_replicator(None)
+        assert replicator.holders(attribute) == []
+        assert service.hot_replicator is None
+
+    def test_validation(self, service):
+        with pytest.raises(ValueError):
+            DynamicReplicator(service, _NAMESPACE, trigger_ratio=1.0)
+        with pytest.raises(ValueError):
+            DynamicReplicator(service, _NAMESPACE, max_replicas=0)
+        with pytest.raises(ValueError):
+            DynamicReplicator(service, _NAMESPACE, decay_windows=0)
+
+    def test_describe(self, service):
+        replicator = DynamicReplicator(service, _NAMESPACE)
+        assert "dynamic" in replicator.describe()

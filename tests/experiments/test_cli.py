@@ -61,9 +61,15 @@ class TestParser:
         assert args.queries == 12
         assert args.churn_events == 8
 
-    def test_check_rejects_unknown_system(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["check", "--systems", "Pastry"])
+    def test_check_rejects_unknown_system(self, capsys):
+        # Validation happens against the system registry in main() so the
+        # error can name the valid choices (argparse choices= could not).
+        with pytest.raises(SystemExit) as exc:
+            main(["check", "--systems", "Pastry"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "Pastry" in err
+        assert "LORM, Mercury, SWORD, MAAN" in err
 
     def test_chaos_command_defaults(self):
         args = build_parser().parse_args(["chaos"])

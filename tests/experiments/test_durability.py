@@ -103,9 +103,13 @@ class TestDurabilityCli:
         assert args.systems == ["LORM"]
         assert args.scenarios == ["demo"]
 
-    def test_parser_rejects_unknown_system(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["durability", "--systems", "Pastry"])
+    def test_parser_rejects_unknown_system(self, capsys):
+        # Unknown systems exit 2 via the registry in main(), with the
+        # valid choices spelled out (not an argparse choices= list).
+        with pytest.raises(SystemExit) as exc:
+            main(["durability", "--systems", "Pastry"])
+        assert exc.value.code == 2
+        assert "LORM, Mercury, SWORD, MAAN" in capsys.readouterr().err
 
     def test_main_smoke_single_cell(self, capsys, tmp_path):
         code = main([
@@ -118,9 +122,13 @@ class TestDurabilityCli:
         assert "replication:2" in out
         assert (tmp_path / "durability.csv").exists()
 
-    def test_main_rejects_bad_policy_spec(self):
-        with pytest.raises(ValueError):
+    def test_main_rejects_bad_policy_spec(self, capsys):
+        # A bad spec used to escape as a ValueError traceback; it is now
+        # a clean usage error (exit 2) naming the offending spec.
+        with pytest.raises(SystemExit) as exc:
             main(["durability", "--policies", "bogus:9"])
+        assert exc.value.code == 2
+        assert "bogus" in capsys.readouterr().err
 
 
 class TestPolicyParsingForCli:

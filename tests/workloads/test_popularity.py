@@ -1,0 +1,196 @@
+"""Tests for skewed-popularity models and query-stream determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.attributes import AttributeSchema
+from repro.workloads.generator import GridWorkload, QueryKind
+from repro.workloads.popularity import (
+    VALUE_CELLS,
+    FlashCrowdPopularity,
+    UniformPopularity,
+    ZipfPopularity,
+    stable_seed,
+    zipf_weights,
+)
+
+
+def _workload(popularity=None, seed=7, num_attributes=12):
+    return GridWorkload(
+        schema=AttributeSchema.synthetic(num_attributes),
+        infos_per_attribute=20,
+        seed=seed,
+        popularity=popularity,
+    )
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1, 2.5) == stable_seed("a", 1, 2.5)
+
+    def test_sensitive_to_every_part(self):
+        base = stable_seed("a", 1)
+        assert stable_seed("b", 1) != base
+        assert stable_seed("a", 2) != base
+        assert stable_seed("a", 1, 0) != base
+
+    def test_in_numpy_seed_range(self):
+        for parts in (("x",), ("y", 10**9), (1.5, "z", -3)):
+            assert 0 <= stable_seed(*parts) < (1 << 63)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(50, 1.1).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(20, 0.9)
+        assert all(w[i] > w[i + 1] for i in range(19))
+
+    def test_s_zero_is_uniform(self):
+        w = zipf_weights(8, 0.0)
+        assert np.allclose(w, 1.0 / 8.0)
+
+    def test_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestZipfPopularity:
+    def test_s_zero_degenerates_to_uniform(self):
+        assert ZipfPopularity(s=0.0).attribute_weights(10, 0) is None
+
+    def test_hottest_rank_gets_max_weight(self):
+        model = ZipfPopularity(s=1.1, seed=3)
+        weights = model.attribute_weights(10, 0)
+        assert int(np.argmax(weights)) == model.hot_attributes(10)[0]
+
+    def test_rank_order_is_seeded(self):
+        a = ZipfPopularity(s=1.1, seed=3).rank_order(20)
+        b = ZipfPopularity(s=1.1, seed=3).rank_order(20)
+        c = ZipfPopularity(s=1.1, seed=4).rank_order(20)
+        assert list(a) == list(b)
+        assert list(a) != list(c)
+
+    def test_value_quantile_disabled_by_default(self):
+        rng = np.random.default_rng(0)
+        assert ZipfPopularity(s=1.1).value_quantile(rng, 0) is None
+
+    def test_value_quantile_in_unit_interval(self):
+        model = ZipfPopularity(s=1.1, value_s=1.0, seed=5)
+        rng = np.random.default_rng(0)
+        for i in range(50):
+            q = model.value_quantile(rng, i)
+            assert 0.0 <= q < 1.0
+
+    def test_value_quantiles_concentrate_when_skewed(self):
+        model = ZipfPopularity(s=0.0, value_s=2.0, seed=5)
+        rng = np.random.default_rng(0)
+        cells = [int(model.value_quantile(rng, i) * VALUE_CELLS) for i in range(400)]
+        top = max(cells.count(c) for c in set(cells))
+        assert top > 400 / VALUE_CELLS * 2
+
+    def test_rejects_negative_exponents(self):
+        with pytest.raises(ValueError):
+            ZipfPopularity(s=-0.5)
+        with pytest.raises(ValueError):
+            ZipfPopularity(value_s=-0.5)
+
+
+class TestStreamDeterminism:
+    def test_same_seed_same_stream(self):
+        a = list(_workload(ZipfPopularity(s=1.1, seed=7)).query_stream(25, 2))
+        b = list(_workload(ZipfPopularity(s=1.1, seed=7)).query_stream(25, 2))
+        assert a == b
+
+    def test_different_zipf_s_different_stream(self):
+        a = list(_workload(ZipfPopularity(s=0.5, seed=7)).query_stream(25, 2))
+        b = list(_workload(ZipfPopularity(s=1.5, seed=7)).query_stream(25, 2))
+        assert a != b
+
+    def test_sharded_stream_matches_serial(self):
+        wl = _workload(ZipfPopularity(s=1.1, seed=7))
+        serial = list(wl.query_stream(30, 2, QueryKind.RANGE, label="shard"))
+        first = list(wl.query_stream(12, 2, QueryKind.RANGE, label="shard"))
+        rest = list(wl.query_stream(18, 2, QueryKind.RANGE, label="shard", start=12))
+        assert serial == first + rest
+
+    def test_uniform_path_rejects_sharding(self):
+        with pytest.raises(ValueError):
+            list(_workload(None).query_stream(5, 2, start=3))
+
+    def test_skew_concentrates_attributes(self):
+        uniform = list(_workload(None, num_attributes=16).query_stream(150, 1))
+        skewed = list(
+            _workload(ZipfPopularity(s=1.5, seed=7), num_attributes=16).query_stream(150, 1)
+        )
+
+        def top_count(queries):
+            names = [q.constraints[0].attribute for q in queries]
+            return max(names.count(n) for n in set(names))
+
+        assert top_count(skewed) > top_count(uniform)
+
+
+class TestFlashCrowd:
+    def test_crowd_window_targets_one_attribute(self):
+        model = FlashCrowdPopularity(onset=10, duration=15, crowd_share=1.0, seed=3)
+        wl = _workload(model)
+        queries = list(wl.query_stream(40, 1, QueryKind.RANGE, label="crowd"))
+        inside = {q.constraints[0].attribute for q in queries[10:25]}
+        outside = {q.constraints[0].attribute for q in queries[:10] + queries[25:]}
+        assert len(inside) == 1
+        assert len(outside) > 1
+
+    def test_onset_survives_sharding(self):
+        model = FlashCrowdPopularity(onset=8, duration=10, crowd_share=1.0, seed=3)
+        wl = _workload(model)
+        serial = list(wl.query_stream(30, 1, QueryKind.RANGE, label="crowd"))
+        sharded = list(wl.query_stream(7, 1, QueryKind.RANGE, label="crowd")) + list(
+            wl.query_stream(23, 1, QueryKind.RANGE, label="crowd", start=7)
+        )
+        assert serial == sharded
+
+    def test_in_window(self):
+        model = FlashCrowdPopularity(onset=5, duration=3)
+        assert not model.in_window(4)
+        assert model.in_window(5)
+        assert model.in_window(7)
+        assert not model.in_window(8)
+
+    def test_zipf_base_applies_outside_window(self):
+        base = ZipfPopularity(s=1.1, seed=3)
+        model = FlashCrowdPopularity(base=base, onset=0, duration=0, seed=3)
+        rng_a = np.random.default_rng(11)
+        rng_b = np.random.default_rng(11)
+        chosen = model.choose_attributes(rng_a, 12, 2, index=4)
+        expected = base.choose_attributes(rng_b, 12, 2, index=4)
+        assert list(chosen) == list(expected)
+
+    def test_hot_set_prefers_zipf_ranks(self):
+        base = ZipfPopularity(s=1.1, seed=3)
+        model = FlashCrowdPopularity(
+            base=base, onset=0, duration=10, crowd_share=1.0, hot_attributes=2, seed=3
+        )
+        rng = np.random.default_rng(0)
+        chosen = set(int(i) for i in model.choose_attributes(rng, 12, 2, index=0))
+        assert chosen == set(base.hot_attributes(12, 2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowdPopularity(onset=-1)
+        with pytest.raises(ValueError):
+            FlashCrowdPopularity(crowd_share=1.5)
+        with pytest.raises(ValueError):
+            FlashCrowdPopularity(hot_attributes=0)
+
+
+class TestDescriptions:
+    def test_describe_strings(self):
+        assert UniformPopularity().describe() == "uniform"
+        assert "zipf" in ZipfPopularity(s=1.1).describe()
+        assert "value-zipf" in ZipfPopularity(s=1.1, value_s=0.8).describe()
+        described = FlashCrowdPopularity(onset=5, duration=9).describe()
+        assert "flash-crowd" in described and "uniform" in described
