@@ -409,10 +409,16 @@ class ChordBackedService(DiscoveryService):
         seed: int = 0,
         replication: int = 1,
         durability: Any | None = None,
+        ring_factory: Any | None = None,
         **kwargs: Any,
     ) -> "ChordBackedService":
-        """A service over a fully populated ``2**bits``-node ring."""
-        ring = ChordRing(bits, replication=replication, durability=durability)
+        """A service over a fully populated ``2**bits``-node ring.
+
+        ``ring_factory`` selects the routing tier (plain Chord by
+        default; single-hop and ReCord substrates plug in here).
+        """
+        make = ring_factory if ring_factory is not None else ChordRing
+        ring = make(bits, replication=replication, durability=durability)
         ring.build_full()
         return cls(ring, schema, seed=seed, **kwargs)
 
@@ -426,11 +432,13 @@ class ChordBackedService(DiscoveryService):
         seed: int = 0,
         replication: int = 1,
         durability: Any | None = None,
+        ring_factory: Any | None = None,
         **kwargs: Any,
     ) -> "ChordBackedService":
         """A service over ``num_nodes`` uniformly placed ring nodes."""
         rng = SeedFactory(seed).numpy(f"{cls.name}-membership")
-        ring = ChordRing(bits, replication=replication, durability=durability)
+        make = ring_factory if ring_factory is not None else ChordRing
+        ring = make(bits, replication=replication, durability=durability)
         ids = rng.choice(ring.space.size, size=min(num_nodes, ring.space.size), replace=False)
         ring.build(int(i) for i in ids)
         return cls(ring, schema, seed=seed, **kwargs)

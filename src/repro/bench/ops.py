@@ -137,6 +137,62 @@ def _chord_ops(config: ExperimentConfig, seeds: SeedFactory) -> list[BenchOp]:
     ]
 
 
+def _routing_tier_ops(config: ExperimentConfig, seeds: SeedFactory) -> list[BenchOp]:
+    """Micro-ops over the single-hop and ReCord routing tiers.
+
+    ``singlehop.lookup`` times the believed-owner jump on a fully
+    disseminated membership table, ``singlehop.stabilize`` a full
+    dissemination sweep with a standing backlog (one join + one leave per
+    iteration, so every repeat flushes the same pending set), and
+    ``record.lookup`` the sampled-finger greedy routing at fan-out 4.
+    """
+    from repro.overlay.record import ReCordOverlay
+    from repro.overlay.singlehop import SingleHopRing
+
+    size = 1 << config.chord_bits
+    rng = seeds.numpy("tier-inputs")
+    ids = sorted(int(i) for i in rng.choice(size, size=config.population, replace=False))
+
+    single = SingleHopRing(config.chord_bits)
+    single.build(ids)
+    record = ReCordOverlay(config.chord_bits, fanout=4, seed=config.seed)
+    record.build(ids)
+    keys = [int(k) for k in rng.integers(size, size=4096)]
+    starts = [int(ids[int(i)]) for i in rng.integers(len(ids), size=512)]
+    joiner = next(i for i in range(size) if i not in single._nodes)
+
+    def run_single_lookup(iterations: int) -> int:
+        acc = 0
+        nkeys, nstarts = len(keys), len(starts)
+        for i in range(iterations):
+            result = single.lookup(single.node(starts[i % nstarts]), keys[i % nkeys])
+            acc += result.owner.node_id + result.hops
+        return _mask(acc)
+
+    def run_record_lookup(iterations: int) -> int:
+        acc = 0
+        nkeys, nstarts = len(keys), len(starts)
+        for i in range(iterations):
+            result = record.lookup(record.node(starts[i % nstarts]), keys[i % nkeys])
+            acc += result.owner.node_id + result.hops
+        return _mask(acc)
+
+    def run_single_stabilize(iterations: int) -> int:
+        acc = 0
+        for _ in range(iterations):
+            single.join(joiner)
+            single.leave(joiner)
+            acc += single.pending_events()
+            single.stabilize_all()
+        return _mask(acc + single.pending_events())
+
+    return [
+        BenchOp(name="singlehop.lookup", kind="micro", iterations=3000, run=run_single_lookup),
+        BenchOp(name="record.lookup", kind="micro", iterations=1500, run=run_record_lookup),
+        BenchOp(name="singlehop.stabilize", kind="micro", iterations=3, repeats=3, run=run_single_stabilize),
+    ]
+
+
 def _cycloid_ops(config: ExperimentConfig, seeds: SeedFactory) -> list[BenchOp]:
     overlay = CycloidOverlay(config.dimension)
     overlay.build_full()
@@ -426,6 +482,7 @@ def build_ops(config: ExperimentConfig, profile: str = "all") -> list[BenchOp]:
     ops = [_calibration_op()]
     if profile in ("micro", "all"):
         ops.extend(_chord_ops(config, seeds))
+        ops.extend(_routing_tier_ops(config, seeds))
         ops.extend(_cycloid_ops(config, seeds))
         ops.extend(_arraystore_ops(config, seeds))
         ops.extend(_latency_ops(seeds))

@@ -16,6 +16,9 @@ Examples
     repro tail --smoke --seed 0
     repro hotspot --smoke --seed 0
     repro hotspot --systems SWORD --zipf-s 0 1.1 --out results/
+    repro tradeoff --smoke --seed 0
+    repro tradeoff --overlays singlehop record:f4 --out results/
+    repro trace --system maan --overlay singlehop --format jsonl
     repro check --systems all --seed 0
     repro bench --smoke --seed 0
     repro bench compare benchmarks/baseline.json BENCH_20260805T120000Z.json
@@ -178,6 +181,57 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="salted roots per attribute (S) for the salt mitigation",
+    )
+
+    tradeoff_p = sub.add_parser(
+        "tradeoff",
+        help="lookup-vs-maintenance sweep across routing tiers (chord / "
+        "record:f<N> randomized-Chord / singlehop full-membership) x "
+        "maintenance budget (zero/default/unlimited), common random "
+        "numbers; exits non-zero unless single-hop means <= 1.05 hops at "
+        "unlimited budget (trace-oracle verified) and ReCord hops are "
+        "monotone in the fan-out",
+    )
+    _add_common(tradeoff_p)
+    tradeoff_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="alias for --scale smoke (deterministic CI entry point)",
+    )
+    tradeoff_p.add_argument(
+        "--systems",
+        nargs="+",
+        default=None,
+        metavar="SYSTEM",
+        help="systems to sweep (default: LORM Mercury SWORD MAAN)",
+    )
+    tradeoff_p.add_argument(
+        "--overlays",
+        nargs="+",
+        default=None,
+        metavar="POINT",
+        help="overlay points to sweep: chord, record:f<N>, singlehop "
+        "(default: all configured points)",
+    )
+    tradeoff_p.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="measured point queries per overlay x budget cell",
+    )
+    tradeoff_p.add_argument(
+        "--churn-events",
+        type=int,
+        default=None,
+        help="churn events (leave/join alternating) per cell",
+    )
+    tradeoff_p.add_argument(
+        "--fanouts",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="H",
+        help="ReCord per-level fan-outs to sweep (e.g. --fanouts 1 4 16)",
     )
 
     tail_p = sub.add_parser(
@@ -348,6 +402,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="which discovery system to trace",
     )
     trace_p.add_argument(
+        "--overlay",
+        default=None,
+        metavar="OVERLAY",
+        help="routing substrate: chord, cycloid (LORM only), singlehop, "
+        "record (default: the system's native substrate)",
+    )
+    trace_p.add_argument(
+        "--fanout",
+        type=int,
+        default=2,
+        help="ReCord per-level finger fan-out (--overlay record only)",
+    )
+    trace_p.add_argument(
         "--seed", type=int, default=0, help="replay seed (default: 0)"
     )
     trace_p.add_argument(
@@ -475,6 +542,17 @@ def _resolve_systems_arg(parser: argparse.ArgumentParser, names):
         parser.error(str(exc))
 
 
+def _resolve_overlay_arg(parser: argparse.ArgumentParser, name):
+    """Canonical overlay name, or a clean ``parser.error`` (exit 2, valid
+    choices listed) — the ``--systems`` contract, for ``--overlay``."""
+    from repro.experiments.common import resolve_overlay
+
+    try:
+        return resolve_overlay(name)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -582,6 +660,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.obs.replay import replay_queries
         from repro.workloads.generator import QueryKind
 
+        overlay = (
+            _resolve_overlay_arg(parser, args.overlay)
+            if args.overlay is not None else None
+        )
         started = time.perf_counter()
         _, traces = replay_queries(
             args.system,
@@ -590,6 +672,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             num_attributes=args.attributes,
             kind=QueryKind(args.kind),
             loss=args.loss,
+            overlay=overlay,
+            fanout=args.fanout,
         )
         if args.format == "jsonl":
             text = traces_to_jsonl(traces)
@@ -685,6 +769,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(result.render())
         elapsed = time.perf_counter() - started
         verdict = "BALANCED" if result.ok else "GATE MISS"
+        print(
+            f"[{args.scale} scale, seed {config.seed}] {verdict} in {elapsed:.1f}s",
+            file=sys.stderr,
+        )
+        if args.out:
+            result.save(args.out)
+            print(f"results written to {args.out}/", file=sys.stderr)
+        return 0 if result.ok else 1
+
+    if args.command == "tradeoff":
+        from repro.experiments.tradeoff import run_tradeoff
+
+        if args.smoke:
+            args.scale = "smoke"
+        config = _config_from(args)
+        overrides = {}
+        if args.queries is not None:
+            overrides["tradeoff_queries"] = args.queries
+        if args.churn_events is not None:
+            overrides["tradeoff_churn_events"] = args.churn_events
+        if args.fanouts is not None:
+            overrides["tradeoff_fanouts"] = tuple(args.fanouts)
+        if overrides:
+            config = config.scaled(**overrides)
+        systems = (
+            _resolve_systems_arg(parser, args.systems)
+            if args.systems is not None else None
+        )
+        started = time.perf_counter()
+        try:
+            result = run_tradeoff(
+                config,
+                systems=systems,
+                overlays=tuple(args.overlays) if args.overlays else None,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        print(result.render())
+        elapsed = time.perf_counter() - started
+        verdict = "CURVE OK" if result.ok else "GATE MISS"
         print(
             f"[{args.scale} scale, seed {config.seed}] {verdict} in {elapsed:.1f}s",
             file=sys.stderr,

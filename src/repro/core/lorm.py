@@ -42,6 +42,15 @@ _NAMESPACE = "lorm"
 class LormService(DiscoveryService):
     """LORM resource discovery on a Cycloid overlay.
 
+    LORM also runs in a *flat* mode over any Chord-family ring substrate
+    (plain Chord, single-hop, ReCord): the two-level resource ID
+    ``(ℋ(value), H(attribute))`` is linearized onto the ring exactly the
+    way Cycloid linearizes it (``cluster * d + cyclic``), so each
+    attribute owns a contiguous ID arc and range queries become successor
+    walks over that arc.  The mode is selected automatically from the
+    substrate (anything without ``walk_cluster``); placement, oracle
+    exactness and the per-cluster visit bound carry over unchanged.
+
     Examples
     --------
     >>> from repro.workloads.attributes import AttributeSchema
@@ -65,8 +74,18 @@ class LormService(DiscoveryService):
         seed: int = 0,
         lph_kind: str = "cdf",
         attr_placement: str = "spread",
+        dimension: int | None = None,
     ) -> None:
         self.overlay = overlay
+        #: Flat mode: the substrate is a Chord-family ring, not Cycloid —
+        #: resource IDs are linearized onto the ring (see class docstring).
+        self._flat = not hasattr(overlay, "walk_cluster")
+        if self._flat:
+            if dimension is None:
+                raise ValueError("flat-substrate LORM needs an explicit dimension")
+            self.dimension = dimension
+        else:
+            self.dimension = overlay.dimension
         self.schema = schema
         self.lph_kind = lph_kind
         #: See ChordBackedService.collect_matches — same accounting-only mode.
@@ -76,7 +95,7 @@ class LormService(DiscoveryService):
         self._rng: np.random.Generator = self._seeds.numpy("queries")
         self._churn_rng: np.random.Generator = self._seeds.numpy("churn")
         #: H — consistent hash of attribute names onto the 2**d clusters.
-        self.attr_hash = ConsistentHash(bits=overlay.dimension)
+        self.attr_hash = ConsistentHash(bits=self.dimension)
         #: "spread" assigns each attribute its own cluster (the paper's
         #: "each cluster is responsible for one attribute" model; requires
         #: m <= 2**d); "hash" is plain consistent hashing with collisions.
@@ -101,6 +120,41 @@ class LormService(DiscoveryService):
         overlay.build_full()
         return cls(overlay, schema, seed=seed, **kwargs)
 
+    @classmethod
+    def build_flat(
+        cls,
+        dimension: int,
+        schema: AttributeSchema,
+        *,
+        seed: int = 0,
+        replication: int = 1,
+        durability: Any | None = None,
+        ring_factory: Any | None = None,
+        population: int | None = None,
+        **kwargs: Any,
+    ) -> "LormService":
+        """LORM over a flat ring substrate at the Cycloid population.
+
+        The ring is just wide enough to host the ``d * 2**d`` linearized
+        resource IDs; ``ring_factory`` picks the routing tier (defaults to
+        plain :class:`~repro.overlay.chord.ChordRing`) and membership is
+        sampled from the same seeded stream Chord-backed services use.
+        """
+        from repro.overlay.chord import ChordRing
+
+        capacity = dimension * (1 << dimension)
+        bits = max(2, (capacity - 1).bit_length())
+        make = ring_factory if ring_factory is not None else ChordRing
+        ring = make(bits, replication=replication, durability=durability)
+        population = capacity if population is None else population
+        if population >= ring.space.size:
+            ring.build_full()
+        else:
+            rng = SeedFactory(seed).numpy(f"{cls.name}-membership")
+            ids = rng.choice(ring.space.size, size=population, replace=False)
+            ring.build(int(i) for i in ids)
+        return cls(ring, schema, seed=seed, dimension=dimension, **kwargs)
+
     # ------------------------------------------------------------------
     # ID mapping
     # ------------------------------------------------------------------
@@ -109,7 +163,7 @@ class LormService(DiscoveryService):
         vh = self._value_hashes.get(attribute)
         if vh is None:
             vh = self.schema.spec(attribute).value_hash(
-                size=self.overlay.dimension, kind=self.lph_kind
+                size=self.dimension, kind=self.lph_kind
             )
             self._value_hashes[attribute] = vh
         return vh
@@ -132,12 +186,26 @@ class LormService(DiscoveryService):
         """``rescID = (ℋ(value), H(attribute))`` (Section III)."""
         return CycloidId(self.value_hash(attribute)(value), self.attr_key(attribute))
 
+    def _store_key(self, attribute: str, value: float) -> Any:
+        """The substrate-native storage key for ``(attribute, value)``.
+
+        Native Cycloid uses the two-level rescID; a flat ring gets the
+        same ID linearized the way Cycloid itself would
+        (``cluster * d + cyclic``), so each attribute owns a contiguous
+        arc of ``d`` ring IDs.
+        """
+        cyclic = self.value_hash(attribute)(value)
+        cluster = self.attr_key(attribute)
+        if self._flat:
+            return cluster * self.dimension + cyclic
+        return CycloidId(cyclic, cluster)
+
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
     def _register_impl(self, info: ResourceInfo, *, routed: bool = True) -> int:
         """``Insert(rescID, rescInfo)`` — one Cycloid insertion."""
-        key = self.resc_id(info.attribute, info.value)
+        key = self._store_key(info.attribute, info.value)
         if not routed:
             self.overlay.store(_NAMESPACE, key, info)
             return 0
@@ -147,7 +215,7 @@ class LormService(DiscoveryService):
 
     def deregister(self, info: ResourceInfo) -> int:
         """Withdraw the info from its rescID root (and replicas)."""
-        key = self.resc_id(info.attribute, info.value)
+        key = self._store_key(info.attribute, info.value)
         return self.overlay.discard(_NAMESPACE, key, info)
 
     # ------------------------------------------------------------------
@@ -162,15 +230,18 @@ class LormService(DiscoveryService):
         cluster = self.attr_key(q.attribute)
 
         if not q.is_range:
-            key = CycloidId(vh(constraint.low), cluster)
+            if self._flat:
+                key = cluster * self.dimension + vh(constraint.low)
+                stored_at = key
+            else:
+                key = CycloidId(vh(constraint.low), cluster)
+                stored_at = self.overlay.linearize(key)
             lookup = self.overlay.lookup(start, key)
             if not lookup.complete:
                 return self._failed_result(lookup)
             matches = tuple(
                 info
-                for info in lookup.owner.items_at(
-                    _NAMESPACE, self.overlay.linearize(key)
-                )
+                for info in lookup.owner.items_at(_NAMESPACE, stored_at)
                 if info.attribute == q.attribute and constraint.matches(info.value)
             )
             self.overlay.network.count_directory_check(1)
@@ -185,10 +256,20 @@ class LormService(DiscoveryService):
 
         low, high = constraint.bounds_within(spec.lo, spec.hi)
         k1, k2 = vh.hash_range(low, high)
-        lookup = self.overlay.lookup(start, CycloidId(k1, cluster))
-        if not lookup.complete:
-            return self._failed_result(lookup)
-        walk = self.overlay.walk_cluster(lookup.owner, k1, k2)
+        if self._flat:
+            # The attribute's cyclic range is a contiguous ring arc under
+            # the linearized ID — a successor walk covers it completely.
+            key1 = cluster * self.dimension + k1
+            key2 = cluster * self.dimension + k2
+            lookup = self.overlay.lookup(start, key1)
+            if not lookup.complete:
+                return self._failed_result(lookup)
+            walk = self.overlay.walk_arc(lookup.owner, key1, key2)
+        else:
+            lookup = self.overlay.lookup(start, CycloidId(k1, cluster))
+            if not lookup.complete:
+                return self._failed_result(lookup)
+            walk = self.overlay.walk_cluster(lookup.owner, k1, k2)
         matches: tuple = ()
         if self.collect_matches:
             matches = tuple(
@@ -239,6 +320,9 @@ class LormService(DiscoveryService):
         return self.overlay.num_nodes
 
     def structural_hop_bound(self) -> int:
+        if self._flat:
+            # Chord-family substrate: the classic halving ceiling.
+            return self.overlay.bits + 1
         # Cycloid's lookup termination ceiling: the adaptive descend plus
         # the deterministic fallback sweep never exceed this on a live,
         # stabilized overlay.
@@ -246,8 +330,9 @@ class LormService(DiscoveryService):
 
     def max_visited_per_subquery(self) -> int:
         # A range walk stays inside one cluster (Proposition 3.1), and a
-        # cluster holds at most ``d`` nodes.
-        return self.overlay.dimension
+        # cluster holds at most ``d`` nodes; the linearized arc on a flat
+        # ring spans at most ``d`` IDs, so the same bound carries over.
+        return self.dimension
 
     def _resolve_start(self, start: CycloidNode | None) -> CycloidNode:
         return start if start is not None else self.random_node()

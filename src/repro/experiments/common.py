@@ -7,6 +7,7 @@ so construction lives here and each figure module only adds its sweep.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -15,6 +16,8 @@ from repro.baselines.mercury import MercuryService
 from repro.baselines.sword import SwordService
 from repro.core.lorm import LormService
 from repro.experiments.config import ExperimentConfig
+from repro.overlay.record import ReCordOverlay
+from repro.overlay.singlehop import SingleHopRing
 from repro.sim.invariants import install_churn_guards
 from repro.workloads.generator import GridWorkload
 
@@ -22,11 +25,14 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.sim.durability import DurabilityPolicy
 
 __all__ = [
+    "OVERLAY_NAMES",
     "SYSTEM_NAMES",
     "ServiceBundle",
     "build_service",
     "build_services",
     "build_workload",
+    "resolve_overlay",
+    "resolve_overlays",
     "resolve_system",
     "resolve_systems",
 ]
@@ -34,6 +40,11 @@ __all__ = [
 #: Canonical approach names, report order — the single system registry
 #: every CLI ``--system``/``--systems`` flag validates against.
 SYSTEM_NAMES = ("LORM", "Mercury", "SWORD", "MAAN")
+
+#: Overlay substrates a service can run on.  ``cycloid`` is LORM's native
+#: hierarchical overlay; the ring tiers (plain Chord, D1HT-style
+#: single-hop, randomized-Chord ReCord) host any of the four systems.
+OVERLAY_NAMES = ("chord", "cycloid", "singlehop", "record")
 
 _SYSTEM_CLASSES = {
     "LORM": LormService,
@@ -60,6 +71,43 @@ def resolve_system(name: str) -> str:
 def resolve_systems(names) -> tuple[str, ...]:
     """Canonical, de-duplicated system names (order of first mention)."""
     return tuple(dict.fromkeys(resolve_system(name) for name in names))
+
+
+def resolve_overlay(name: str) -> str:
+    """The canonical overlay name for ``name`` (case-insensitive).
+
+    Same contract as :func:`resolve_system`: raises ``ValueError`` naming
+    the valid choices so CLI flags exit 2 cleanly.
+    """
+    for known in OVERLAY_NAMES:
+        if known.lower() == name.lower():
+            return known
+    raise ValueError(
+        f"unknown overlay {name!r}; valid choices: {', '.join(OVERLAY_NAMES)}"
+    )
+
+
+def resolve_overlays(names) -> tuple[str, ...]:
+    """Canonical, de-duplicated overlay names (order of first mention)."""
+    return tuple(dict.fromkeys(resolve_overlay(name) for name in names))
+
+
+def ring_factory_for(overlay: str, *, fanout: int = 2, seed: int = 0):
+    """The ring constructor for a ring-tier overlay name.
+
+    Returns ``None`` for ``chord`` (callers fall back to the default
+    :class:`~repro.overlay.chord.ChordRing` path, byte-identical to not
+    specifying an overlay at all); raises for ``cycloid``, which is not a
+    flat ring.
+    """
+    overlay = resolve_overlay(overlay)
+    if overlay == "chord":
+        return None
+    if overlay == "singlehop":
+        return SingleHopRing
+    if overlay == "record":
+        return functools.partial(ReCordOverlay, fanout=fanout, seed=seed)
+    raise ValueError("overlay 'cycloid' is not a flat ring substrate")
 
 
 @dataclass
@@ -107,6 +155,8 @@ def build_service(
     workload: GridWorkload | None = None,
     register: bool = True,
     salting=None,
+    overlay: str | None = None,
+    fanout: int = 2,
 ):
     """One service at ``config`` scale, loaded with the workload.
 
@@ -115,22 +165,48 @@ def build_service(
     variants).  ``salting`` forwards a :class:`~repro.core.hotspot.
     SaltPlan` to Chord-backed services (LORM has no attribute-rooted
     single directory, so salting it is rejected).
+
+    ``overlay`` picks the routing substrate (see :data:`OVERLAY_NAMES`).
+    ``None`` keeps each system on its native substrate (Cycloid for LORM,
+    Chord for the rest) with byte-identical construction to earlier
+    releases; a ring-tier name runs the system on that ring (LORM
+    switches to its flat linearized mode).  ``fanout`` is ReCord's
+    per-level finger fan-out, ignored by the other overlays.
     """
     name = resolve_system(name)
     cls = _SYSTEM_CLASSES[name]
+    if overlay is not None:
+        overlay = resolve_overlay(overlay)
     if workload is None:
         workload = build_workload(config)
     schema = workload.schema
     if cls is LormService:
         if salting is not None:
             raise ValueError("key salting applies to Chord-backed services only")
-        service = LormService.build_full(
-            config.dimension, schema, seed=config.seed, lph_kind=config.lph_kind
-        )
+        if overlay in (None, "cycloid"):
+            service = LormService.build_full(
+                config.dimension, schema, seed=config.seed, lph_kind=config.lph_kind
+            )
+        else:
+            service = LormService.build_flat(
+                config.dimension, schema, seed=config.seed,
+                lph_kind=config.lph_kind,
+                ring_factory=ring_factory_for(overlay, fanout=fanout, seed=config.seed),
+                population=config.population,
+            )
     else:
+        if overlay == "cycloid":
+            raise ValueError(
+                f"overlay 'cycloid' is LORM-native; {name} runs on ring "
+                "substrates only (chord, singlehop, record)"
+            )
         kwargs = {"lph_kind": config.lph_kind}
         if salting is not None:
             kwargs["salting"] = salting
+        if overlay is not None and overlay != "chord":
+            kwargs["ring_factory"] = ring_factory_for(
+                overlay, fanout=fanout, seed=config.seed
+            )
         if config.population == (1 << config.chord_bits):
             service = cls.build_full(
                 config.chord_bits, schema, seed=config.seed, **kwargs
@@ -153,6 +229,8 @@ def build_services(
     seed_offset: int = 0,
     replication: int = 1,
     durability: "DurabilityPolicy | None" = None,
+    overlay: str | None = None,
+    fanout: int = 2,
 ) -> ServiceBundle:
     """Build all four services at ``config`` scale and load the workload.
 
@@ -175,23 +253,47 @@ def build_services(
     any violation raises
     :class:`~repro.sim.invariants.InvariantViolation` at the offending
     event instead of silently skewing the figures.
+
+    ``overlay``/``fanout`` pick the routing substrate exactly as in
+    :func:`build_service` — ``None`` keeps the native (Cycloid + Chord)
+    substrates byte-identical to earlier releases.
     """
     seed = config.seed + seed_offset
+    if overlay is not None:
+        overlay = resolve_overlay(overlay)
+    ring_factory = (
+        ring_factory_for(overlay, fanout=fanout, seed=seed)
+        if overlay not in (None, "cycloid")
+        else None
+    )
     workload = build_workload(config)
     schema = workload.schema
-    lorm = LormService.build_full(
-        config.dimension, schema, seed=seed, lph_kind=config.lph_kind,
-        replication=replication, durability=durability,
-    )
+    if overlay in (None, "cycloid"):
+        lorm = LormService.build_full(
+            config.dimension, schema, seed=seed, lph_kind=config.lph_kind,
+            replication=replication, durability=durability,
+        )
+    else:
+        lorm = LormService.build_flat(
+            config.dimension, schema, seed=seed, lph_kind=config.lph_kind,
+            replication=replication, durability=durability,
+            ring_factory=ring_factory, population=config.population,
+        )
 
     # The paper runs every DHT with the same population ("each DHT had 2048
     # nodes"); at paper scale the 11-bit ring is exactly full, otherwise the
     # ring is sparse with population n = d * 2**d.
     def chord_service(cls):
+        if overlay == "cycloid":
+            raise ValueError(
+                f"overlay 'cycloid' is LORM-native; {cls.name} runs on ring "
+                "substrates only (chord, singlehop, record)"
+            )
+        extra = {"ring_factory": ring_factory} if ring_factory is not None else {}
         if config.population == (1 << config.chord_bits):
             return cls.build_full(
                 config.chord_bits, schema, seed=seed, lph_kind=config.lph_kind,
-                replication=replication, durability=durability,
+                replication=replication, durability=durability, **extra,
             )
         return cls.build(
             config.chord_bits,
@@ -201,6 +303,7 @@ def build_services(
             lph_kind=config.lph_kind,
             replication=replication,
             durability=durability,
+            **extra,
         )
 
     mercury = chord_service(MercuryService)

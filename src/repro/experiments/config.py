@@ -134,6 +134,19 @@ class ExperimentConfig:
     #: Hotspot experiment: value-level Zipf exponent (0 = uniform values,
     #: the attribute-level sweep's default).
     hotspot_value_s: float = 0.0
+    #: Tradeoff experiment (``repro tradeoff``): measured multi-attribute
+    #: queries per overlay × budget cell.
+    tradeoff_queries: int = 200
+    #: Tradeoff experiment: churn events (leave/join alternating) applied
+    #: before the query phase of each cell, with one budgeted maintenance
+    #: round after every event.
+    tradeoff_churn_events: int = 40
+    #: Tradeoff experiment: ReCord per-level fan-outs swept (1 = exactly
+    #: deterministic Chord, larger = closer to a full table).
+    tradeoff_fanouts: tuple[int, ...] = (1, 4, 16)
+    #: Tradeoff experiment: maintenance budgets swept, by registry name
+    #: ("zero", "default", "unlimited").
+    tradeoff_budgets: tuple[str, ...] = ("zero", "default", "unlimited")
     #: Install :class:`~repro.sim.invariants.ChurnGuard` on every built
     #: service, validating overlay invariants and directory conservation
     #: after each churn event (the runner's ``--invariants`` flag).
@@ -224,4 +237,7 @@ SMOKE_CONFIG = ExperimentConfig(
     tail_queries=120,
     tail_warmup=24,
     hotspot_queries=480,
+    tradeoff_queries=60,
+    tradeoff_churn_events=16,
+    tradeoff_fanouts=(1, 4, 16),
 )

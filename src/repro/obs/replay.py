@@ -49,11 +49,17 @@ def build_traced_service(
     *,
     tracer: QueryTracer | None = None,
     replication: int = 1,
+    overlay: str | None = None,
+    fanout: int = 2,
 ) -> tuple:
     """Build one system, load the workload (unrouted), attach a tracer.
 
     Registration happens *before* the tracer attaches, so the returned
-    tracer holds query spans only.  Returns ``(service, workload, tracer)``.
+    tracer holds query spans only.  ``overlay``/``fanout`` select the
+    routing substrate exactly as in
+    :func:`repro.experiments.common.build_service` — ``None`` keeps the
+    system's native substrate, byte-identical to earlier releases.
+    Returns ``(service, workload, tracer)``.
     """
     slug = system.lower()
     require(slug in SYSTEMS, f"unknown system {system!r}; pick one of {sorted(SYSTEMS)}")
@@ -61,7 +67,18 @@ def build_traced_service(
     cls = SYSTEMS[slug]
     workload: GridWorkload = build_workload(config)
     schema = workload.schema
-    if cls is LormService:
+    if overlay is not None:
+        from repro.experiments.common import build_service
+
+        require(
+            replication == 1,
+            "overlay-substrate replay supports replication=1 only",
+        )
+        service = build_service(
+            config, cls.name, workload=workload, register=False,
+            overlay=overlay, fanout=fanout,
+        )
+    elif cls is LormService:
         service = cls.build_full(
             config.dimension, schema, seed=config.seed,
             lph_kind=config.lph_kind, replication=replication,
@@ -94,17 +111,20 @@ def replay_queries(
     config: ExperimentConfig | None = None,
     loss: float = 0.0,
     replication: int = 1,
+    overlay: str | None = None,
+    fanout: int = 2,
 ) -> tuple:
     """Replay a seeded multi-attribute query stream with tracing on.
 
     ``loss > 0`` arms a seeded :class:`~repro.sim.faults.FaultInjector`
     first, so the resulting spans carry drop/retry/timeout/failover
-    annotations.  Returns ``(service, traces)`` — one
+    annotations.  ``overlay``/``fanout`` pick the routing substrate
+    (``None`` = native).  Returns ``(service, traces)`` — one
     :class:`~repro.obs.spans.QueryTrace` per query, in stream order.
     """
     config = (config if config is not None else TRACE_CONFIG).scaled(seed=seed)
     service, workload, tracer = build_traced_service(
-        system, config, replication=replication
+        system, config, replication=replication, overlay=overlay, fanout=fanout
     )
     if loss:
         from repro.sim.faults import FaultInjector, FaultPlan

@@ -22,8 +22,11 @@ differential replay, a graceful-churn replay, and guarded churn storms
 deliberately duplicated piece so multiplicity handling is exercised) —
 one under the default successor replication, then one per non-default
 durability policy (symmetric placement and a (2, 1) erasure code), so
-placement and census validation covers every policy kind.  Any
-divergence makes the report ``not ok`` and the CLI exit non-zero.
+placement and census validation covers every policy kind.  The same
+fault-free replay + guarded storm then repeats per alternative routing
+tier (single-hop and ReCord), so the new overlays get the identical
+oracle-exact replay guarantees as Chord/Cycloid.  Any divergence makes
+the report ``not ok`` and the CLI exit non-zero.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ from repro.workloads.generator import QueryKind
 __all__ = [
     "ALL_SYSTEMS",
     "CHECK_CONFIG",
+    "OVERLAY_LEGS",
     "CheckReport",
     "DifferentialReport",
     "Divergence",
@@ -74,6 +78,10 @@ MEAN_HOPS_SLACK = 2.0
 
 _GRACEFUL_OPS = ("leave", "join", "stabilize")
 _ALL_OPS = ("leave", "join", "fail", "stabilize")
+
+#: Alternative routing tiers ``run_check`` re-validates end to end
+#: (fault-free oracle replay + guarded churn storm per tier).
+OVERLAY_LEGS = ("singlehop", "record")
 
 
 @dataclass(frozen=True)
@@ -107,6 +115,7 @@ class DifferentialReport:
     num_queries: int
     churn_ops: tuple[str, ...]
     replication: int
+    overlay: str | None = None
     divergences: list[Divergence] = field(default_factory=list)
     stats: dict[str, _SystemStats] = field(default_factory=dict)
 
@@ -115,10 +124,11 @@ class DifferentialReport:
         return not self.divergences
 
     def render(self) -> str:
+        substrate = f", overlay {self.overlay}" if self.overlay else ""
         lines = [
             f"differential replay: {self.num_queries} queries x "
             f"{len(self.systems)} systems, {len(self.churn_ops)} churn ops, "
-            f"replication {self.replication}"
+            f"replication {self.replication}{substrate}"
         ]
         for name in self.systems:
             st = self.stats.get(name, _SystemStats())
@@ -178,6 +188,7 @@ def run_differential(
     expect: str = "exact",
     guard: bool = True,
     label: str = "differential",
+    overlay: str | None = None,
 ) -> DifferentialReport:
     """Replay one seeded workload through ``systems`` against the oracle.
 
@@ -187,14 +198,17 @@ def run_differential(
     equal the oracle set — correct for fault-free runs and graceful churn;
     ``expect='subset'`` (for runs including crashes) only forbids spurious
     providers.  With ``guard=True`` every churn event is validated by a
-    :class:`~repro.sim.invariants.ChurnGuard`.
+    :class:`~repro.sim.invariants.ChurnGuard`.  ``overlay`` runs every
+    system on an alternative routing tier (``None`` = native substrates).
     """
     if expect not in ("exact", "subset"):
         raise ValueError(f"expect must be 'exact' or 'subset', got {expect!r}")
     config = config if config is not None else CHECK_CONFIG
     if seed is not None:
         config = config.scaled(seed=seed)
-    bundle: ServiceBundle = build_services(config, replication=replication)
+    bundle: ServiceBundle = build_services(
+        config, replication=replication, overlay=overlay
+    )
     services = [bundle.by_name(name) for name in systems]
     if guard:
         for service in services:
@@ -205,6 +219,7 @@ def run_differential(
         num_queries=num_queries,
         churn_ops=tuple(churn_ops),
         replication=replication,
+        overlay=overlay,
         stats={name: _SystemStats() for name in systems},
     )
     dead: set[str] = set()
@@ -326,6 +341,7 @@ def _churn_storm(
     num_events: int,
     seed: int,
     durability=None,
+    overlay: str | None = None,
 ) -> tuple[list[Divergence], int]:
     """A guarded leave/join/fail/stabilize storm at replication 2.
 
@@ -338,7 +354,9 @@ def _churn_storm(
     extra storms under symmetric placement and erasure coding this way).
     Returns (divergences, events validated).
     """
-    bundle = build_services(config, replication=2, durability=durability)
+    bundle = build_services(
+        config, replication=2, durability=durability, overlay=overlay
+    )
     services = [bundle.by_name(name) for name in systems]
     guards = {s.name: install_churn_guards(s) for s in services}
     spec = bundle.workload.schema.specs[0]
@@ -390,6 +408,14 @@ class CheckReport:
     policy_storms: list[tuple[str, list[Divergence], int]] = field(
         default_factory=list
     )
+    #: Per alternative routing tier: its fault-free differential replay.
+    overlay_replays: list[tuple[str, DifferentialReport]] = field(
+        default_factory=list
+    )
+    #: (overlay name, divergences, guarded events) per overlay storm.
+    overlay_storms: list[tuple[str, list[Divergence], int]] = field(
+        default_factory=list
+    )
 
     @property
     def ok(self) -> bool:
@@ -398,6 +424,8 @@ class CheckReport:
             and self.graceful.ok
             and not self.storm_divergences
             and all(not divs for _, divs, _ in self.policy_storms)
+            and all(report.ok for _, report in self.overlay_replays)
+            and all(not divs for _, divs, _ in self.overlay_storms)
         )
 
     @property
@@ -407,6 +435,8 @@ class CheckReport:
             + list(self.graceful.divergences)
             + list(self.storm_divergences)
             + [d for _, divs, _ in self.policy_storms for d in divs]
+            + [d for _, report in self.overlay_replays for d in report.divergences]
+            + [d for _, divs, _ in self.overlay_storms for d in divs]
         )
 
     def render(self) -> str:
@@ -424,6 +454,17 @@ class CheckReport:
             lines.append("  all invariants held")
         for name, divs, events in self.policy_storms:
             lines.append(f"== churn storm ({name}): {events} guarded events ==")
+            if divs:
+                lines.extend(f"  !! {d.render()}" for d in divs)
+            else:
+                lines.append("  all invariants held")
+        for name, report in self.overlay_replays:
+            lines.append(f"== fault-free differential replay (overlay {name}) ==")
+            lines.append(report.render())
+        for name, divs, events in self.overlay_storms:
+            lines.append(
+                f"== churn storm (overlay {name}): {events} guarded events =="
+            )
             if divs:
                 lines.extend(f"  !! {d.render()}" for d in divs)
             else:
@@ -465,10 +506,30 @@ def run_check(
             durability=parse_policy(spec),
         )
         policy_storms.append((spec, divs, events))
+    overlay_replays = []
+    overlay_storms = []
+    for overlay in OVERLAY_LEGS:
+        overlay_replays.append(
+            (
+                overlay,
+                run_differential(
+                    config, systems=systems, seed=seed,
+                    num_queries=max(1, num_queries // 3),
+                    label=f"check-{overlay}", overlay=overlay,
+                ),
+            )
+        )
+        divs, events = _churn_storm(
+            config.scaled(seed=config.seed + seed), systems, churn_events, seed,
+            overlay=overlay,
+        )
+        overlay_storms.append((overlay, divs, events))
     return CheckReport(
         fault_free=fault_free,
         graceful=graceful,
         storm_divergences=storm_divergences,
         storm_events=storm_events,
         policy_storms=policy_storms,
+        overlay_replays=overlay_replays,
+        overlay_storms=overlay_storms,
     )

@@ -73,6 +73,7 @@ class TestSmokeDeterminism:
         # systems' macro-ops, end-to-end figures, and the calibration op.
         assert "calibration.spin" in names
         assert {"chord.lookup", "chord.walk_arc", "cycloid.lookup"} <= names
+        assert {"singlehop.lookup", "record.lookup", "singlehop.stabilize"} <= names
         for system in ("lorm", "mercury", "sword", "maan"):
             assert f"{system}.register" in names
             assert f"{system}.multi_query" in names

@@ -241,3 +241,45 @@ class TestMain:
         ])
         assert code == 0
         assert "! " in capsys.readouterr().out  # at least one fault event
+
+
+class TestOverlayFlags:
+    def test_trace_overlay_defaults_to_native(self):
+        args = build_parser().parse_args(["trace", "--system", "lorm"])
+        assert args.overlay is None
+        assert args.fanout == 2
+
+    def test_tradeoff_command_defaults(self):
+        args = build_parser().parse_args(["tradeoff"])
+        assert args.command == "tradeoff"
+        assert not args.smoke
+        assert args.systems is None  # resolved to all systems in main()
+        assert args.overlays is None
+
+    def test_trace_rejects_unknown_overlay(self, capsys):
+        # Overlay validation happens in main() against the overlay registry
+        # so the message can name the valid substrates.
+        with pytest.raises(SystemExit) as exc:
+            main(["trace", "--system", "lorm", "--overlay", "pastry"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "pastry" in err
+        for name in ("chord", "cycloid", "singlehop", "record"):
+            assert name in err
+
+    def test_tradeoff_rejects_unknown_overlay_point(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["tradeoff", "--smoke", "--overlays", "kademlia"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "kademlia" in err
+        assert "singlehop" in err
+
+    def test_trace_on_singlehop_substrate(self, capsys):
+        code = main([
+            "trace", "--system", "maan", "--overlay", "singlehop",
+            "--kind", "point",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'choice="membership"' in out

@@ -3,20 +3,27 @@
 One canonical trace per system lives under
 ``tests/baselines/golden_traces/<system>.jsonl``: the JSONL export of one
 seed-0 two-attribute range query, exactly what ``repro trace --system
-<system> --seed 0 --format jsonl`` prints.  The tests regenerate each
-trace from scratch and assert the output is *byte-identical* to the
-committed file — any change to routing, hashing, workload generation, the
-span model or the exporter shows up as a diff here.
+<system> --seed 0 --format jsonl`` prints.  The same query replayed on
+the single-hop and ReCord routing tiers lives in
+``<overlay>_<system>.jsonl``.  The tests regenerate each trace from
+scratch and assert the output is *byte-identical* to the committed file —
+any change to routing, hashing, workload generation, the span model or
+the exporter shows up as a diff here.
 
 Updating the goldens
 --------------------
 When a change intentionally alters traces (new span attribute, routing
-fix, workload change), regenerate all four files and commit them together
+fix, workload change), regenerate all the files and commit them together
 with the change::
 
     for s in lorm mercury sword maan; do
         PYTHONPATH=src python -m repro trace --system $s --seed 0 \
             --format jsonl --out tests/baselines/golden_traces/$s.jsonl
+        for o in singlehop record; do
+            PYTHONPATH=src python -m repro trace --system $s --seed 0 \
+                --overlay $o --format jsonl \
+                --out tests/baselines/golden_traces/${o}_$s.jsonl
+        done
     done
 
 Review the diff before committing: every changed line should be explained
@@ -35,33 +42,45 @@ from repro.obs.replay import SYSTEMS, replay_queries
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "baselines" / "golden_traces"
 
+#: The alternative routing tiers with committed goldens.
+OVERLAYS = ("singlehop", "record")
 
-def _regenerate(system: str) -> str:
-    _, traces = replay_queries(system, seed=0, num_queries=1, num_attributes=2)
+#: Every committed golden: (filename stem, system, overlay-or-None).
+CASES = [(system, system, None) for system in sorted(SYSTEMS)] + [
+    (f"{overlay}_{system}", system, overlay)
+    for overlay in OVERLAYS
+    for system in sorted(SYSTEMS)
+]
+
+
+def _regenerate(system: str, overlay: str | None = None) -> str:
+    _, traces = replay_queries(
+        system, seed=0, num_queries=1, num_attributes=2, overlay=overlay
+    )
     return traces_to_jsonl(traces)
 
 
-@pytest.mark.parametrize("system", sorted(SYSTEMS))
-def test_trace_matches_committed_golden(system):
-    golden = (GOLDEN_DIR / f"{system}.jsonl").read_text()
-    regenerated = _regenerate(system)
+@pytest.mark.parametrize("stem,system,overlay", CASES)
+def test_trace_matches_committed_golden(stem, system, overlay):
+    golden = (GOLDEN_DIR / f"{stem}.jsonl").read_text()
+    regenerated = _regenerate(system, overlay)
     assert regenerated == golden, (
-        f"{system} trace diverged from its golden; if intentional, "
+        f"{stem} trace diverged from its golden; if intentional, "
         f"regenerate per the module docstring"
     )
 
 
-@pytest.mark.parametrize("system", sorted(SYSTEMS))
-def test_regeneration_is_stable(system):
+@pytest.mark.parametrize("stem,system,overlay", CASES)
+def test_regeneration_is_stable(stem, system, overlay):
     """Two fresh replays in the same process are byte-identical (no hidden
     global state leaks into the traces)."""
-    assert _regenerate(system) == _regenerate(system)
+    assert _regenerate(system, overlay) == _regenerate(system, overlay)
 
 
-@pytest.mark.parametrize("system", sorted(SYSTEMS))
-def test_golden_is_wellformed_jsonl(system):
-    lines = (GOLDEN_DIR / f"{system}.jsonl").read_text().splitlines()
-    assert lines, f"{system}.jsonl is empty"
+@pytest.mark.parametrize("stem", [case[0] for case in CASES])
+def test_golden_is_wellformed_jsonl(stem):
+    lines = (GOLDEN_DIR / f"{stem}.jsonl").read_text().splitlines()
+    assert lines, f"{stem}.jsonl is empty"
     roots = 0
     for line in lines:
         record = json.loads(line)
@@ -69,3 +88,19 @@ def test_golden_is_wellformed_jsonl(system):
                 "attrs", "events"} <= set(record)
         roots += record["parent"] is None
     assert roots == 1  # one query -> one span tree
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_record_fanout_one_matches_chord_hop_counts(system):
+    """ReCord at fan-out 1 degenerates into deterministic Chord: the same
+    seeded query takes identical hop counts on both substrates."""
+    _, chord_traces = replay_queries(
+        system, seed=0, num_queries=2, num_attributes=2, overlay="chord"
+    )
+    _, record_traces = replay_queries(
+        system, seed=0, num_queries=2, num_attributes=2,
+        overlay="record", fanout=1,
+    )
+    chord_hops = [t.hop_count() for t in chord_traces]
+    record_hops = [t.hop_count() for t in record_traces]
+    assert record_hops == chord_hops

@@ -1,0 +1,126 @@
+"""Properties of the single-hop and ReCord routing tiers.
+
+The headline property is D1HT's contract, **"1 hop means 1 hop"**: under a
+fully disseminated membership table every fault-free
+:class:`~repro.overlay.singlehop.SingleHopRing` lookup resolves in at most
+one hop (zero only when the requester already owns the key), and any churn
+burst followed by an unlimited-budget maintenance round *restores* the
+property.  The trace-level variant re-checks the same contract through the
+span oracles — per-lookup hop spans, conservation laws and the structural
+bound checker — so the routing tier and the observability pipeline are
+pinned against each other.
+
+The companion ReCord property pins the randomized tier to the paper's
+structural ceiling: for every sampled fan-out, fault-free lookups stay
+within ``bits + 1`` hops, because each level's deterministic Chord anchor
+preserves the classic halving argument no matter what the extra sampled
+fingers do.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.replay import SYSTEMS, replay_queries
+from repro.obs.spans import SpanKind
+from repro.overlay.record import ReCordOverlay
+from repro.overlay.singlehop import SingleHopRing
+from repro.sim.maintenance import UNLIMITED_BUDGET, MaintenanceRound
+from repro.testing.traces import assert_trace_bounds
+
+BITS = 6
+SIZE = 1 << BITS
+
+population_st = st.sets(
+    st.integers(min_value=0, max_value=SIZE - 1), min_size=4, max_size=24
+)
+#: A churn burst: positive ids join, negative ids leave (when present).
+churn_st = st.lists(
+    st.integers(min_value=-(SIZE - 1), max_value=SIZE - 1), max_size=12
+)
+
+
+def _apply_churn(ring, events) -> None:
+    for event in events:
+        nid = abs(event)
+        if event >= 0 and nid not in ring._nodes:
+            ring.join(nid)
+        elif nid in ring._nodes and ring.num_nodes > 1:
+            ring.leave(nid)
+
+
+def _assert_one_hop(ring) -> None:
+    for start in ring.node_ids:
+        for key in range(0, ring.space.size, 5):
+            result = ring.lookup(ring.node(start), key)
+            assert result.hops <= 1
+            assert result.retries == 0
+            assert result.owner is ring.successor_of(key)
+            if result.hops == 0:
+                assert result.owner.node_id == start
+
+
+@given(population=population_st)
+@settings(max_examples=25)
+def test_one_hop_means_one_hop_when_fully_disseminated(population):
+    ring = SingleHopRing(bits=BITS)
+    ring.build(sorted(population))
+    assert ring.pending_events() == 0
+    _assert_one_hop(ring)
+
+
+@given(population=population_st, churn=churn_st)
+@settings(max_examples=25)
+def test_unlimited_budget_round_restores_one_hop_after_churn(population, churn):
+    ring = SingleHopRing(bits=BITS)
+    ring.build(sorted(population))
+    _apply_churn(ring, churn)
+    MaintenanceRound(ring).run(UNLIMITED_BUDGET)
+    # The sweep flushed every outstanding membership event...
+    assert ring.pending_events() == 0
+    # ...so the single-hop contract holds again.
+    _assert_one_hop(ring)
+
+
+@given(
+    system=st.sampled_from(sorted(SYSTEMS)),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=10, deadline=None)
+def test_one_hop_contract_through_the_trace_oracles(system, seed):
+    """Trace-level "1 hop means 1 hop": every fault-free lookup span on the
+    single-hop substrate accounts for at most one hop, hop by hop."""
+    service, traces = replay_queries(
+        system, seed=seed, num_queries=2, num_attributes=2,
+        overlay="singlehop",
+    )
+    assert traces
+    for trace in traces:
+        assert_trace_bounds(trace, service)
+        lookups = trace.spans_of(SpanKind.LOOKUP)
+        assert lookups
+        for span in lookups:
+            hops = span.hop_spans()
+            assert len(hops) <= 1
+            assert span.attrs["hops"] == len(hops)
+            # Per-hop accounting: the one long jump rides the membership
+            # table (or a neighbour link), never a Chord finger.
+            for hop in hops:
+                assert hop.attrs["choice"] != "finger"
+
+
+@given(
+    fanout=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**16),
+    population=population_st,
+)
+@settings(max_examples=25)
+def test_record_hops_stay_within_the_structural_ceiling(fanout, seed, population):
+    ring = ReCordOverlay(bits=BITS, fanout=fanout, seed=seed)
+    ring.build(sorted(population))
+    for start in ring.node_ids:
+        for key in range(0, ring.space.size, 7):
+            result = ring.lookup(ring.node(start), key)
+            assert result.hops <= ring.bits + 1
+            assert result.owner is ring.successor_of(key)
